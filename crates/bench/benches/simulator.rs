@@ -1,0 +1,135 @@
+//! Criterion benchmarks of the simulator's hot paths and of representative
+//! end-to-end experiments (wall-clock cost of running the reproduction, as
+//! opposed to the simulated times the `table*`/`figure*` binaries report).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cluster::ManagerKind;
+use svmsim::{Dur, EventQueue, Machine, MachineConfig, Time};
+use workloads::{
+    copy_chain_probe, em3d_run, fault_probe, run_pattern, CopyChainSpec, Em3dSpec, FaultProbeSpec,
+    Pattern, ProbeAccess,
+};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1000u64 {
+                // Scatter times so the heap actually works.
+                q.push(Time::from_nanos((i * 7919) % 10_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_mesh_routing(c: &mut Criterion) {
+    let machine = Machine::new(MachineConfig::paragon(64));
+    c.bench_function("wire_time_all_pairs_64", |b| {
+        b.iter(|| {
+            let mut acc = Dur::ZERO;
+            for a in machine.mesh.node_ids() {
+                for z in machine.mesh.node_ids() {
+                    acc += machine.wire_time(a, z, 8224);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fault_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_probe");
+    g.sample_size(20);
+    g.bench_function("asvm_write_8_readers", |b| {
+        b.iter(|| {
+            black_box(fault_probe(FaultProbeSpec {
+                kind: ManagerKind::asvm(),
+                read_copies: 8,
+                faulter_has_copy: false,
+                access: ProbeAccess::Write,
+            }))
+        })
+    });
+    g.bench_function("xmm_write_8_readers", |b| {
+        b.iter(|| {
+            black_box(fault_probe(FaultProbeSpec {
+                kind: ManagerKind::xmm(),
+                read_copies: 8,
+                faulter_has_copy: false,
+                access: ProbeAccess::Write,
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn bench_copy_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("copy_chain");
+    g.sample_size(20);
+    g.bench_function("asvm_chain4", |b| {
+        b.iter(|| {
+            black_box(copy_chain_probe(CopyChainSpec {
+                kind: ManagerKind::asvm(),
+                chain_len: 4,
+                region_pages: 16,
+            }))
+        })
+    });
+    g.bench_function("xmm_chain4", |b| {
+        b.iter(|| {
+            black_box(copy_chain_probe(CopyChainSpec {
+                kind: ManagerKind::xmm(),
+                chain_len: 4,
+                region_pages: 16,
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("patterns");
+    g.sample_size(10);
+    g.bench_function("migratory_8n", |b| {
+        b.iter(|| {
+            black_box(run_pattern(
+                ManagerKind::asvm(),
+                8,
+                32,
+                Pattern::Migratory { rounds: 2 },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_em3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("em3d");
+    g.sample_size(10);
+    g.bench_function("asvm_8n_16k_2iter", |b| {
+        b.iter(|| {
+            let mut spec = Em3dSpec::paper(ManagerKind::asvm(), 8, 16_000);
+            spec.iterations = 2;
+            black_box(em3d_run(spec))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_mesh_routing,
+    bench_fault_probe,
+    bench_copy_chain,
+    bench_patterns,
+    bench_em3d
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 11: page-fault latency on inherited memory vs.
+//! copy-chain length**.
+//!
+//! A 128 KB region is initialized, a chain of copies is spawned across n
+//! nodes by repeated remote forks, and the last task faults in all pages.
+//! The paper fits the per-fault latency as `lb + n·la`:
+//!
+//! * NMK13 XMM: lb ≈ 5.0 ms, la ≈ 4.3 ms per hop (each hop is a blocking
+//!   internal-pager fault over NORMA-IPC);
+//! * ASVM: lb ≈ 2.7 ms, la ≈ 0.48 ms per hop (pull operations over STS).
+
+use cluster::ManagerKind;
+use workloads::{copy_chain_probe, CopyChainSpec};
+
+fn main() {
+    let lengths = [1u16, 2, 3, 4, 5, 6, 7, 8];
+    println!("Figure 11: inherited-memory fault latency (ms) vs chain length");
+    println!("{:>8}{:>12}{:>12}", "chain", "ASVM", "XMM");
+    println!("{}", "-".repeat(32));
+    let mut asvm = Vec::new();
+    let mut xmm = Vec::new();
+    for len in lengths {
+        let a = copy_chain_probe(CopyChainSpec {
+            kind: ManagerKind::asvm(),
+            chain_len: len,
+            region_pages: 16,
+        });
+        let x = copy_chain_probe(CopyChainSpec {
+            kind: ManagerKind::xmm(),
+            chain_len: len,
+            region_pages: 16,
+        });
+        asvm.push(a.mean_fault.as_millis_f64());
+        xmm.push(x.mean_fault.as_millis_f64());
+        println!(
+            "{:>8}{:>12.2}{:>12.2}",
+            len,
+            a.mean_fault.as_millis_f64(),
+            x.mean_fault.as_millis_f64()
+        );
+    }
+    // Least-squares fit of latency = lb + n*la.
+    let fit = |ys: &[f64]| {
+        let n = ys.len() as f64;
+        let xs: Vec<f64> = lengths.iter().map(|l| *l as f64).collect();
+        let sx: f64 = xs.iter().sum();
+        let sy: f64 = ys.iter().sum();
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+        let la = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let lb = (sy - la * sx) / n;
+        (lb, la)
+    };
+    let (alb, ala) = fit(&asvm);
+    let (xlb, xla) = fit(&xmm);
+    println!();
+    println!("fit latency = lb + n*la:");
+    println!("  ASVM lb = {alb:.2} ms, la = {ala:.2} ms/hop   (paper: 2.7, 0.48)");
+    println!("  XMM  lb = {xlb:.2} ms, la = {xla:.2} ms/hop   (paper: 5.0, 4.3)");
+    println!();
+    println!(
+        "chain of 8 (a 256-node binary-tree spawn): ASVM {:.1} ms, XMM {:.1} ms (paper: 6.4, 35)",
+        asvm[7], xmm[7]
+    );
+}

@@ -1,0 +1,101 @@
+//! Regenerates **Table 1: Page Fault Latencies** (milliseconds).
+//!
+//! Seven characteristic SVM fault types, measured in task context exactly
+//! as the paper does, under both ASVM and NMK13 XMM.
+
+use cluster::ManagerKind;
+use workloads::{fault_probe, FaultProbeSpec, ProbeAccess};
+
+struct Row {
+    label: &'static str,
+    read_copies: u16,
+    faulter_has_copy: bool,
+    access: ProbeAccess,
+    paper_asvm: f64,
+    paper_xmm: f64,
+}
+
+const ROWS: &[Row] = &[
+    Row {
+        label: "write fault, 1 read copy",
+        read_copies: 1,
+        faulter_has_copy: false,
+        access: ProbeAccess::Write,
+        paper_asvm: 2.24,
+        paper_xmm: 38.42,
+    },
+    Row {
+        label: "write fault, 2 read copies",
+        read_copies: 2,
+        faulter_has_copy: false,
+        access: ProbeAccess::Write,
+        paper_asvm: 3.10,
+        paper_xmm: 12.92,
+    },
+    Row {
+        label: "write fault, 64 read copies",
+        read_copies: 64,
+        faulter_has_copy: false,
+        access: ProbeAccess::Write,
+        paper_asvm: 8.96,
+        paper_xmm: 72.18,
+    },
+    Row {
+        label: "write upgrade, 2 read copies",
+        read_copies: 2,
+        faulter_has_copy: true,
+        access: ProbeAccess::Write,
+        paper_asvm: 1.51,
+        paper_xmm: 3.83,
+    },
+    Row {
+        label: "write upgrade, 64 read copies",
+        read_copies: 64,
+        faulter_has_copy: true,
+        access: ProbeAccess::Write,
+        paper_asvm: 7.75,
+        paper_xmm: 63.72,
+    },
+    Row {
+        label: "read fault, first reader",
+        read_copies: 0,
+        faulter_has_copy: false,
+        access: ProbeAccess::Read,
+        paper_asvm: 2.35,
+        paper_xmm: 38.59,
+    },
+    Row {
+        label: "read fault, second reader",
+        read_copies: 2,
+        faulter_has_copy: false,
+        access: ProbeAccess::Read,
+        paper_asvm: 2.35,
+        paper_xmm: 10.06,
+    },
+];
+
+fn main() {
+    println!("Table 1: Page Fault Latencies (ms) — paper/measured");
+    println!("{:<32}{:>18}{:>18}", "Fault Type", "ASVM", "XMM");
+    println!("{}", "-".repeat(68));
+    for row in ROWS {
+        let asvm = fault_probe(FaultProbeSpec {
+            kind: ManagerKind::asvm(),
+            read_copies: row.read_copies,
+            faulter_has_copy: row.faulter_has_copy,
+            access: row.access,
+        });
+        let xmm = fault_probe(FaultProbeSpec {
+            kind: ManagerKind::xmm(),
+            read_copies: row.read_copies,
+            faulter_has_copy: row.faulter_has_copy,
+            access: row.access,
+        });
+        println!(
+            "{:<32}{:>18}{:>18}",
+            row.label,
+            bench::pair(row.paper_asvm, asvm.latency.as_millis_f64()),
+            bench::pair(row.paper_xmm, xmm.latency.as_millis_f64()),
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Table 2: File Transfer Rates (MB/s)** and its graphical
+//! forms, **Figure 12** (read) and **Figure 13** (write).
+//!
+//! A 4 MB memory-mapped file is accessed by 1–64 nodes in parallel,
+//! bypassing the file server exactly as the paper does. Writes target
+//! disjoint sections of a fresh file (bounded by zero-fill supply); reads
+//! scan the whole populated file on every node (bounded by the pager — or,
+//! under ASVM, served from peer caches after the first copy).
+
+use cluster::ManagerKind;
+use workloads::{file_scan, FileScanSpec, ScanDir};
+
+const NODES: [u16; 7] = [1, 2, 4, 8, 16, 32, 64];
+const PAPER_ASVM_WRITE: [f64; 7] = [2.80, 2.60, 2.05, 1.22, 0.62, 0.30, 0.15];
+const PAPER_XMM_WRITE: [f64; 7] = [2.15, 1.77, 0.90, 0.49, 0.24, 0.12, 0.06];
+const PAPER_ASVM_READ: [f64; 7] = [1.57, 1.53, 1.14, 0.91, 0.70, 0.66, 0.66];
+const PAPER_XMM_READ: [f64; 7] = [1.18, 0.38, 0.25, 0.11, 0.05, 0.02, 0.01];
+
+fn main() {
+    let file_pages = 512; // 4 MB
+    println!("Table 2: File Transfer Rates (MB/s) — paper/measured");
+    println!(
+        "{:>6}{:>18}{:>18}{:>18}{:>18}",
+        "nodes", "ASVM write", "XMM write", "ASVM read", "XMM read"
+    );
+    println!("{}", "-".repeat(78));
+    for (i, n) in NODES.iter().enumerate() {
+        let aw = file_scan(FileScanSpec {
+            kind: ManagerKind::asvm(),
+            nodes: *n,
+            file_pages,
+            dir: ScanDir::Write,
+        });
+        let xw = file_scan(FileScanSpec {
+            kind: ManagerKind::xmm(),
+            nodes: *n,
+            file_pages,
+            dir: ScanDir::Write,
+        });
+        let ar = file_scan(FileScanSpec {
+            kind: ManagerKind::asvm(),
+            nodes: *n,
+            file_pages,
+            dir: ScanDir::Read,
+        });
+        let xr = file_scan(FileScanSpec {
+            kind: ManagerKind::xmm(),
+            nodes: *n,
+            file_pages,
+            dir: ScanDir::Read,
+        });
+        println!(
+            "{:>6}{:>18}{:>18}{:>18}{:>18}",
+            n,
+            bench::pair(PAPER_ASVM_WRITE[i], aw.rate_mb_s),
+            bench::pair(PAPER_XMM_WRITE[i], xw.rate_mb_s),
+            bench::pair(PAPER_ASVM_READ[i], ar.rate_mb_s),
+            bench::pair(PAPER_XMM_READ[i], xr.rate_mb_s),
+        );
+    }
+    println!();
+    println!("Figure 12 is the read series, Figure 13 the write series, plotted");
+    println!("per node; the table above contains both.");
+}

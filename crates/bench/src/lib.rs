@@ -1,0 +1,45 @@
+//! `bench` — harness regenerating every table and figure of the paper.
+//!
+//! One binary per experiment:
+//!
+//! | binary                | reproduces                         |
+//! |-----------------------|------------------------------------|
+//! | `table1`              | Table 1 — page fault latencies     |
+//! | `figure10`            | Figure 10 — write fault vs readers |
+//! | `figure11`            | Figure 11 — copy-chain faults      |
+//! | `table2`              | Table 2 / Figures 12–13 — file I/O |
+//! | `table3`              | Table 3 — EM3D timings             |
+//! | `ablation_transport`  | §3.1 — NORMA vs STS, 5 vs 3 msgs   |
+//! | `ablation_memory`     | §3.1 — manager memory requirements |
+//! | `ablation_forwarding` | §3.4 — forwarding strategy mix     |
+//! | `ablation_paging`     | §3.6 — internode paging behaviour  |
+//!
+//! Each binary prints paper-reported values next to measured ones.
+//! Absolute match is not the goal — the machine is a simulator — but the
+//! *shape* (who wins, by what factor, where crossovers fall) must hold.
+//! `EXPERIMENTS.md` records a full run.
+
+/// Formats a paper-vs-measured pair.
+pub fn pair(paper: f64, measured: f64) -> String {
+    format!("{paper:>7.2}/{measured:<7.2}")
+}
+
+/// Relative error of a measured value against the paper's, in percent.
+pub fn rel_err(paper: f64, measured: f64) -> f64 {
+    if paper == 0.0 {
+        return 0.0;
+    }
+    (measured - paper) / paper * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_err_is_signed_percent() {
+        assert_eq!(rel_err(10.0, 12.0), 20.0);
+        assert_eq!(rel_err(10.0, 8.0), -20.0);
+        assert_eq!(rel_err(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! `cluster` — single-system-image glue binding the Mach VM model, the
+//! memory managers (ASVM / XMM), the pagers and the transports to the
+//! simulated Paragon machine.
+//!
+//! The crate provides:
+//!
+//! * [`ClusterNode`] — one multicomputer node: kernel VM, manager instance,
+//!   pager tasks (on I/O nodes), and the task driver that executes
+//!   [`Program`]s step by step, suspending on faults and barriers;
+//! * [`Msg`] — the unified message enum carried by the event loop, with
+//!   ASVM traffic on STS and XMMI/EMMI/fork traffic on NORMA-IPC;
+//! * remote fork with Mach inheritance semantics: `Share` regions map the
+//!   same memory object, `Copy` regions become distributed delayed copies
+//!   (ASVM §3.7) or internal-pager snapshots (XMM §2.3.3);
+//! * [`Ssi`] — the facade harnesses use to assemble clusters, create
+//!   memory objects and tasks, and run workloads to quiescence.
+
+pub mod msg;
+pub mod node;
+pub mod program;
+pub mod ssi;
+pub mod validate;
+
+pub use msg::{ForkEntry, ForkMsg, Msg, ObjInfo};
+pub use node::{ClusterNode, Manager};
+pub use program::{FnProgram, Program, ScriptProgram, Step, TaskEnv};
+pub use ssi::{ManagerKind, Ssi};
+pub use validate::{check_asvm_invariants, check_xmm_invariants};
+
+#[cfg(test)]
+mod tests;

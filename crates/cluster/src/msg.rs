@@ -1,0 +1,132 @@
+//! The unified message type of the simulated cluster.
+
+use asvm::{AsvmConfig, AsvmMsg};
+use machvm::{Access, EmmiToKernel, Inherit, MemObjId, TaskId, VmObjId};
+use pager::PagerIn;
+use svmsim::NodeId;
+use xmm::XmmMsg;
+
+use crate::program::Program;
+
+/// Metadata a node needs to instantiate the local representation of a
+/// memory object (carried in fork messages; known statically at setup).
+#[derive(Clone, Copy, Debug)]
+pub struct ObjInfo {
+    /// Object length in pages.
+    pub size_pages: u32,
+    /// ASVM home node / XMM manager node.
+    pub home: NodeId,
+    /// I/O node hosting the backing pager.
+    pub pager_node: NodeId,
+    /// ASVM forwarding configuration.
+    pub cfg: AsvmConfig,
+    /// Distributed-copy peer node, if the object is a copy (ASVM).
+    pub peer: Option<NodeId>,
+    /// Distributed-copy source object, if any (ASVM).
+    pub source: Option<MemObjId>,
+}
+
+/// One address-space region a forked child inherits.
+#[derive(Debug)]
+pub enum ForkEntry {
+    /// Shared memory: the child maps the same memory object.
+    Share {
+        /// First virtual page.
+        va_page: u64,
+        /// Length in pages.
+        pages: u32,
+        /// Protection.
+        prot: Access,
+        /// Inheritance for further forks.
+        inherit: Inherit,
+        /// The object.
+        mobj: MemObjId,
+        /// Its metadata.
+        info: ObjInfo,
+    },
+    /// ASVM delayed copy (§3.7): the child maps the source object shared,
+    /// then creates a local copy object through the VM.
+    CopyAsvm {
+        /// First virtual page.
+        va_page: u64,
+        /// Length in pages.
+        pages: u32,
+        /// Protection.
+        prot: Access,
+        /// The (possibly just ASVM-ized) object being copied.
+        source_mobj: MemObjId,
+        /// Its metadata.
+        info: ObjInfo,
+    },
+    /// XMM delayed copy (§2.3.3): the child maps a fresh object backed by
+    /// an internal copy pager on the parent's node.
+    CopyXmm {
+        /// First virtual page.
+        va_page: u64,
+        /// Length in pages.
+        pages: u32,
+        /// Protection.
+        prot: Access,
+        /// The new internal-pager-backed object.
+        mobj: MemObjId,
+        /// Node running the internal pager (the fork snapshot).
+        ip_node: NodeId,
+    },
+}
+
+/// A remote fork in flight.
+#[derive(Debug)]
+pub struct ForkMsg {
+    /// The child task to create.
+    pub child: TaskId,
+    /// Program the child runs.
+    pub program: Box<dyn Program>,
+    /// Inherited address space.
+    pub entries: Vec<ForkEntry>,
+    /// Node the forking parent runs on (fork-completion destination).
+    pub parent_node: NodeId,
+    /// The forking parent task (suspended until the fork settles).
+    pub parent_task: TaskId,
+}
+
+/// Every message a cluster node can receive.
+pub enum Msg {
+    /// ASVM protocol traffic (STS).
+    Asvm {
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: AsvmMsg,
+    },
+    /// XMMI traffic (NORMA-IPC).
+    Xmm(XmmMsg),
+    /// EMMI request to a pager task on this I/O node (NORMA-IPC).
+    PagerReq(PagerIn),
+    /// EMMI reply from a pager task (NORMA-IPC).
+    PagerReply {
+        /// Destination VM object on this node.
+        obj: VmObjId,
+        /// The reply.
+        reply: EmmiToKernel,
+    },
+    /// Resume a task (fault completed, compute finished, barrier released).
+    Resume(TaskId),
+    /// Remote fork request (NORMA-IPC).
+    Fork(ForkMsg),
+    /// The fork completed on the child side (all copy notifications
+    /// settled); the suspended parent resumes — `fork()` is synchronous.
+    ForkDone {
+        /// The parent task to resume.
+        parent_task: TaskId,
+    },
+    /// A task reached barrier `id` (sent to the coordinator, node 0).
+    Barrier {
+        /// Barrier identifier.
+        id: u32,
+    },
+    /// The coordinator releases barrier `id`.
+    BarrierGo {
+        /// Barrier identifier.
+        id: u32,
+    },
+}

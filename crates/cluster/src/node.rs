@@ -1,0 +1,1104 @@
+//! The cluster node: kernel VM + memory manager + pagers + task driver,
+//! bound to the simulation event loop.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use asvm::AsvmNode;
+use machvm::{
+    Access, EmmiToKernel, EmmiToPager, Inherit, MemObjId, PageData, TaskId, VmEffect, VmObjId,
+    VmSystem,
+};
+use pager::{DefaultPager, FilePager, PagerIn};
+use svmsim::{Ctx, NodeBehavior, NodeId, NodeKind, Time};
+use transport::Transport;
+use xmm::{XmmBacking, XmmNode};
+
+use crate::msg::{ForkEntry, ForkMsg, Msg, ObjInfo};
+use crate::program::{Program, Step, TaskEnv};
+
+/// Which distributed memory manager the cluster runs.
+pub enum Manager {
+    /// The paper's contribution.
+    Asvm(AsvmNode),
+    /// The NMK13 baseline.
+    Xmm(XmmNode),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TaskStatus {
+    Running,
+    WaitingFault,
+    WaitingBarrier(u32),
+    WaitingFork,
+    WaitingLock,
+    Done,
+}
+
+/// A child-side fork waiting for its copy notifications to settle.
+struct DeferredFork {
+    child: TaskId,
+    program: Box<dyn Program>,
+    waiting: std::collections::BTreeSet<MemObjId>,
+    parent_node: NodeId,
+    parent_task: TaskId,
+}
+
+struct TaskState {
+    program: Box<dyn Program>,
+    repeat: Option<Step>,
+    status: TaskStatus,
+    last_read: Option<u64>,
+    started: Time,
+    finished: Option<Time>,
+}
+
+/// One node of the simulated multicomputer.
+pub struct ClusterNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// The kernel VM system.
+    pub vm: VmSystem,
+    /// The distributed memory manager.
+    pub mgr: Manager,
+    /// File pager (I/O nodes only).
+    pub file_pager: Option<FilePager>,
+    /// Default pager (I/O nodes only).
+    pub default_pager: Option<DefaultPager>,
+    tasks: BTreeMap<TaskId, TaskState>,
+    /// Barrier coordination (node 0 only).
+    pub barrier_parties: u32,
+    barrier_counts: BTreeMap<u32, u32>,
+    barrier_waiting: BTreeMap<u32, Vec<TaskId>>,
+    next_mobj: u32,
+    next_pseudo_task: u32,
+    deferred_forks: Vec<DeferredFork>,
+    /// Tasks waiting for a range-lock grant, keyed by (object, range).
+    lock_waiters: BTreeMap<(MemObjId, u32, u32), TaskId>,
+    /// Transport carrying ASVM protocol messages (STS by default; NORMA
+    /// for the transport ablation — the state machines are identical).
+    pub asvm_transport: Transport,
+    /// Tasks that have finished on this node.
+    pub tasks_done: u32,
+}
+
+impl ClusterNode {
+    /// Builds a node.
+    pub fn new(id: NodeId, vm: VmSystem, mgr: Manager, kind: NodeKind, page_size: u32) -> Self {
+        let (file_pager, default_pager) = match kind {
+            NodeKind::Io => (
+                Some(FilePager::new(page_size)),
+                Some(DefaultPager::new(page_size, 1 << 40)),
+            ),
+            NodeKind::Compute => (None, None),
+        };
+        ClusterNode {
+            id,
+            vm,
+            mgr,
+            file_pager,
+            default_pager,
+            tasks: BTreeMap::new(),
+            barrier_parties: 0,
+            barrier_counts: BTreeMap::new(),
+            barrier_waiting: BTreeMap::new(),
+            next_mobj: 1,
+            next_pseudo_task: 1,
+            deferred_forks: Vec::new(),
+            lock_waiters: BTreeMap::new(),
+            asvm_transport: Transport::STS,
+            tasks_done: 0,
+        }
+    }
+
+    /// The ASVM instance (panics if running XMM).
+    pub fn asvm(&self) -> &AsvmNode {
+        match &self.mgr {
+            Manager::Asvm(a) => a,
+            Manager::Xmm(_) => panic!("node runs XMM, not ASVM"),
+        }
+    }
+
+    /// Mutable ASVM instance.
+    pub fn asvm_mut(&mut self) -> &mut AsvmNode {
+        match &mut self.mgr {
+            Manager::Asvm(a) => a,
+            Manager::Xmm(_) => panic!("node runs XMM, not ASVM"),
+        }
+    }
+
+    /// The XMM instance (panics if running ASVM).
+    pub fn xmm(&self) -> &XmmNode {
+        match &self.mgr {
+            Manager::Xmm(x) => x,
+            Manager::Asvm(_) => panic!("node runs ASVM, not XMM"),
+        }
+    }
+
+    /// Mutable XMM instance.
+    pub fn xmm_mut(&mut self) -> &mut XmmNode {
+        match &mut self.mgr {
+            Manager::Xmm(x) => x,
+            Manager::Asvm(_) => panic!("node runs ASVM, not XMM"),
+        }
+    }
+
+    /// Installs a task with its program (does not start it; post a
+    /// [`Msg::Resume`] to kick it off).
+    pub fn install_task(&mut self, task: TaskId, program: Box<dyn Program>, now: Time) {
+        if !self.vm.has_task(task) {
+            self.vm.create_task(task);
+        }
+        self.tasks.insert(
+            task,
+            TaskState {
+                program,
+                repeat: None,
+                status: TaskStatus::Running,
+                last_read: None,
+                started: now,
+                finished: None,
+            },
+        );
+    }
+
+    /// True if every installed task has finished.
+    pub fn all_tasks_done(&self) -> bool {
+        self.tasks.values().all(|t| t.status == TaskStatus::Done)
+    }
+
+    /// Completion time of `task`, if it finished.
+    pub fn task_finished(&self, task: TaskId) -> Option<Time> {
+        self.tasks.get(&task).and_then(|t| t.finished)
+    }
+
+    /// Wall-clock runtime of `task` (install to finish), if it finished.
+    pub fn task_runtime(&self, task: TaskId) -> Option<svmsim::Dur> {
+        let t = self.tasks.get(&task)?;
+        Some(t.finished?.since(t.started))
+    }
+
+    /// Allocates a runtime memory object id unique to this node.
+    fn alloc_mobj(&mut self) -> MemObjId {
+        let m = MemObjId(((self.id.0 as u32 + 1) << 20) | self.next_mobj);
+        self.next_mobj += 1;
+        m
+    }
+
+    fn alloc_pseudo_task(&mut self) -> TaskId {
+        let t = TaskId(0x8000_0000 | ((self.id.0 as u32) << 16) | self.next_pseudo_task);
+        self.next_pseudo_task += 1;
+        t
+    }
+
+    // --- Effect draining ---------------------------------------------------
+
+    /// Processes a batch of VM effects (and everything they trigger) to
+    /// completion.
+    fn drain(&mut self, ctx: &mut Ctx<'_, Msg>, first: machvm::Effects) {
+        let mut q: VecDeque<machvm::Effects> = VecDeque::new();
+        q.push_back(first);
+        while let Some(fx) = q.pop_front() {
+            if !fx.cpu.is_zero() {
+                ctx.charge_msg_cpu(fx.cpu);
+            }
+            for eff in fx.out {
+                self.apply_vm_effect(ctx, eff, &mut q);
+            }
+        }
+    }
+
+    fn apply_vm_effect(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        eff: VmEffect,
+        q: &mut VecDeque<machvm::Effects>,
+    ) {
+        match eff {
+            VmEffect::FaultDone {
+                task,
+                fault,
+                started,
+            } => {
+                let latency = ctx.now().since(started);
+                ctx.stats().sample("fault.ms", latency);
+                ctx.stats().bump("faults.completed");
+                let is_ip = matches!(&self.mgr, Manager::Xmm(x) if x.is_ip_task(task));
+                if is_ip {
+                    let mut xfx = xmm::Fx::new();
+                    let Manager::Xmm(x) = &mut self.mgr else {
+                        unreachable!()
+                    };
+                    x.ip_fault_done(ctx.now(), &mut self.vm, task, fault, &mut xfx);
+                    self.emit_xmm(ctx, xfx, q);
+                } else {
+                    let now = ctx.now();
+                    ctx.post_self(now, Msg::Resume(task));
+                }
+            }
+            VmEffect::ToPager { obj, backing, call } => match backing {
+                machvm::Backing::External(mobj) => match &mut self.mgr {
+                    Manager::Asvm(a) if a.mobj_of(obj).is_some() => {
+                        let mut afx = asvm::Fx::new();
+                        a.handle_emmi(ctx.now(), &mut self.vm, obj, call, &mut afx);
+                        self.emit_asvm(ctx, afx, q);
+                    }
+                    Manager::Xmm(x) if x.mobj_of(obj).is_some() => {
+                        let mut xfx = xmm::Fx::new();
+                        x.handle_emmi(ctx.now(), &mut self.vm, obj, call, &mut xfx);
+                        self.emit_xmm(ctx, xfx, q);
+                    }
+                    _ => panic!("EMMI for unmanaged external object {obj:?} ({mobj:?})"),
+                },
+                machvm::Backing::Anonymous => {
+                    // Node-private anonymous memory pages out to the default
+                    // pager on this node's I/O node.
+                    let io = ctx.machine().io_node_for(self.id);
+                    let payload = pager_payload(&call, self.vm.page_size());
+                    let pin = PagerIn {
+                        from_node: self.id,
+                        obj,
+                        mobj: MemObjId(0),
+                        call,
+                    };
+                    Transport::NORMA.send(ctx, io, payload, Msg::PagerReq(pin));
+                }
+            },
+            VmEffect::CopyCreated { source, .. } => {
+                if let Manager::Asvm(a) = &mut self.mgr {
+                    if let Some(m) = a.mobj_of(source) {
+                        let mut afx = asvm::Fx::new();
+                        a.copy_made_local(ctx.now(), &mut self.vm, m, &mut afx);
+                        self.emit_asvm(ctx, afx, q);
+                    }
+                }
+            }
+            VmEffect::EvictExternal {
+                obj,
+                page,
+                data,
+                dirty,
+                ..
+            } => match &mut self.mgr {
+                Manager::Asvm(a) => {
+                    let mut afx = asvm::Fx::new();
+                    a.evict_external(ctx.now(), &mut self.vm, obj, page, data, dirty, &mut afx);
+                    self.emit_asvm(ctx, afx, q);
+                }
+                Manager::Xmm(x) => {
+                    let mut xfx = xmm::Fx::new();
+                    x.evict_external(ctx.now(), &mut self.vm, obj, page, data, dirty, &mut xfx);
+                    self.emit_xmm(ctx, xfx, q);
+                }
+            },
+        }
+    }
+
+    fn emit_asvm(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        fx: asvm::Fx,
+        q: &mut VecDeque<machvm::Effects>,
+    ) {
+        if !fx.cpu.is_zero() {
+            ctx.charge_msg_cpu(fx.cpu);
+        }
+        let ps = self.vm.page_size();
+        // Pager traffic (data returns) departs before protocol traffic:
+        // acknowledgements must never causally overtake the writebacks they
+        // follow, or a forwarded request could reach the pager first and be
+        // answered with stale contents.
+        for p in fx.pager {
+            let payload = pager_payload(&p.call, ps);
+            let pin = PagerIn {
+                from_node: p.reply_to,
+                obj: p.obj,
+                mobj: p.mobj,
+                call: p.call,
+            };
+            Transport::NORMA.send(ctx, p.pager_node, payload, Msg::PagerReq(pin));
+        }
+        for ns in fx.net {
+            let payload = ns.msg.payload_bytes(ps);
+            let me = self.id;
+            self.asvm_transport.send(
+                ctx,
+                ns.dst,
+                payload,
+                Msg::Asvm {
+                    from: me,
+                    msg: ns.msg,
+                },
+            );
+        }
+        for mobj in fx.settled {
+            self.copy_settled(ctx, mobj);
+        }
+        for (mobj, range) in fx.lock_granted {
+            let key = (mobj, range.first.0, range.count);
+            if let Some(task) = self.lock_waiters.remove(&key) {
+                if let Some(st) = self.tasks.get_mut(&task) {
+                    if st.status == TaskStatus::WaitingLock {
+                        st.status = TaskStatus::Running;
+                    }
+                }
+                let now = ctx.now();
+                ctx.post_self(now, Msg::Resume(task));
+            }
+        }
+        q.push_back(fx.vm);
+    }
+
+    /// A copy notification settled: release any fork waiting on it.
+    fn copy_settled(&mut self, ctx: &mut Ctx<'_, Msg>, mobj: MemObjId) {
+        let mut ready = Vec::new();
+        for df in &mut self.deferred_forks {
+            df.waiting.remove(&mobj);
+            if df.waiting.is_empty() {
+                ready.push(df.child);
+            }
+        }
+        let done: Vec<DeferredFork> = {
+            let mut rest = Vec::new();
+            let mut done = Vec::new();
+            for df in self.deferred_forks.drain(..) {
+                if ready.contains(&df.child) {
+                    done.push(df);
+                } else {
+                    rest.push(df);
+                }
+            }
+            self.deferred_forks = rest;
+            done
+        };
+        for df in done {
+            self.complete_fork(ctx, df);
+        }
+    }
+
+    /// Installs the child task and tells the parent its fork returned.
+    fn complete_fork(&mut self, ctx: &mut Ctx<'_, Msg>, df: DeferredFork) {
+        self.install_task(df.child, df.program, ctx.now());
+        let now = ctx.now();
+        ctx.post_self(now, Msg::Resume(df.child));
+        Transport::NORMA.send(
+            ctx,
+            df.parent_node,
+            0,
+            Msg::ForkDone {
+                parent_task: df.parent_task,
+            },
+        );
+    }
+
+    fn emit_xmm(&mut self, ctx: &mut Ctx<'_, Msg>, fx: xmm::Fx, q: &mut VecDeque<machvm::Effects>) {
+        if !fx.cpu.is_zero() {
+            ctx.charge_msg_cpu(fx.cpu);
+        }
+        let ps = self.vm.page_size();
+        // Writebacks before acknowledgements — see `emit_asvm`.
+        for p in fx.pager {
+            let payload = pager_payload(&p.call, ps);
+            let pin = PagerIn {
+                from_node: p.reply_to,
+                obj: p.obj,
+                mobj: p.mobj,
+                call: p.call,
+            };
+            Transport::NORMA.send(ctx, p.pager_node, payload, Msg::PagerReq(pin));
+        }
+        for xs in fx.net {
+            let payload = xs.msg.payload_bytes(ps);
+            Transport::NORMA.send(ctx, xs.dst, payload, Msg::Xmm(xs.msg));
+        }
+        q.push_back(fx.vm);
+    }
+
+    // --- Task driver ----------------------------------------------------------
+
+    fn run_task(&mut self, ctx: &mut Ctx<'_, Msg>, task: TaskId) {
+        loop {
+            let Some(st) = self.tasks.get_mut(&task) else {
+                return;
+            };
+            if st.status != TaskStatus::Running {
+                return;
+            }
+            let step = match st.repeat.take() {
+                Some(s) => s,
+                None => {
+                    let mut env = TaskEnv {
+                        task,
+                        node: self.id,
+                        now: ctx.now(),
+                        last_read: st.last_read,
+                    };
+                    st.program.step(&mut env)
+                }
+            };
+            match step {
+                Step::Compute(d) => {
+                    let done = ctx.charge_compute(d);
+                    ctx.post_self(done, Msg::Resume(task));
+                    return;
+                }
+                Step::Touch { va_page, access } => {
+                    if !self.ensure_access(
+                        ctx,
+                        task,
+                        va_page,
+                        access,
+                        Step::Touch { va_page, access },
+                    ) {
+                        return;
+                    }
+                }
+                Step::Read { va_page } => {
+                    if !self.ensure_access(ctx, task, va_page, Access::Read, Step::Read { va_page })
+                    {
+                        return;
+                    }
+                    let v = self.vm.read_page(ctx.now(), task, va_page).word();
+                    self.tasks.get_mut(&task).unwrap().last_read = Some(v);
+                }
+                Step::Write { va_page, value } => {
+                    if !self.ensure_access(
+                        ctx,
+                        task,
+                        va_page,
+                        Access::Write,
+                        Step::Write { va_page, value },
+                    ) {
+                        return;
+                    }
+                    self.vm
+                        .write_page(ctx.now(), task, va_page, PageData::Word(value));
+                }
+                Step::LockRange { va_page, pages } => {
+                    let (mobj, range) = self.resolve_range(task, va_page, pages);
+                    let mut afx = asvm::Fx::new();
+                    self.asvm_mut().lock_range(mobj, range, &mut afx);
+                    let granted = afx
+                        .lock_granted
+                        .iter()
+                        .any(|(m, r)| *m == mobj && *r == range);
+                    if !granted {
+                        self.lock_waiters
+                            .insert((mobj, range.first.0, range.count), task);
+                        let st = self.tasks.get_mut(&task).unwrap();
+                        st.status = TaskStatus::WaitingLock;
+                    }
+                    let mut q = VecDeque::new();
+                    self.emit_asvm(ctx, afx, &mut q);
+                    while let Some(fx) = q.pop_front() {
+                        self.drain(ctx, fx);
+                    }
+                    if !granted {
+                        return;
+                    }
+                }
+                Step::UnlockRange { va_page, pages } => {
+                    let (mobj, range) = self.resolve_range(task, va_page, pages);
+                    let mut afx = asvm::Fx::new();
+                    self.asvm_mut().unlock_range(mobj, range, &mut afx);
+                    let mut q = VecDeque::new();
+                    self.emit_asvm(ctx, afx, &mut q);
+                    while let Some(fx) = q.pop_front() {
+                        self.drain(ctx, fx);
+                    }
+                }
+                Step::Barrier(id) => {
+                    let st = self.tasks.get_mut(&task).unwrap();
+                    st.status = TaskStatus::WaitingBarrier(id);
+                    self.barrier_waiting.entry(id).or_default().push(task);
+                    let coord = NodeId(0);
+                    Transport::STS.send(ctx, coord, 0, Msg::Barrier { id });
+                    return;
+                }
+                Step::Fork {
+                    child,
+                    node,
+                    program,
+                } => {
+                    // fork() is synchronous: the parent suspends until the
+                    // child's address space (and the copy notifications it
+                    // triggers) settle.
+                    self.fork_to(ctx, task, child, node, program);
+                    let st = self.tasks.get_mut(&task).unwrap();
+                    st.status = TaskStatus::WaitingFork;
+                    return;
+                }
+                Step::Done => {
+                    let st = self.tasks.get_mut(&task).unwrap();
+                    st.status = TaskStatus::Done;
+                    st.finished = Some(ctx.now());
+                    self.tasks_done += 1;
+                    ctx.stats().bump("tasks.done");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Translates a task-relative page range to `(object, object range)`.
+    fn resolve_range(&self, task: TaskId, va_page: u64, pages: u32) -> (MemObjId, asvm::PageRange) {
+        let entry = self
+            .vm
+            .address_map(task)
+            .lookup(va_page)
+            .expect("lock range outside mappings");
+        let first = entry.object_page(va_page);
+        let mobj = self
+            .asvm()
+            .mobj_of(entry.object)
+            .expect("range locks need an ASVM-managed region");
+        (
+            mobj,
+            asvm::PageRange {
+                first,
+                count: pages,
+            },
+        )
+    }
+
+    /// Ensures `task` can access `va_page`; on a miss, starts the fault and
+    /// suspends. Returns true if the access may proceed now.
+    fn ensure_access(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        task: TaskId,
+        va_page: u64,
+        access: Access,
+        retry: Step,
+    ) -> bool {
+        if self.vm.can_access(task, va_page, access) {
+            return true;
+        }
+        ctx.stats().bump("faults.raised");
+        let mut fx = machvm::Effects::new();
+        let outcome = self.vm.fault(ctx.now(), task, va_page, access, &mut fx);
+        match outcome {
+            machvm::FaultOutcome::Hit => {
+                self.drain(ctx, fx);
+                true
+            }
+            machvm::FaultOutcome::Pending(_) => {
+                let st = self.tasks.get_mut(&task).unwrap();
+                st.repeat = Some(retry);
+                st.status = TaskStatus::WaitingFault;
+                self.drain(ctx, fx);
+                false
+            }
+        }
+    }
+
+    // --- Fork ----------------------------------------------------------------------
+
+    fn fork_to(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        parent: TaskId,
+        child: TaskId,
+        node: NodeId,
+        program: Box<dyn Program>,
+    ) {
+        ctx.stats().bump("forks");
+        let entries: Vec<machvm::MapEntry> = self.vm.address_map(parent).entries().to_vec();
+        let mut fes: Vec<ForkEntry> = Vec::new();
+        match &self.mgr {
+            Manager::Asvm(_) => {
+                for e in &entries {
+                    match e.inherit {
+                        Inherit::None => {}
+                        Inherit::Share => {
+                            let a = self.asvm();
+                            let mobj = a
+                                .mobj_of(e.object)
+                                .expect("Share-inherited region must be ASVM-managed");
+                            let info = self.obj_info_asvm(mobj);
+                            fes.push(ForkEntry::Share {
+                                va_page: e.va_page,
+                                pages: e.pages,
+                                prot: e.prot,
+                                inherit: e.inherit,
+                                mobj,
+                                info,
+                            });
+                        }
+                        Inherit::Copy => {
+                            let mobj = self.asvmize(ctx, e.object);
+                            let info = self.obj_info_asvm(mobj);
+                            fes.push(ForkEntry::CopyAsvm {
+                                va_page: e.va_page,
+                                pages: e.pages,
+                                prot: e.prot,
+                                source_mobj: mobj,
+                                info,
+                            });
+                        }
+                    }
+                }
+            }
+            Manager::Xmm(_) => {
+                // Snapshot the parent's address space into a pseudo task;
+                // internal pagers serve the copies (paper §2.3.3).
+                let pseudo = self.alloc_pseudo_task();
+                let mut fx = machvm::Effects::new();
+                self.vm.fork_local(ctx.now(), parent, pseudo, &mut fx);
+                self.drain(ctx, fx);
+                for e in &entries {
+                    match e.inherit {
+                        Inherit::None => {}
+                        Inherit::Share => {
+                            let x = self.xmm();
+                            let mobj = x
+                                .mobj_of(e.object)
+                                .expect("Share-inherited region must be XMM-managed");
+                            let xo = x.object(mobj);
+                            let XmmBacking::RealPager { node: pn } = xo.backing else {
+                                panic!("shared mapping of internal-pager object")
+                            };
+                            let info = ObjInfo {
+                                size_pages: xo.size_pages,
+                                home: xo.manager,
+                                pager_node: pn,
+                                cfg: asvm::AsvmConfig::default(),
+                                peer: None,
+                                source: None,
+                            };
+                            fes.push(ForkEntry::Share {
+                                va_page: e.va_page,
+                                pages: e.pages,
+                                prot: e.prot,
+                                inherit: e.inherit,
+                                mobj,
+                                info,
+                            });
+                        }
+                        Inherit::Copy => {
+                            if let Some(m) = self.xmm().mobj_of(e.object) {
+                                // Inherited-memory *chains* are fine (the
+                                // object is backed by an internal pager);
+                                // combining truly shared (real-pager)
+                                // memory with inheritance is NMK13's
+                                // semantic gap and unsupported.
+                                assert!(
+                                    matches!(
+                                        self.xmm().object(m).backing,
+                                        XmmBacking::InternalPager { .. }
+                                    ),
+                                    "NMK13 XMM cannot combine shared and inherited memory \
+                                     (the semantic gap the paper notes)"
+                                );
+                            }
+                            let mobj = self.alloc_mobj();
+                            self.xmm_mut()
+                                .register_internal_pager(mobj, pseudo, e.va_page);
+                            fes.push(ForkEntry::CopyXmm {
+                                va_page: e.va_page,
+                                pages: e.pages,
+                                prot: e.prot,
+                                mobj,
+                                ip_node: self.id,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Transport::NORMA.send(
+            ctx,
+            node,
+            256,
+            Msg::Fork(ForkMsg {
+                child,
+                program,
+                entries: fes,
+                parent_node: self.id,
+                parent_task: parent,
+            }),
+        );
+    }
+
+    fn obj_info_asvm(&self, mobj: MemObjId) -> ObjInfo {
+        let o = self.asvm().object(mobj);
+        ObjInfo {
+            size_pages: o.size_pages,
+            home: o.home,
+            pager_node: o.pager_node,
+            cfg: o.cfg,
+            peer: o.peer,
+            source: o.source,
+        }
+    }
+
+    /// Ensures a VM object is ASVM-managed, assigning it a memory object id
+    /// and adopting its resident pages as owned here.
+    fn asvmize(&mut self, ctx: &mut Ctx<'_, Msg>, obj: VmObjId) -> MemObjId {
+        if let Some(m) = self.asvm().mobj_of(obj) {
+            return m;
+        }
+        let mobj = self.alloc_mobj();
+        let me = self.id;
+        let size = self.vm.object(obj).size_pages;
+        let source_mobj = self
+            .vm
+            .object(obj)
+            .shadow
+            .and_then(|s| self.asvm().mobj_of(s));
+        let pager_node = ctx.machine().io_node_for(me);
+        self.vm.associate(obj, mobj);
+        let mut afx = asvm::Fx::new();
+        self.asvm_mut().register_object(
+            mobj,
+            obj,
+            size,
+            me,
+            pager_node,
+            asvm::AsvmConfig::default(),
+            &mut afx,
+        );
+        // Adopt resident pages: this node owns everything it already has.
+        let resident: Vec<(machvm::PageIdx, Access)> = self
+            .vm
+            .object(obj)
+            .pages
+            .iter()
+            .map(|(p, rp)| (*p, rp.prot))
+            .collect();
+        {
+            let a = self.asvm_mut();
+            asvm::declare_copy_link(a, mobj, source_mobj, source_mobj.map(|_| me));
+            let o = a.object_mut(mobj);
+            for (p, prot) in resident {
+                let mut pi = asvm::PageInfo::new(prot, true, o.version);
+                pi.dirty = true;
+                o.pages.insert(p, pi);
+            }
+        }
+        if let Some(sm) = source_mobj {
+            let a = self.asvm_mut();
+            let src = a.object_mut(sm);
+            if !src.copies.contains(&mobj) {
+                src.copies.push(mobj);
+            }
+        }
+        let mut q = VecDeque::new();
+        self.emit_asvm(ctx, afx, &mut q);
+        while let Some(fx) = q.pop_front() {
+            self.drain(ctx, fx);
+        }
+        mobj
+    }
+
+    /// Child-side fork processing.
+    fn do_fork_child(&mut self, ctx: &mut Ctx<'_, Msg>, fm: ForkMsg) {
+        let child = fm.child;
+        let mut waiting: std::collections::BTreeSet<MemObjId> = Default::default();
+        self.vm.create_task(child);
+        for fe in fm.entries {
+            match fe {
+                ForkEntry::Share {
+                    va_page,
+                    pages,
+                    prot,
+                    inherit,
+                    mobj,
+                    info,
+                } => {
+                    let vo = self.ensure_object(ctx, mobj, &info);
+                    self.vm
+                        .map_object(child, va_page, pages, vo, 0, prot, inherit);
+                }
+                ForkEntry::CopyAsvm {
+                    va_page,
+                    pages,
+                    prot,
+                    source_mobj,
+                    info,
+                } => {
+                    // Paper §3.7: establish a shared mapping of the source,
+                    // then create a local copy through the VM; the resulting
+                    // CopyCreated effect broadcasts the version bump, and
+                    // the fork completes only when every member settled it.
+                    let src_vo = self.ensure_object(ctx, source_mobj, &info);
+                    let mut fx = machvm::Effects::new();
+                    let copy = self.vm.copy_delayed(src_vo, &mut fx);
+                    self.vm
+                        .map_object(child, va_page, pages, copy, 0, prot, Inherit::Copy);
+                    waiting.insert(source_mobj);
+                    self.drain(ctx, fx);
+                }
+                ForkEntry::CopyXmm {
+                    va_page,
+                    pages,
+                    prot,
+                    mobj,
+                    ip_node,
+                } => {
+                    let vo = self
+                        .vm
+                        .create_object(pages, machvm::Backing::External(mobj));
+                    self.xmm_mut().register_object(
+                        mobj,
+                        vo,
+                        pages,
+                        ip_node,
+                        XmmBacking::InternalPager { node: ip_node },
+                    );
+                    self.vm
+                        .map_object(child, va_page, pages, vo, 0, prot, Inherit::Copy);
+                }
+            }
+        }
+        let df = DeferredFork {
+            child,
+            program: fm.program,
+            waiting,
+            parent_node: fm.parent_node,
+            parent_task: fm.parent_task,
+        };
+        if df.waiting.is_empty() {
+            self.complete_fork(ctx, df);
+        } else {
+            self.deferred_forks.push(df);
+        }
+    }
+
+    /// Ensures the local representation of `mobj` exists; returns its VM
+    /// object.
+    fn ensure_object(&mut self, ctx: &mut Ctx<'_, Msg>, mobj: MemObjId, info: &ObjInfo) -> VmObjId {
+        match &mut self.mgr {
+            Manager::Asvm(a) => {
+                if let Some(o) = a.objects().find(|o| o.mobj == mobj) {
+                    return o.vm_obj;
+                }
+                let vo = self
+                    .vm
+                    .create_object(info.size_pages, machvm::Backing::External(mobj));
+                let mut afx = asvm::Fx::new();
+                let Manager::Asvm(a) = &mut self.mgr else {
+                    unreachable!()
+                };
+                a.register_object(
+                    mobj,
+                    vo,
+                    info.size_pages,
+                    info.home,
+                    info.pager_node,
+                    info.cfg,
+                    &mut afx,
+                );
+                asvm::declare_copy_link(a, mobj, info.source, info.peer);
+                let mut q = VecDeque::new();
+                self.emit_asvm(ctx, afx, &mut q);
+                while let Some(fx) = q.pop_front() {
+                    self.drain(ctx, fx);
+                }
+                vo
+            }
+            Manager::Xmm(x) => {
+                if let Some(m) = x.has_object(mobj).then(|| x.object(mobj).vm_obj) {
+                    return m;
+                }
+                let vo = self
+                    .vm
+                    .create_object(info.size_pages, machvm::Backing::External(mobj));
+                let Manager::Xmm(x) = &mut self.mgr else {
+                    unreachable!()
+                };
+                x.register_object(
+                    mobj,
+                    vo,
+                    info.size_pages,
+                    info.home,
+                    XmmBacking::RealPager {
+                        node: info.pager_node,
+                    },
+                );
+                vo
+            }
+        }
+    }
+
+    // --- Pageout --------------------------------------------------------------------
+
+    fn pageout(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let mut guard = 0u32;
+        while self.vm.over_capacity() > 0 {
+            guard += 1;
+            if guard > 4096 {
+                break; // Nothing evictable right now; try after the next event.
+            }
+            let Some((obj, page)) = self.vm.select_victim() else {
+                break;
+            };
+            ctx.stats().bump("pageouts");
+            let mut fx = machvm::Effects::new();
+            self.vm.evict(ctx.now(), obj, page, &mut fx);
+            self.drain(ctx, fx);
+        }
+    }
+}
+
+/// Payload size of an EMMI call on the wire.
+fn pager_payload(call: &EmmiToPager, page_size: u32) -> u32 {
+    match call {
+        EmmiToPager::DataReturn { .. } => page_size,
+        _ => 0,
+    }
+}
+
+impl NodeBehavior<Msg> for ClusterNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+        match msg {
+            Msg::Asvm { from, msg } => {
+                let mut afx = asvm::Fx::new();
+                let Manager::Asvm(a) = &mut self.mgr else {
+                    panic!("ASVM message on XMM cluster")
+                };
+                a.handle_msg(ctx.now(), &mut self.vm, from, msg, &mut afx);
+                let mut q = VecDeque::new();
+                self.emit_asvm(ctx, afx, &mut q);
+                while let Some(fx) = q.pop_front() {
+                    self.drain(ctx, fx);
+                }
+            }
+            Msg::Xmm(m) => {
+                let mut xfx = xmm::Fx::new();
+                let Manager::Xmm(x) = &mut self.mgr else {
+                    panic!("XMM message on ASVM cluster")
+                };
+                x.handle_msg(ctx.now(), &mut self.vm, m, &mut xfx);
+                let mut q = VecDeque::new();
+                self.emit_xmm(ctx, xfx, &mut q);
+                while let Some(fx) = q.pop_front() {
+                    self.drain(ctx, fx);
+                }
+            }
+            Msg::PagerReq(pin) => {
+                let cost = ctx.machine().config.cost.pager_handle;
+                ctx.charge_msg_cpu(cost);
+                let ps = self.vm.page_size();
+                let outs = {
+                    // The disk closure borrows ctx; split pagers out first.
+                    let now = ctx.now();
+                    if pin.mobj == MemObjId(0) {
+                        let pgr = self
+                            .default_pager
+                            .as_mut()
+                            .expect("default pager request on compute node");
+                        let mut disk = |op, pos, len| ctx.disk_access(op, pos, len);
+                        pgr.handle(now, pin, &mut disk)
+                    } else {
+                        let pgr = self
+                            .file_pager
+                            .as_mut()
+                            .expect("file pager request on compute node");
+                        let mut disk = |op, pos, len| ctx.disk_access(op, pos, len);
+                        pgr.handle(now, pin, &mut disk)
+                    }
+                };
+                for out in outs {
+                    let payload = match &out.reply {
+                        EmmiToKernel::DataSupply { .. } => ps,
+                        _ => 0,
+                    };
+                    let costs = Transport::NORMA.costs(&ctx.machine().config.cost, payload);
+                    ctx.stats().bump(Transport::NORMA.stat_key());
+                    if payload > 0 {
+                        ctx.stats().bump("norma.page_messages");
+                    }
+                    ctx.send_after(
+                        out.ready_at,
+                        out.to_node,
+                        costs,
+                        Msg::PagerReply {
+                            obj: out.obj,
+                            reply: out.reply,
+                        },
+                    );
+                }
+            }
+            Msg::PagerReply { obj, reply } => {
+                let managed_asvm =
+                    matches!(&self.mgr, Manager::Asvm(a) if a.mobj_of(obj).is_some());
+                let managed_xmm = matches!(&self.mgr, Manager::Xmm(x) if x.mobj_of(obj).is_some());
+                if managed_asvm {
+                    let mut afx = asvm::Fx::new();
+                    let Manager::Asvm(a) = &mut self.mgr else {
+                        unreachable!()
+                    };
+                    a.on_pager_reply(ctx.now(), &mut self.vm, obj, reply, &mut afx);
+                    let mut q = VecDeque::new();
+                    self.emit_asvm(ctx, afx, &mut q);
+                    while let Some(fx) = q.pop_front() {
+                        self.drain(ctx, fx);
+                    }
+                } else if managed_xmm {
+                    let mut xfx = xmm::Fx::new();
+                    let Manager::Xmm(x) = &mut self.mgr else {
+                        unreachable!()
+                    };
+                    x.on_pager_reply(ctx.now(), &mut self.vm, obj, reply, &mut xfx);
+                    let mut q = VecDeque::new();
+                    self.emit_xmm(ctx, xfx, &mut q);
+                    while let Some(fx) = q.pop_front() {
+                        self.drain(ctx, fx);
+                    }
+                } else {
+                    // Plain anonymous memory refetched from the default pager.
+                    let mut fx = machvm::Effects::new();
+                    self.vm.kernel_call(ctx.now(), obj, reply, &mut fx);
+                    self.drain(ctx, fx);
+                }
+            }
+            Msg::Resume(task) => {
+                if let Some(st) = self.tasks.get_mut(&task) {
+                    if st.status == TaskStatus::WaitingFault {
+                        st.status = TaskStatus::Running;
+                    }
+                    self.run_task(ctx, task);
+                }
+            }
+            Msg::Fork(fm) => {
+                self.do_fork_child(ctx, fm);
+            }
+            Msg::ForkDone { parent_task } => {
+                if let Some(st) = self.tasks.get_mut(&parent_task) {
+                    if st.status == TaskStatus::WaitingFork {
+                        st.status = TaskStatus::Running;
+                    }
+                    self.run_task(ctx, parent_task);
+                }
+            }
+            Msg::Barrier { id } => {
+                assert_eq!(self.id, NodeId(0), "barrier messages go to node 0");
+                let c = self.barrier_counts.entry(id).or_insert(0);
+                *c += 1;
+                if *c >= self.barrier_parties {
+                    self.barrier_counts.remove(&id);
+                    for n in ctx.machine().compute_nodes().collect::<Vec<_>>() {
+                        if n == self.id {
+                            let now = ctx.now();
+                            ctx.post_self(now, Msg::BarrierGo { id });
+                        } else {
+                            Transport::STS.send(ctx, n, 0, Msg::BarrierGo { id });
+                        }
+                    }
+                }
+            }
+            Msg::BarrierGo { id } => {
+                let tasks = self.barrier_waiting.remove(&id).unwrap_or_default();
+                for t in tasks {
+                    if let Some(st) = self.tasks.get_mut(&t) {
+                        if st.status == TaskStatus::WaitingBarrier(id) {
+                            st.status = TaskStatus::Running;
+                        }
+                    }
+                    self.run_task(ctx, t);
+                }
+            }
+        }
+        self.pageout(ctx);
+    }
+}

@@ -1,0 +1,119 @@
+//! Programs: the unit of application code the task driver executes.
+//!
+//! A [`Program`] is a resumable sequence of [`Step`]s. The driver executes
+//! steps until one cannot complete (page fault, barrier, compute delay),
+//! suspends the task, and re-executes the *same* step when the blocking
+//! condition resolves — exactly how a faulting instruction restarts.
+
+use machvm::{Access, TaskId};
+use svmsim::{Dur, NodeId, Time};
+
+/// Execution context handed to [`Program::step`].
+#[derive(Debug)]
+pub struct TaskEnv {
+    /// The running task.
+    pub task: TaskId,
+    /// The node it runs on.
+    pub node: NodeId,
+    /// Current simulated time.
+    pub now: Time,
+    /// Stamp read by the most recent [`Step::Read`].
+    pub last_read: Option<u64>,
+}
+
+/// One step of application behaviour.
+pub enum Step {
+    /// Burn compute time on the node's application processor.
+    Compute(Dur),
+    /// Touch a page with the given access (fault if needed, no data).
+    Touch {
+        /// Virtual page.
+        va_page: u64,
+        /// Access kind.
+        access: Access,
+    },
+    /// Read the page's stamp into `env.last_read` (fault for read first).
+    Read {
+        /// Virtual page.
+        va_page: u64,
+    },
+    /// Overwrite the page's stamp (fault for write first).
+    Write {
+        /// Virtual page.
+        va_page: u64,
+        /// New stamp.
+        value: u64,
+    },
+    /// Wait until every participating task reaches barrier `id`.
+    Barrier(u32),
+    /// Acquire an exclusive lock on a page range of the mapped shared
+    /// region (ASVM §6 future work); suspends until granted.
+    LockRange {
+        /// First virtual page of the range.
+        va_page: u64,
+        /// Length in pages.
+        pages: u32,
+    },
+    /// Release a previously acquired range lock.
+    UnlockRange {
+        /// First virtual page of the range.
+        va_page: u64,
+        /// Length in pages.
+        pages: u32,
+    },
+    /// Fork a child task onto another node (Mach `task_create` with
+    /// inheritance semantics on every mapped region).
+    Fork {
+        /// The child's task id (caller-chosen, globally unique).
+        child: TaskId,
+        /// Destination node.
+        node: NodeId,
+        /// Program the child runs.
+        program: Box<dyn Program>,
+    },
+    /// The program is finished.
+    Done,
+}
+
+/// A resumable application program.
+pub trait Program {
+    /// Produces the next step. Called again only after the previous step
+    /// fully completed; a step that faults is retried transparently by the
+    /// driver without a new `step` call.
+    fn step(&mut self, env: &mut TaskEnv) -> Step;
+}
+
+impl std::fmt::Debug for dyn Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<program>")
+    }
+}
+
+/// A program built from a closure returning steps (handy in tests).
+pub struct FnProgram<F: FnMut(&mut TaskEnv) -> Step>(pub F);
+
+impl<F: FnMut(&mut TaskEnv) -> Step> Program for FnProgram<F> {
+    fn step(&mut self, env: &mut TaskEnv) -> Step {
+        (self.0)(env)
+    }
+}
+
+/// A program that executes a fixed list of steps, then `Done`.
+pub struct ScriptProgram {
+    steps: std::vec::IntoIter<Step>,
+}
+
+impl ScriptProgram {
+    /// Wraps a step list.
+    pub fn new(steps: Vec<Step>) -> ScriptProgram {
+        ScriptProgram {
+            steps: steps.into_iter(),
+        }
+    }
+}
+
+impl Program for ScriptProgram {
+    fn step(&mut self, _env: &mut TaskEnv) -> Step {
+        self.steps.next().unwrap_or(Step::Done)
+    }
+}

@@ -1,0 +1,342 @@
+//! Single-system-image facade: the public API harnesses and examples use
+//! to build a cluster, create tasks and memory objects, and run programs.
+
+use asvm::{AsvmConfig, AsvmNode};
+use machvm::{Access, Inherit, MemObjId, TaskId, VmObjId, VmSystem};
+use svmsim::{EventBudgetExceeded, Machine, MachineConfig, NodeId, Stats, Time, World};
+use xmm::{XmmBacking, XmmNode};
+
+use crate::msg::Msg;
+use crate::node::{ClusterNode, Manager};
+use crate::program::Program;
+
+/// Which distributed memory manager the cluster runs.
+#[derive(Clone, Copy, Debug)]
+pub enum ManagerKind {
+    /// The paper's contribution, with its forwarding configuration.
+    Asvm(AsvmConfig),
+    /// The NMK13 baseline, with its internal-pager thread pool size.
+    Xmm {
+        /// Copy-pager threads per node.
+        copy_threads: usize,
+    },
+}
+
+impl ManagerKind {
+    /// ASVM with default forwarding.
+    pub fn asvm() -> ManagerKind {
+        ManagerKind::Asvm(AsvmConfig::default())
+    }
+
+    /// XMM with the default thread pool.
+    pub fn xmm() -> ManagerKind {
+        ManagerKind::Xmm { copy_threads: 16 }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ManagerKind::Asvm(_) => "ASVM",
+            ManagerKind::Xmm { .. } => "XMM",
+        }
+    }
+}
+
+/// A running single-system-image cluster.
+///
+/// # Examples
+///
+/// Two nodes share a memory object; a write on one is read on the other:
+///
+/// ```
+/// use cluster::{ManagerKind, ScriptProgram, Ssi, Step};
+/// use machvm::{Access, Inherit};
+/// use svmsim::NodeId;
+///
+/// let mut ssi = Ssi::new(2, ManagerKind::asvm(), 42);
+/// let mobj = ssi.create_object(NodeId(0), 4, false);
+/// let writer = ssi.alloc_task();
+/// let reader = ssi.alloc_task();
+/// ssi.map_shared(writer, NodeId(0), 0, mobj, NodeId(0), 4, Access::Write, Inherit::Share);
+/// ssi.map_shared(reader, NodeId(1), 0, mobj, NodeId(0), 4, Access::Write, Inherit::Share);
+/// ssi.finalize();
+/// ssi.set_barrier_parties(2);
+///
+/// ssi.spawn(NodeId(0), writer, Box::new(ScriptProgram::new(vec![
+///     Step::Write { va_page: 0, value: 7 },
+///     Step::Barrier(1),
+///     Step::Done,
+/// ])));
+/// ssi.spawn(NodeId(1), reader, Box::new(ScriptProgram::new(vec![
+///     Step::Barrier(1),
+///     Step::Read { va_page: 0 },
+///     Step::Done,
+/// ])));
+///
+/// ssi.run(1_000_000).unwrap();
+/// assert!(ssi.all_done());
+/// assert_eq!(ssi.node(NodeId(1)).vm.peek_task_page(reader, 0), Some(7));
+/// ```
+pub struct Ssi {
+    /// The underlying simulation world.
+    pub world: World<ClusterNode, Msg>,
+    kind: ManagerKind,
+    next_mobj: u32,
+    next_task: u32,
+    /// Stripe sets for striped objects (§6 future work).
+    striped: std::collections::BTreeMap<MemObjId, Vec<NodeId>>,
+}
+
+impl Ssi {
+    /// Builds a Paragon-like cluster with `compute_nodes` compute nodes.
+    pub fn new(compute_nodes: u16, kind: ManagerKind, seed: u64) -> Ssi {
+        Ssi::with_machine(MachineConfig::paragon(compute_nodes), kind, seed)
+    }
+
+    /// Builds a cluster from an explicit machine configuration.
+    pub fn with_machine(cfg: MachineConfig, kind: ManagerKind, seed: u64) -> Ssi {
+        let machine = Machine::new(cfg);
+        let world = World::new(machine, seed, |id, m| {
+            let cost = m.config.cost.clone();
+            let capacity = m.config.user_pages_per_node();
+            let vm = VmSystem::new(m.config.page_size, capacity, cost.clone());
+            let mgr = match kind {
+                ManagerKind::Asvm(acfg) => {
+                    let _ = acfg;
+                    Manager::Asvm(AsvmNode::new(id, cost))
+                }
+                ManagerKind::Xmm { copy_threads } => {
+                    Manager::Xmm(XmmNode::new(id, cost, copy_threads))
+                }
+            };
+            ClusterNode::new(id, vm, mgr, m.kind(id), m.config.page_size)
+        });
+        Ssi {
+            world,
+            kind,
+            next_mobj: 1,
+            next_task: 1,
+            striped: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The manager kind this cluster runs.
+    pub fn kind(&self) -> ManagerKind {
+        self.kind
+    }
+
+    /// Allocates a fresh task id.
+    pub fn alloc_task(&mut self) -> TaskId {
+        let t = TaskId(self.next_task);
+        self.next_task += 1;
+        t
+    }
+
+    /// Creates a memory object of `size_pages` homed on `home`, backed by a
+    /// file on `home`'s I/O node (`populated` files have on-disk contents;
+    /// unpopulated ones zero-fill without I/O). Returns its id.
+    pub fn create_object(&mut self, home: NodeId, size_pages: u32, populated: bool) -> MemObjId {
+        let mobj = MemObjId(self.next_mobj);
+        self.next_mobj += 1;
+        let io = self.world.machine().io_node_for(home);
+        self.world
+            .node_mut(io)
+            .file_pager
+            .as_mut()
+            .expect("I/O node must have a file pager")
+            .create_file(mobj, size_pages, populated);
+        mobj
+    }
+
+    /// The I/O node and pager backing `mobj` created via
+    /// [`Ssi::create_object`] from `home`.
+    pub fn pager_node_for(&self, home: NodeId) -> NodeId {
+        self.world.machine().io_node_for(home)
+    }
+
+    /// Creates a memory object striped round-robin over `stripes` I/O
+    /// nodes (§6 future work: one pager per I/O node, used per page).
+    /// Requires a machine with at least that many I/O nodes (ASVM only).
+    pub fn create_striped_object(
+        &mut self,
+        size_pages: u32,
+        populated: bool,
+        stripes: u16,
+    ) -> MemObjId {
+        assert!(
+            matches!(self.kind, ManagerKind::Asvm(_)),
+            "striped objects require ASVM (XMM has a single pager per object)"
+        );
+        let io: Vec<NodeId> = self.world.machine().io_nodes().collect();
+        assert!(
+            stripes as usize <= io.len(),
+            "need {stripes} I/O nodes, machine has {}",
+            io.len()
+        );
+        let mobj = MemObjId(self.next_mobj);
+        self.next_mobj += 1;
+        let set: Vec<NodeId> = io.into_iter().take(stripes as usize).collect();
+        for n in &set {
+            self.world
+                .node_mut(*n)
+                .file_pager
+                .as_mut()
+                .expect("I/O node must have a file pager")
+                .create_striped_file(mobj, size_pages, populated, stripes as u32);
+        }
+        self.striped.insert(mobj, set);
+        mobj
+    }
+
+    /// Maps `mobj` into `task`'s address space on `node` (setup time).
+    ///
+    /// The local kernel and manager representations are created on first
+    /// use; call [`Ssi::finalize`] once after all setup maps so membership
+    /// lists are consistent before the simulation runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_shared(
+        &mut self,
+        task: TaskId,
+        node: NodeId,
+        va_page: u64,
+        mobj: MemObjId,
+        home: NodeId,
+        size_pages: u32,
+        prot: Access,
+        inherit: Inherit,
+    ) {
+        let pager_node = self.world.machine().io_node_for(home);
+        let kind = self.kind;
+        let stripe = self.striped.get(&mobj).cloned();
+        let n = self.world.node_mut(node);
+        if !n.vm.has_task(task) {
+            n.vm.create_task(task);
+        }
+        let vo = Self::ensure_setup_object(n, kind, mobj, home, pager_node, size_pages);
+        if let (Some(set), Manager::Asvm(a)) = (stripe, &mut n.mgr) {
+            a.object_mut(mobj).stripe = set;
+        }
+        n.vm.map_object(task, va_page, size_pages, vo, 0, prot, inherit);
+    }
+
+    fn ensure_setup_object(
+        n: &mut ClusterNode,
+        kind: ManagerKind,
+        mobj: MemObjId,
+        home: NodeId,
+        pager_node: NodeId,
+        size_pages: u32,
+    ) -> VmObjId {
+        match (&mut n.mgr, kind) {
+            (Manager::Asvm(a), ManagerKind::Asvm(cfg)) => {
+                if let Some(o) = a.objects().find(|o| o.mobj == mobj) {
+                    return o.vm_obj;
+                }
+                let vo =
+                    n.vm.create_object(size_pages, machvm::Backing::External(mobj));
+                // Setup-time registration: membership is fixed by finalize,
+                // so the MapNotify effect is dropped.
+                let mut afx = asvm::Fx::new();
+                a.register_object(mobj, vo, size_pages, home, pager_node, cfg, &mut afx);
+                vo
+            }
+            (Manager::Xmm(x), ManagerKind::Xmm { .. }) => {
+                if x.has_object(mobj) {
+                    return x.object(mobj).vm_obj;
+                }
+                let vo =
+                    n.vm.create_object(size_pages, machvm::Backing::External(mobj));
+                x.register_object(
+                    mobj,
+                    vo,
+                    size_pages,
+                    home,
+                    XmmBacking::RealPager { node: pager_node },
+                );
+                vo
+            }
+            _ => unreachable!("manager kind mismatch"),
+        }
+    }
+
+    /// Fixes up ASVM membership lists after setup-time mapping: every
+    /// object's member set becomes exactly the nodes that registered it.
+    pub fn finalize(&mut self) {
+        if !matches!(self.kind, ManagerKind::Asvm(_)) {
+            return;
+        }
+        // Collect membership per object.
+        let mut members: std::collections::BTreeMap<MemObjId, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for id in self.world.machine().mesh.node_ids().collect::<Vec<_>>() {
+            let n = self.world.node(id);
+            if let Manager::Asvm(a) = &n.mgr {
+                for o in a.objects() {
+                    members.entry(o.mobj).or_default().push(id);
+                }
+            }
+        }
+        for id in self.world.machine().mesh.node_ids().collect::<Vec<_>>() {
+            let n = self.world.node_mut(id);
+            if let Manager::Asvm(a) = &mut n.mgr {
+                let objs: Vec<MemObjId> = a.objects().map(|o| o.mobj).collect();
+                for m in objs {
+                    if let Some(list) = members.get(&m) {
+                        a.object_mut(m).nodes = list.clone();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Switches the transport carrying ASVM protocol traffic (the
+    /// transport ablation: identical state machines over NORMA-IPC).
+    pub fn set_asvm_transport(&mut self, t: transport::Transport) {
+        for id in self.world.machine().mesh.node_ids().collect::<Vec<_>>() {
+            self.world.node_mut(id).asvm_transport = t;
+        }
+    }
+
+    /// Sets how many tasks participate in each barrier.
+    pub fn set_barrier_parties(&mut self, parties: u32) {
+        self.world.node_mut(NodeId(0)).barrier_parties = parties;
+    }
+
+    /// Installs `program` as task `task` on `node` and schedules it to
+    /// start at time `at`.
+    pub fn spawn_at(&mut self, at: Time, node: NodeId, task: TaskId, program: Box<dyn Program>) {
+        let now = self.world.now();
+        self.world.node_mut(node).install_task(task, program, now);
+        self.world.post(at.max(now), node, Msg::Resume(task));
+    }
+
+    /// Installs and starts `program` immediately.
+    pub fn spawn(&mut self, node: NodeId, task: TaskId, program: Box<dyn Program>) {
+        let now = self.world.now();
+        self.spawn_at(now, node, task, program);
+    }
+
+    /// Runs the cluster until every event drains.
+    pub fn run(&mut self, budget: u64) -> Result<Time, EventBudgetExceeded> {
+        self.world.run_to_quiescence(budget)
+    }
+
+    /// Gathered statistics.
+    pub fn stats(&self) -> &Stats {
+        self.world.stats()
+    }
+
+    /// A node, for inspection.
+    pub fn node(&self, id: NodeId) -> &ClusterNode {
+        self.world.node(id)
+    }
+
+    /// True if every installed task on every node finished.
+    pub fn all_done(&self) -> bool {
+        self.world
+            .machine()
+            .mesh
+            .node_ids()
+            .all(|id| self.world.node(id).all_tasks_done())
+    }
+}

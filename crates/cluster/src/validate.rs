@@ -1,0 +1,151 @@
+//! Cross-node invariant checking for quiescent clusters.
+//!
+//! These checks encode the paper's structural invariants (§3.4–§3.6) and
+//! are called by the integration tests after every run:
+//!
+//! * at most one owner per page, system-wide;
+//! * the single-writer-XOR-multiple-readers rule;
+//! * page state only for resident pages (state tied to physical memory);
+//! * no stranded work: no pending requests, parked fills, queued lock
+//!   waiters or manager transactions survive quiescence.
+
+use machvm::MemObjId;
+
+use crate::node::Manager;
+use crate::ssi::Ssi;
+
+/// Checks every ASVM invariant on a quiescent cluster, for every object.
+///
+/// # Panics
+///
+/// Panics with a diagnostic if any invariant is violated.
+pub fn check_asvm_invariants(ssi: &Ssi) {
+    let nodes: Vec<_> = ssi.world.machine().mesh.node_ids().collect();
+    // Collect object ids from every node.
+    let mut objects: Vec<MemObjId> = Vec::new();
+    for id in &nodes {
+        if let Manager::Asvm(a) = &ssi.world.node(*id).mgr {
+            for o in a.objects() {
+                if !objects.contains(&o.mobj) {
+                    objects.push(o.mobj);
+                }
+            }
+        }
+    }
+    for mobj in objects {
+        let mut owners: Vec<(svmsim::NodeId, machvm::PageIdx)> = Vec::new();
+        for id in &nodes {
+            let node = ssi.world.node(*id);
+            let Manager::Asvm(a) = &node.mgr else {
+                continue;
+            };
+            if !a.has_object(mobj) {
+                continue;
+            }
+            let o = a.object(mobj);
+            assert!(
+                o.pending.is_empty(),
+                "{id}: {mobj:?} has pending requests at quiescence: {:?}",
+                o.pending
+            );
+            assert!(
+                o.fill_waiters.is_empty(),
+                "{id}: {mobj:?} has parked requests at quiescence"
+            );
+            assert!(
+                o.static_waiting.is_empty(),
+                "{id}: {mobj:?} has requests stranded at the static manager"
+            );
+            assert!(
+                o.static_filling.is_empty(),
+                "{id}: {mobj:?} has pager fills that never completed"
+            );
+            assert!(
+                o.pull_in_flight.is_empty(),
+                "{id}: {mobj:?} has pulls that never completed"
+            );
+            assert!(
+                o.copy_settles.is_empty(),
+                "{id}: {mobj:?} has unsettled copy notifications"
+            );
+            for (page, pi) in &o.pages {
+                assert!(
+                    pi.busy.is_none(),
+                    "{id}: {mobj:?} {page:?} still busy at quiescence: {:?}",
+                    pi.busy
+                );
+                assert!(
+                    pi.queued.is_empty(),
+                    "{id}: {mobj:?} {page:?} has queued requests at quiescence"
+                );
+                // State tied to residency (paper §3.1/§3.4).
+                assert!(
+                    node.vm.object(o.vm_obj).resident(*page),
+                    "{id}: {mobj:?} holds state for non-resident {page:?}"
+                );
+                if pi.owner {
+                    owners.push((*id, *page));
+                }
+            }
+        }
+        // At most one owner per page.
+        let mut seen = std::collections::BTreeSet::new();
+        for (id, page) in &owners {
+            assert!(
+                seen.insert(*page),
+                "two owners for {mobj:?} {page:?} (second on {id})"
+            );
+        }
+        // Single writer XOR multiple readers: if any node holds write
+        // access, nobody else holds the page.
+        for id in &nodes {
+            let node = ssi.world.node(*id);
+            let Manager::Asvm(a) = &node.mgr else {
+                continue;
+            };
+            if !a.has_object(mobj) {
+                continue;
+            }
+            let o = a.object(mobj);
+            for (page, pi) in &o.pages {
+                if pi.access == machvm::Access::Write {
+                    for other in &nodes {
+                        if other == id {
+                            continue;
+                        }
+                        let onode = ssi.world.node(*other);
+                        let Manager::Asvm(oa) = &onode.mgr else {
+                            continue;
+                        };
+                        if let Some(opi) = oa.page_info(mobj, *page) {
+                            panic!(
+                                "{id} holds {mobj:?} {page:?} writable while {other} \
+                                 also holds it ({:?})",
+                                opi.access
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks the XMM counterpart: no stranded manager transactions or
+/// internal-pager work at quiescence.
+///
+/// # Panics
+///
+/// Panics with a diagnostic if any check fails.
+pub fn check_xmm_invariants(ssi: &Ssi) {
+    for id in ssi.world.machine().mesh.node_ids().collect::<Vec<_>>() {
+        let node = ssi.world.node(id);
+        let Manager::Xmm(x) = &node.mgr else { continue };
+        assert_eq!(
+            x.thread_queue_len(),
+            0,
+            "{id}: internal-pager requests still queued (deadlock?)"
+        );
+        assert_eq!(node.vm.pending_faults(), 0, "{id}: faults never completed");
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-object ASVM configuration.
+
+/// Forwarding and cache configuration, settable per memory object.
+///
+/// The paper: *"The ASVM system allows to disable either dynamic or static
+/// forwarding (or both) on a memory-object basis. This provides great
+/// flexibility. If only static and global forwarding are enabled, the
+/// behavior of the ASVM system is identical to Kai Li's fixed distributed
+/// manager approach. Enabling dynamic forwarding makes the ASVM system
+/// resemble the dynamic manager approach."* Global forwarding is always
+/// available as the final fallback.
+#[derive(Clone, Copy, Debug)]
+pub struct AsvmConfig {
+    /// Consult and maintain per-node dynamic ownership hint caches.
+    pub dynamic_forwarding: bool,
+    /// Consult the fixed distributed ownership managers' caches.
+    pub static_forwarding: bool,
+    /// Capacity of each node's dynamic hint cache, in entries.
+    pub dynamic_cache_entries: usize,
+    /// Capacity of each static ownership manager's cache, in entries
+    /// (effectively multiplied by the node count, since the static cache is
+    /// distributed across all static managers).
+    pub static_cache_entries: usize,
+    /// Read clustering (§6 future work): on a read fault, also request this
+    /// many following pages so sequential scans stream instead of paying a
+    /// round trip per page. Zero disables it (the paper's measured system).
+    pub readahead: u32,
+}
+
+impl Default for AsvmConfig {
+    fn default() -> AsvmConfig {
+        AsvmConfig {
+            dynamic_forwarding: true,
+            static_forwarding: true,
+            dynamic_cache_entries: 4096,
+            static_cache_entries: 4096,
+            readahead: 0,
+        }
+    }
+}
+
+impl AsvmConfig {
+    /// Kai Li's fixed distributed manager: static + global only.
+    pub fn fixed_distributed() -> AsvmConfig {
+        AsvmConfig {
+            dynamic_forwarding: false,
+            ..AsvmConfig::default()
+        }
+    }
+
+    /// Dynamic-manager-like behaviour: dynamic hints backed by global only.
+    pub fn dynamic_only() -> AsvmConfig {
+        AsvmConfig {
+            static_forwarding: false,
+            ..AsvmConfig::default()
+        }
+    }
+
+    /// Global forwarding only (minimum memory, maximum forwarding cost).
+    pub fn global_only() -> AsvmConfig {
+        AsvmConfig {
+            dynamic_forwarding: false,
+            static_forwarding: false,
+            ..AsvmConfig::default()
+        }
+    }
+
+    /// With read clustering enabled (§6 future work).
+    pub fn with_readahead(pages: u32) -> AsvmConfig {
+        AsvmConfig {
+            readahead: pages,
+            ..AsvmConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_toggle_strategies() {
+        let d = AsvmConfig::default();
+        assert!(d.dynamic_forwarding && d.static_forwarding);
+        let f = AsvmConfig::fixed_distributed();
+        assert!(!f.dynamic_forwarding && f.static_forwarding);
+        let g = AsvmConfig::global_only();
+        assert!(!g.dynamic_forwarding && !g.static_forwarding);
+    }
+}

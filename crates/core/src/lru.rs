@@ -1,0 +1,151 @@
+//! A small exact-LRU cache used for ownership hints.
+//!
+//! ASVM's dynamic and static forwarding information lives in caches "for
+//! the most recently accessed pages" (paper §3.4, FIGURE 6); capacity
+//! bounds are what keep ASVM's memory requirements independent of address
+//! space size. Lookups refresh recency; inserts evict the least recently
+//! used entry when full.
+
+use std::collections::BTreeMap;
+
+/// An exact LRU cache with `O(log n)` operations.
+#[derive(Clone, Debug)]
+pub struct Lru<K: Ord + Copy, V> {
+    cap: usize,
+    tick: u64,
+    map: BTreeMap<K, (u64, V)>,
+    by_age: BTreeMap<u64, K>,
+    evictions: u64,
+}
+
+impl<K: Ord + Copy, V> Lru<K, V> {
+    /// Creates a cache holding at most `cap` entries (`cap == 0` disables
+    /// the cache entirely: inserts are dropped).
+    pub fn new(cap: usize) -> Lru<K, V> {
+        Lru {
+            cap,
+            tick: 0,
+            map: BTreeMap::new(),
+            by_age: BTreeMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `k`, refreshing its recency.
+    pub fn get(&mut self, k: &K) -> Option<&V> {
+        let tick = self.next_tick();
+        let (age, _) = self.map.get_mut(k)?;
+        self.by_age.remove(age);
+        *age = tick;
+        self.by_age.insert(tick, *k);
+        self.map.get(k).map(|(_, v)| v)
+    }
+
+    /// Looks up `k` without refreshing recency.
+    pub fn peek(&self, k: &K) -> Option<&V> {
+        self.map.get(k).map(|(_, v)| v)
+    }
+
+    /// Inserts or updates `k`, evicting the LRU entry if over capacity.
+    pub fn insert(&mut self, k: K, v: V) {
+        if self.cap == 0 {
+            return;
+        }
+        let tick = self.next_tick();
+        if let Some((age, _)) = self.map.get(&k) {
+            self.by_age.remove(age);
+        }
+        self.map.insert(k, (tick, v));
+        self.by_age.insert(tick, k);
+        while self.map.len() > self.cap {
+            let (&oldest, &victim) = self.by_age.iter().next().expect("len > 0");
+            self.by_age.remove(&oldest);
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Removes `k`.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        let (age, v) = self.map.remove(k)?;
+        self.by_age.remove(&age);
+        Some(v)
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total evictions so far — non-zero means forwarding information may
+    /// have been lost and fallback strategies can kick in.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = Lru::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(&1), Some(&"a")); // refresh 1
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.peek(&2), None);
+        assert_eq!(c.peek(&1), Some(&"a"));
+        assert_eq!(c.peek(&3), Some(&"c"));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn update_refreshes_and_replaces() {
+        let mut c = Lru::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(1, "a2"); // refresh + replace
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.peek(&1), Some(&"a2"));
+        assert_eq!(c.peek(&2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = Lru::new(0);
+        c.insert(1, "a");
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut c = Lru::new(4);
+        c.insert(1, "a");
+        assert_eq!(c.remove(&1), Some("a"));
+        assert_eq!(c.remove(&1), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_refresh() {
+        let mut c = Lru::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.peek(&1), Some(&"a")); // no refresh
+        c.insert(3, "c"); // evicts 1 (peek did not refresh it)
+        assert_eq!(c.peek(&1), None);
+    }
+}

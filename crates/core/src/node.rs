@@ -1,0 +1,1927 @@
+//! The per-node ASVM instance: request redirector, page state machine and
+//! internode paging.
+//!
+//! One [`AsvmNode`] lives next to each node's [`VmSystem`]. Requests from
+//! the local VM enter through [`AsvmNode::handle_emmi`]; protocol messages
+//! from peer instances through [`AsvmNode::handle_msg`]; pager replies
+//! through [`AsvmNode::on_pager_reply`]; and evictions through
+//! [`AsvmNode::evict_external`]. Every transition is asynchronous — no call
+//! ever waits; continuation state lives in [`PageInfo::busy`] and the
+//! queues, per the paper's "asynchronous state transitions" design rule.
+//!
+//! The request redirector implements the three forwarding strategies of
+//! §3.4 layered as fallbacks: dynamic ownership hints, the fixed
+//! distributed (static) ownership manager with `fresh`/`paged` hints, and
+//! the global walk over all nodes that map the object. Pager-bound
+//! requests always serialize through the page's static manager so that two
+//! concurrent first-touch faults cannot mint two owners.
+
+use machvm::{
+    Access, EmmiToKernel, EmmiToPager, LockMode, LockOp, MemObjId, PageData, PageIdx, SupplyMode,
+    VmObjId, VmSystem,
+};
+use std::collections::BTreeMap;
+use svmsim::{CostModel, Dur, NodeId, Time};
+
+use crate::config::AsvmConfig;
+use crate::object::{AsvmObject, Busy, EvictStage, PageInfo, PendingLocal, QueuedReq, StaticHint};
+use crate::protocol::{AsvmMsg, NetSend, PagerSend, ReqKind, ReqPath};
+
+/// Effects produced by ASVM handlers.
+#[derive(Debug, Default)]
+pub struct Fx {
+    /// Message-processor time to charge.
+    pub cpu: Dur,
+    /// ASVM protocol messages to send over STS.
+    pub net: Vec<NetSend>,
+    /// EMMI requests to real pagers, to send over NORMA-IPC.
+    pub pager: Vec<PagerSend>,
+    /// Effects emitted by nested VM calls (fault completions, further EMMI
+    /// traffic); the caller must drain these.
+    pub vm: machvm::Effects,
+    /// Pull requests that must continue in another distributed object on
+    /// this node (shadow-chain escalations, §3.7.3).
+    pub(crate) pull_escalations: Vec<(VmObjId, PageIdx, crate::object::QueuedReq)>,
+    /// Objects whose copy notification has been applied by every sharing
+    /// node; a fork waiting on them may complete.
+    pub settled: Vec<MemObjId>,
+    /// Range locks granted to this node (§6 future work); the cluster
+    /// resumes the task waiting on each.
+    pub lock_granted: Vec<(MemObjId, crate::locks::PageRange)>,
+}
+
+impl Fx {
+    /// Creates an empty effect sink.
+    pub fn new() -> Fx {
+        Fx::default()
+    }
+
+    pub(crate) fn send(&mut self, dst: NodeId, msg: AsvmMsg) {
+        self.net.push(NetSend { dst, msg });
+    }
+}
+
+/// The ASVM instance of one node.
+pub struct AsvmNode {
+    me: NodeId,
+    cost: CostModel,
+    objects: BTreeMap<MemObjId, AsvmObject>,
+    by_vmobj: BTreeMap<VmObjId, MemObjId>,
+}
+
+impl AsvmNode {
+    /// Creates the instance for node `me`.
+    pub fn new(me: NodeId, cost: CostModel) -> AsvmNode {
+        AsvmNode {
+            me,
+            cost,
+            objects: BTreeMap::new(),
+            by_vmobj: BTreeMap::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Registers the local representation of `mobj` (called when the
+    /// object is first mapped on this node). Notifies the home node so
+    /// membership propagates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_object(
+        &mut self,
+        mobj: MemObjId,
+        vm_obj: VmObjId,
+        size_pages: u32,
+        home: NodeId,
+        pager_node: NodeId,
+        cfg: AsvmConfig,
+        fx: &mut Fx,
+    ) {
+        let o = AsvmObject::new(mobj, vm_obj, size_pages, home, pager_node, self.me, cfg);
+        let prev = self.objects.insert(mobj, o);
+        assert!(prev.is_none(), "object {mobj:?} registered twice");
+        self.by_vmobj.insert(vm_obj, mobj);
+        if self.me != home {
+            fx.send(
+                home,
+                AsvmMsg::MapNotify {
+                    mobj,
+                    node: self.me,
+                },
+            );
+        }
+    }
+
+    /// True if `mobj` is registered here.
+    pub fn has_object(&self, mobj: MemObjId) -> bool {
+        self.objects.contains_key(&mobj)
+    }
+
+    /// The object state (for tests and harnesses).
+    pub fn object(&self, mobj: MemObjId) -> &AsvmObject {
+        self.objects.get(&mobj).expect("object not registered")
+    }
+
+    /// Mutable object state (test setup only).
+    pub fn object_mut(&mut self, mobj: MemObjId) -> &mut AsvmObject {
+        self.objects.get_mut(&mobj).expect("object not registered")
+    }
+
+    /// Iterates over all registered objects.
+    pub fn objects(&self) -> impl Iterator<Item = &AsvmObject> {
+        self.objects.values()
+    }
+
+    /// The memory object behind a VM object, if ASVM manages it.
+    pub fn mobj_of(&self, vm_obj: VmObjId) -> Option<MemObjId> {
+        self.by_vmobj.get(&vm_obj).copied()
+    }
+
+    /// Page state for `(mobj, page)` on this node.
+    pub fn page_info(&self, mobj: MemObjId, page: PageIdx) -> Option<&PageInfo> {
+        self.objects.get(&mobj)?.pages.get(&page)
+    }
+
+    // --- Local VM ingress --------------------------------------------------
+
+    /// Continues pull lookups that must proceed in another distributed
+    /// object on this node (shadow-chain escalations, §3.7.3).
+    fn drain_escalations(&mut self, now: Time, vm: &mut VmSystem, fx: &mut Fx) {
+        while let Some((vm_obj, page, req)) = fx.pull_escalations.pop() {
+            let mobj = *self
+                .by_vmobj
+                .get(&vm_obj)
+                .expect("pull escalation into unmanaged object");
+            let o = self.objects.get_mut(&mobj).unwrap();
+            Self::route(
+                o,
+                self.me,
+                &self.cost,
+                now,
+                vm,
+                page,
+                req,
+                ReqPath::default(),
+                fx,
+            );
+        }
+    }
+
+    /// Handles an EMMI call from the local VM system on `vm_obj`.
+    pub fn handle_emmi(
+        &mut self,
+        now: Time,
+        vm: &mut VmSystem,
+        vm_obj: VmObjId,
+        call: EmmiToPager,
+        fx: &mut Fx,
+    ) {
+        fx.cpu += self.cost.asvm_handle;
+        let mobj = *self
+            .by_vmobj
+            .get(&vm_obj)
+            .expect("EMMI for unmanaged object");
+        let o = self.objects.get_mut(&mobj).unwrap();
+        match call {
+            EmmiToPager::DataRequest { page, access } => {
+                Self::local_request(o, self.me, &self.cost, now, vm, page, access, fx);
+                // Read clustering (§6 future work): pull the following
+                // pages in the same breath so sequential scans stream.
+                if access == Access::Read && o.cfg.readahead > 0 {
+                    for ahead in 1..=o.cfg.readahead {
+                        let p = PageIdx(page.0 + ahead);
+                        if p.0 >= o.size_pages
+                            || o.pages.contains_key(&p)
+                            || o.pending.contains_key(&p)
+                        {
+                            continue;
+                        }
+                        Self::local_request(o, self.me, &self.cost, now, vm, p, Access::Read, fx);
+                    }
+                }
+            }
+            EmmiToPager::DataUnlock { page, .. } => {
+                Self::local_request(o, self.me, &self.cost, now, vm, page, Access::Write, fx);
+            }
+            EmmiToPager::DataReturn { page, data, dirty } => {
+                // Not produced by ASVM's own flows, but a correct sink: the
+                // contents go back to the real pager.
+                if dirty {
+                    fx.pager.push(PagerSend {
+                        pager_node: o.pager_node,
+                        reply_to: self.me,
+                        mobj,
+                        obj: vm_obj,
+                        call: EmmiToPager::DataReturn { page, data, dirty },
+                    });
+                }
+            }
+            EmmiToPager::LockCompleted { page, result } => {
+                crate::copymgmt::on_lock_completed(
+                    o, self.me, &self.cost, now, vm, page, result, fx,
+                );
+            }
+            EmmiToPager::PullCompleted { page, result } => {
+                crate::copymgmt::on_pull_completed(
+                    o, self.me, &self.cost, now, vm, page, result, fx,
+                );
+            }
+        }
+        self.drain_escalations(now, vm, fx);
+    }
+
+    /// A local fault needs `access` to `page`.
+    fn local_request(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        access: Access,
+        fx: &mut Fx,
+    ) {
+        if let Some(p) = o.pending.get(&page) {
+            if p.access.allows(access) {
+                return; // Already in flight.
+            }
+        }
+        let has_copy = o.pages.contains_key(&page);
+        o.pending.insert(page, PendingLocal { access, has_copy });
+        let req = QueuedReq {
+            access,
+            origin: me,
+            origin_obj: o.vm_obj,
+            has_copy,
+            kind: ReqKind::Access,
+            deliver: None,
+        };
+        // If the page is busy here (transfer/eviction in flight), park the
+        // request; completion re-dispatches it.
+        if let Some(pi) = o.pages.get_mut(&page) {
+            if pi.busy.is_some() {
+                pi.queued.push_back(req);
+                return;
+            }
+            if pi.owner {
+                // Owner with a local upgrade request: run transition 7.
+                Self::serve(o, me, cost, now, vm, page, req, fx);
+                return;
+            }
+        }
+        Self::route(o, me, cost, now, vm, page, req, ReqPath::default(), fx);
+    }
+
+    // --- Peer message ingress ------------------------------------------------
+
+    /// Handles one ASVM protocol message from node `from`.
+    pub fn handle_msg(
+        &mut self,
+        now: Time,
+        vm: &mut VmSystem,
+        from: NodeId,
+        msg: AsvmMsg,
+        fx: &mut Fx,
+    ) {
+        // Acknowledgements are cheap bookkeeping; state-machine work pays
+        // the full handling cost.
+        fx.cpu += match &msg {
+            AsvmMsg::InvalidateAck { .. }
+            | AsvmMsg::ReadCheckReply { .. }
+            | AsvmMsg::AcceptReply { .. }
+            | AsvmMsg::PushAck { .. }
+            | AsvmMsg::PushDone { .. }
+            | AsvmMsg::OwnerHint { .. }
+            | AsvmMsg::PagedHint { .. } => self.cost.asvm_ack_handle,
+            _ => self.cost.asvm_handle,
+        };
+        let me = self.me;
+        let mobj = msg.mobj();
+        let Some(o) = self.objects.get_mut(&mobj) else {
+            panic!("{me}: message for unregistered object {mobj:?}: {msg:?}");
+        };
+        let cost = &self.cost;
+        match msg {
+            AsvmMsg::MapNotify { node, .. } => {
+                assert_eq!(o.home, me, "MapNotify must go to the home node");
+                if !o.nodes.contains(&node) {
+                    o.nodes.push(node);
+                    o.nodes.sort();
+                    let nodes = o.nodes.clone();
+                    for n in &nodes {
+                        if *n != me {
+                            fx.send(
+                                *n,
+                                AsvmMsg::Membership {
+                                    mobj,
+                                    nodes: nodes.clone(),
+                                },
+                            );
+                        }
+                    }
+                    // The home applies the same membership-change rules as
+                    // everyone else: the fresh shortcut is no longer sound,
+                    // and ownership must be re-announced to the (moved)
+                    // static managers before the new member's first fault
+                    // (the synchronous fork guarantees the ordering).
+                    o.fresh_valid = false;
+                    let owned: Vec<PageIdx> = o
+                        .pages
+                        .iter()
+                        .filter(|(_, pi)| pi.owner)
+                        .map(|(p, _)| *p)
+                        .collect();
+                    for page in owned {
+                        Self::notify_owner_hint(o, me, cost, now, vm, page, fx);
+                    }
+                }
+            }
+            AsvmMsg::Membership { nodes, .. } => {
+                o.nodes = nodes;
+                o.fresh_valid = false;
+                // Static-manager hashing moved: re-announce ownership of
+                // our pages to the (possibly new) static managers so
+                // requests keep finding owners without a global walk, and
+                // so the fresh/pull shortcut cannot mint a second owner.
+                let owned: Vec<PageIdx> = o
+                    .pages
+                    .iter()
+                    .filter(|(_, pi)| pi.owner)
+                    .map(|(p, _)| *p)
+                    .collect();
+                for page in owned {
+                    Self::notify_owner_hint(o, me, cost, now, vm, page, fx);
+                }
+                // Static-manager hashing may have moved: re-dispatch
+                // anything parked on static routing so nothing is stranded.
+                let parked: Vec<(PageIdx, Vec<QueuedReq>)> =
+                    std::mem::take(&mut o.static_waiting).into_iter().collect();
+                for (page, reqs) in parked {
+                    for q in reqs {
+                        Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+                    }
+                }
+            }
+            AsvmMsg::PageReq {
+                page,
+                access,
+                origin,
+                origin_obj,
+                has_copy,
+                path,
+                kind,
+                deliver,
+                ..
+            } => {
+                let req = QueuedReq {
+                    access,
+                    origin,
+                    origin_obj,
+                    has_copy,
+                    kind,
+                    deliver,
+                };
+                Self::route(o, me, cost, now, vm, page, req, path, fx);
+            }
+            AsvmMsg::Grant {
+                page,
+                access,
+                data,
+                dirty,
+                ownership,
+                readers,
+                version,
+                pull_snapshot,
+                ..
+            } => {
+                // A pulled snapshot has never been pushed: version 0, so a
+                // later write still delivers it to existing copies.
+                let version = if pull_snapshot { 0 } else { version };
+                Self::grant_arrived(
+                    o, me, cost, now, vm, from, page, access, data, dirty, ownership, readers,
+                    version, fx,
+                );
+            }
+            AsvmMsg::Invalidate {
+                page, from: owner, ..
+            } => {
+                if let Some(pi) = o.pages.get(&page) {
+                    assert!(
+                        pi.busy.is_none() || matches!(pi.busy, Some(Busy::AwaitingOwnership)),
+                        "invalidate raced a busy page"
+                    );
+                    if !pi.owner {
+                        vm.set_busy(o.vm_obj, page, false);
+                        vm.kernel_call(
+                            now,
+                            o.vm_obj,
+                            EmmiToKernel::LockRequest {
+                                page,
+                                op: LockOp::Flush {
+                                    return_dirty: false,
+                                },
+                                mode: LockMode::Normal,
+                            },
+                            &mut fx.vm,
+                        );
+                        o.pages.remove(&page);
+                    }
+                }
+                o.dyn_cache.insert(page, owner);
+                fx.send(
+                    owner,
+                    AsvmMsg::InvalidateAck {
+                        mobj,
+                        page,
+                        from: me,
+                    },
+                );
+            }
+            AsvmMsg::InvalidateAck {
+                page, from: acker, ..
+            } => {
+                Self::invalidate_ack(o, me, cost, now, vm, page, acker, fx);
+            }
+            AsvmMsg::ReadCheck {
+                page, from: owner, ..
+            } => {
+                let has = match o.pages.get_mut(&page) {
+                    Some(pi) if !pi.owner && pi.busy.is_none() => {
+                        pi.busy = Some(Busy::AwaitingOwnership);
+                        vm.set_busy(o.vm_obj, page, true);
+                        true
+                    }
+                    _ => false,
+                };
+                fx.send(
+                    owner,
+                    AsvmMsg::ReadCheckReply {
+                        mobj,
+                        page,
+                        from: me,
+                        has_copy: has,
+                    },
+                );
+            }
+            AsvmMsg::ReadCheckReply {
+                page,
+                from: reader,
+                has_copy,
+                ..
+            } => {
+                Self::read_check_reply(o, me, cost, now, vm, page, reader, has_copy, fx);
+            }
+            AsvmMsg::OwnershipTransfer {
+                page,
+                readers,
+                version,
+                dirty,
+                ..
+            } => {
+                let pi = o
+                    .pages
+                    .get_mut(&page)
+                    .expect("ownership transfer to node without the page");
+                assert!(matches!(pi.busy, Some(Busy::AwaitingOwnership)));
+                pi.busy = None;
+                vm.set_busy(o.vm_obj, page, false);
+                pi.owner = true;
+                pi.readers = readers.into_iter().collect();
+                pi.readers.remove(&me);
+                pi.version = version;
+                pi.dirty |= dirty;
+                let queued: Vec<QueuedReq> = pi.queued.drain(..).collect();
+                Self::notify_owner_hint(o, me, cost, now, vm, page, fx);
+                for q in queued {
+                    Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+                }
+                Self::drain_parked(o, me, cost, now, vm, page, fx);
+            }
+            AsvmMsg::AcceptAsk {
+                page, from: owner, ..
+            } => {
+                let accept = Self::has_free_memory(vm) && !o.incoming_transfer.contains(&page);
+                if accept {
+                    o.incoming_transfer.insert(page);
+                }
+                fx.send(
+                    owner,
+                    AsvmMsg::AcceptReply {
+                        mobj,
+                        page,
+                        from: me,
+                        accept,
+                    },
+                );
+            }
+            AsvmMsg::AcceptReply {
+                page,
+                from: candidate,
+                accept,
+                ..
+            } => {
+                Self::accept_reply(o, me, cost, now, vm, page, candidate, accept, fx);
+            }
+            AsvmMsg::PageTransfer {
+                page,
+                data,
+                dirty,
+                version,
+                ..
+            } => {
+                o.incoming_transfer.remove(&page);
+                let mut pi = PageInfo::new(Access::Read, true, version);
+                pi.dirty = dirty;
+                let prev = o.pages.insert(page, pi);
+                assert!(prev.is_none(), "page transfer onto existing state");
+                vm.kernel_call(
+                    now,
+                    o.vm_obj,
+                    EmmiToKernel::DataSupply {
+                        page,
+                        data,
+                        lock: Access::Read,
+                        mode: SupplyMode::Normal,
+                    },
+                    &mut fx.vm,
+                );
+                Self::notify_owner_hint(o, me, cost, now, vm, page, fx);
+                Self::drain_parked(o, me, cost, now, vm, page, fx);
+            }
+            AsvmMsg::OwnerHint { page, owner, .. } => {
+                Self::owner_hint(o, me, cost, now, vm, page, owner, fx);
+            }
+            AsvmMsg::PagedHint { page, .. } => {
+                o.static_seen.insert(page);
+                o.static_cache.insert(page, StaticHint::Paged);
+            }
+            AsvmMsg::PushReq { page, from, .. } => {
+                crate::copymgmt::on_push_req(o, me, cost, now, vm, page, from, fx);
+            }
+            AsvmMsg::PushAck {
+                page,
+                from,
+                needs_data,
+                ..
+            } => {
+                crate::copymgmt::on_push_ack(o, me, cost, now, vm, page, from, needs_data, fx);
+            }
+            AsvmMsg::PushData {
+                page, from, data, ..
+            } => {
+                crate::copymgmt::on_push_data(o, me, cost, now, vm, page, from, data, fx);
+            }
+            AsvmMsg::PushDone { page, from, .. } => {
+                crate::copymgmt::on_push_done(o, me, cost, now, vm, page, from, fx);
+            }
+            AsvmMsg::CopyMade { from: creator, .. } => {
+                Self::apply_copy_made(o, now, vm, fx);
+                if o.home == me {
+                    // Relay to every other member and settle when all ack.
+                    let targets: Vec<NodeId> = o
+                        .nodes
+                        .iter()
+                        .copied()
+                        .filter(|n| *n != me && *n != creator)
+                        .collect();
+                    if targets.is_empty() {
+                        if creator == me {
+                            fx.settled.push(mobj);
+                        } else {
+                            fx.send(creator, AsvmMsg::CopySettled { mobj });
+                        }
+                    } else {
+                        for n in &targets {
+                            fx.send(
+                                *n,
+                                AsvmMsg::CopyMade {
+                                    mobj,
+                                    from: creator,
+                                },
+                            );
+                        }
+                        o.copy_settles
+                            .push((creator, targets.into_iter().collect()));
+                    }
+                } else {
+                    // Relayed notification: acknowledge to the home node.
+                    fx.send(o.home, AsvmMsg::CopyMadeAck { mobj, from: me });
+                }
+            }
+            AsvmMsg::CopyMadeAck { from: acker, .. } => {
+                assert_eq!(o.home, me, "copy acks aggregate at the home node");
+                let mut settled_child = None;
+                for (child, pending) in o.copy_settles.iter_mut() {
+                    if pending.remove(&acker) {
+                        if pending.is_empty() {
+                            settled_child = Some(*child);
+                        }
+                        break;
+                    }
+                }
+                if let Some(child) = settled_child {
+                    o.copy_settles.retain(|(_, p)| !p.is_empty());
+                    if child == me {
+                        fx.settled.push(mobj);
+                    } else {
+                        fx.send(child, AsvmMsg::CopySettled { mobj });
+                    }
+                }
+            }
+            AsvmMsg::CopySettled { .. } => {
+                fx.settled.push(mobj);
+            }
+            AsvmMsg::PullHop {
+                page,
+                access,
+                origin,
+                origin_obj,
+                deliver,
+                ..
+            } => {
+                let req = QueuedReq {
+                    access,
+                    origin,
+                    origin_obj,
+                    has_copy: false,
+                    kind: ReqKind::Access,
+                    deliver: Some(deliver),
+                };
+                crate::copymgmt::pull_dispatch(o, me, cost, now, vm, page, req, fx);
+            }
+            AsvmMsg::RangeLockReq {
+                first,
+                count,
+                from: holder,
+                ..
+            } => {
+                assert_eq!(o.home, me, "range locks are managed at the home node");
+                let range = crate::locks::PageRange { first, count };
+                if o.range_locks.acquire(range, holder) {
+                    if holder == me {
+                        fx.lock_granted.push((mobj, range));
+                    } else {
+                        fx.send(holder, AsvmMsg::RangeLockGrant { mobj, first, count });
+                    }
+                }
+            }
+            AsvmMsg::RangeLockGrant { first, count, .. } => {
+                fx.lock_granted
+                    .push((mobj, crate::locks::PageRange { first, count }));
+            }
+            AsvmMsg::RangeLockRelease {
+                first,
+                count,
+                from: holder,
+                ..
+            } => {
+                assert_eq!(o.home, me, "range locks are managed at the home node");
+                let range = crate::locks::PageRange { first, count };
+                for g in o.range_locks.release(range, holder) {
+                    if g.holder == me {
+                        fx.lock_granted.push((mobj, g.range));
+                    } else {
+                        fx.send(
+                            g.holder,
+                            AsvmMsg::RangeLockGrant {
+                                mobj,
+                                first: g.range.first,
+                                count: g.range.count,
+                            },
+                        );
+                    }
+                }
+            }
+            AsvmMsg::Retry { page, access, .. } => {
+                // Re-issue our own request after a push/pull race.
+                o.pending.remove(&page);
+                Self::local_request(o, me, cost, now, vm, page, access, fx);
+            }
+        }
+        self.drain_escalations(now, vm, fx);
+    }
+
+    // --- Pager ingress ----------------------------------------------------------
+
+    /// A reply from the real pager arrived for `vm_obj` (over NORMA-IPC).
+    pub fn on_pager_reply(
+        &mut self,
+        now: Time,
+        vm: &mut VmSystem,
+        vm_obj: VmObjId,
+        reply: EmmiToKernel,
+        fx: &mut Fx,
+    ) {
+        fx.cpu += self.cost.asvm_handle;
+        let me = self.me;
+        let mobj = *self
+            .by_vmobj
+            .get(&vm_obj)
+            .expect("pager reply for unmanaged object");
+        let o = self.objects.get_mut(&mobj).unwrap();
+        match reply {
+            EmmiToKernel::DataSupply { page, data, .. } => {
+                let pend = o
+                    .pending
+                    .remove(&page)
+                    .expect("pager supply without pending request");
+                // Version 0 = "never pushed": if copies were made before
+                // this page ever materialized, the first write must still
+                // push the (zero/pager) snapshot into them.
+                let needs_push = pend.access == Access::Write && o.version > 0;
+                let lock = if needs_push {
+                    Access::Read
+                } else {
+                    pend.access
+                };
+                let mut pi = PageInfo::new(lock, true, 0);
+                pi.dirty = false;
+                let prev = o.pages.insert(page, pi);
+                assert!(prev.is_none(), "pager supply onto existing page state");
+                vm.kernel_call(
+                    now,
+                    vm_obj,
+                    EmmiToKernel::DataSupply {
+                        page,
+                        data,
+                        lock,
+                        mode: SupplyMode::Normal,
+                    },
+                    &mut fx.vm,
+                );
+                Self::notify_owner_hint(o, me, &self.cost, now, vm, page, fx);
+                if needs_push {
+                    // Run the write through the owner state machine so the
+                    // snapshot reaches every copy before the grant.
+                    o.pending.insert(page, pend);
+                    let req = crate::object::QueuedReq {
+                        access: Access::Write,
+                        origin: me,
+                        origin_obj: vm_obj,
+                        has_copy: true,
+                        kind: crate::protocol::ReqKind::Access,
+                        deliver: None,
+                    };
+                    crate::copymgmt::start_push(o, me, &self.cost, now, vm, page, req, fx);
+                }
+                Self::drain_parked(o, me, &self.cost, now, vm, page, fx);
+            }
+            other => panic!("unexpected pager reply {other:?}"),
+        }
+        self.drain_escalations(now, vm, fx);
+    }
+
+    // --- Eviction ingress ----------------------------------------------------------
+
+    /// The VM evicted `page` of `vm_obj`; run the four-step internode
+    /// pageout algorithm (§3.6).
+    pub fn evict_external(
+        &mut self,
+        now: Time,
+        vm: &mut VmSystem,
+        vm_obj: VmObjId,
+        page: PageIdx,
+        data: PageData,
+        dirty: bool,
+        fx: &mut Fx,
+    ) {
+        fx.cpu += self.cost.asvm_handle;
+        let me = self.me;
+        let mobj = *self
+            .by_vmobj
+            .get(&vm_obj)
+            .expect("eviction for unmanaged object");
+        let o = self.objects.get_mut(&mobj).unwrap();
+        let Some(pi) = o.pages.get_mut(&page) else {
+            // No state: nothing to do (e.g. a pushed page the manager never
+            // tracked).
+            return;
+        };
+        assert!(pi.busy.is_none(), "VM evicted a busy page");
+        if !pi.owner {
+            // Step 1: not the owner — discard; the owner can supply it
+            // again at any time.
+            o.pages.remove(&page);
+            return;
+        }
+        pi.dirty |= dirty;
+        let readers: Vec<NodeId> = pi.readers.iter().copied().collect();
+        if let Some((first, rest)) = readers.split_first() {
+            // Step 2: ask readers, one after another.
+            pi.busy = Some(Busy::Evict {
+                data,
+                dirty: pi.dirty,
+                stage: EvictStage::CheckingReaders {
+                    current: *first,
+                    remaining: rest.to_vec(),
+                },
+            });
+            fx.send(
+                *first,
+                AsvmMsg::ReadCheck {
+                    mobj,
+                    page,
+                    from: me,
+                },
+            );
+        } else {
+            let d = pi.dirty;
+            Self::evict_step3(o, me, &self.cost, now, vm, page, data, d, fx);
+        }
+    }
+
+    // --- Redirector --------------------------------------------------------------------
+
+    /// Routes a request currently held by this node toward the page owner.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn route(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        req: QueuedReq,
+        mut path: ReqPath,
+        fx: &mut Fx,
+    ) {
+        // 1. Can we serve or must the request wait here?
+        if let Some(pi) = o.pages.get_mut(&page) {
+            if pi.busy.is_some() {
+                pi.queued.push_back(req);
+                return;
+            }
+            if pi.owner {
+                Self::serve(o, me, cost, now, vm, page, req, fx);
+                return;
+            }
+        }
+        // 2. An accepted page transfer is guaranteed to arrive: park the
+        // request until it lands. (Requests are deliberately NOT parked at
+        // nodes with their own grants pending — two pending nodes could
+        // park each other's requests in a cycle; in-flight ownership is
+        // instead tracked at the static manager, whose hint the granter
+        // updates eagerly.)
+        if o.incoming_transfer.contains(&page) {
+            o.fill_waiters.entry(page).or_default().push(req);
+            return;
+        }
+        // 3. Global walk in progress: try the next member.
+        if let Some(pos) = path.global_pos {
+            let mut next = pos as usize + 1;
+            while next < o.nodes.len() && o.nodes[next] == me {
+                next += 1;
+            }
+            if next < o.nodes.len() {
+                path.global_pos = Some(next as u16);
+                path.hops += 1;
+                Self::send_req(o, fx, o.nodes[next], page, &req, path);
+            } else {
+                // Walk exhausted: no owner exists; the static manager
+                // dispatches to the pager.
+                path.walk_done = true;
+                path.global_pos = None;
+                let sm = o.static_node(page);
+                if sm == me {
+                    Self::static_route(o, me, cost, now, vm, page, req, path, fx);
+                } else {
+                    path.hops += 1;
+                    Self::send_req(o, fx, sm, page, &req, path);
+                }
+            }
+            return;
+        }
+        // 4. Dynamic hint.
+        let loop_limit = (o.nodes.len() as u16) * 2 + 4;
+        if o.cfg.dynamic_forwarding && path.hops < loop_limit && !path.walk_done {
+            if let Some(&hint) = o.dyn_cache.get(&page) {
+                if hint != me {
+                    if req.access == Access::Write && req.kind == ReqKind::Access {
+                        // Collapse the hint chain: the originator becomes
+                        // the next owner (Kai Li's optimization).
+                        o.dyn_cache.insert(page, req.origin);
+                    }
+                    path.hops += 1;
+                    Self::send_req(o, fx, hint, page, &req, path);
+                    return;
+                }
+            }
+        }
+        // 5. The static ownership manager.
+        let sm = o.static_node(page);
+        if sm != me {
+            path.hops += 1;
+            Self::send_req(o, fx, sm, page, &req, path);
+            return;
+        }
+        Self::static_route(o, me, cost, now, vm, page, req, path, fx);
+    }
+
+    /// Routing at the static ownership manager.
+    #[allow(clippy::too_many_arguments)]
+    fn static_route(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        req: QueuedReq,
+        mut path: ReqPath,
+        fx: &mut Fx,
+    ) {
+        if o.static_filling.contains_key(&page) {
+            // A pager fill is in flight; serialize behind it.
+            o.static_waiting.entry(page).or_default().push(req);
+            return;
+        }
+        // We are the static manager AND our own write grant is in flight:
+        // the page is about to be ours. Parking here is cycle-free (one
+        // static manager per page).
+        if req.origin != me
+            && req.deliver.is_none()
+            && o.pending
+                .get(&page)
+                .is_some_and(|p| p.access == Access::Write)
+        {
+            o.fill_waiters.entry(page).or_default().push(req);
+            return;
+        }
+        if path.walk_done {
+            // The walk found no owner — but an ownership transfer may be
+            // in flight. The granter updates our hint eagerly, so consult
+            // it (in every configuration: this is the safety record, not
+            // the forwarding optimization) before going to the pager.
+            match o.static_cache.get(&page).copied() {
+                Some(StaticHint::Owner(n)) if n != me => {
+                    path.walk_done = false;
+                    path.global_pos = None;
+                    path.hops += 1;
+                    Self::send_req(o, fx, n, page, &req, path);
+                    return;
+                }
+                _ => {}
+            }
+            Self::pager_dispatch(o, me, cost, now, vm, page, req, fx);
+            return;
+        }
+        if !path.tried_static {
+            path.tried_static = true;
+            if o.cfg.static_forwarding {
+                match o.static_cache.get(&page).copied() {
+                    Some(StaticHint::Owner(n)) if n != me => {
+                        path.hops += 1;
+                        Self::send_req(o, fx, n, page, &req, path);
+                        return;
+                    }
+                    Some(StaticHint::Owner(_)) => {
+                        // Stale self-hint (we no longer own it); fall through.
+                        o.static_cache.remove(&page);
+                    }
+                    Some(StaticHint::Paged) => {
+                        Self::pager_dispatch(o, me, cost, now, vm, page, req, fx);
+                        return;
+                    }
+                    None => {}
+                }
+            }
+            // Fresh: the page has never had an owner; the pager (or the
+            // pull path, for copy objects) is authoritative. For
+            // distributed *copy* objects this shortcut is always sound even
+            // after membership changes: their pages are immutable snapshots
+            // (writes COW into local shadow objects), so a duplicate pull
+            // returns identical data.
+            if (o.fresh_valid || o.source.is_some()) && !o.static_seen.contains(&page) {
+                Self::pager_dispatch(o, me, cost, now, vm, page, req, fx);
+                return;
+            }
+        }
+        // Hint missing or already tried: fall back to the global walk.
+        let mut start = 0usize;
+        while start < o.nodes.len() && o.nodes[start] == me {
+            start += 1;
+        }
+        if start >= o.nodes.len() {
+            // Single-member object with no owner: dispatch to pager.
+            Self::pager_dispatch(o, me, cost, now, vm, page, req, fx);
+            return;
+        }
+        path.global_pos = Some(start as u16);
+        path.hops += 1;
+        Self::send_req(o, fx, o.nodes[start], page, &req, path);
+    }
+
+    /// Sends the request to the real pager on behalf of `req.origin` and
+    /// records the fill so concurrent requests serialize.
+    #[allow(clippy::too_many_arguments)]
+    fn pager_dispatch(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        req: QueuedReq,
+        fx: &mut Fx,
+    ) {
+        if req.kind == ReqKind::PushScan {
+            crate::copymgmt::push_scan_no_owner(o, me, cost, now, vm, page, req, fx);
+            return;
+        }
+        if req.deliver.is_none() {
+            // Serialize concurrent first-touch faults behind this fill —
+            // for pager fills AND pulls: two racing pulls would otherwise
+            // both become owners of the page.
+            o.static_seen.insert(page);
+            o.static_filling.insert(page, req.origin);
+        }
+        if o.source.is_some() {
+            // A distributed copy object with no owner anywhere: the page
+            // must be pulled through the shadow chain on the peer node
+            // (§3.7.3), not fetched from a pager.
+            crate::copymgmt::pull_dispatch(o, me, cost, now, vm, page, req, fx);
+            return;
+        }
+        // PagerSend.obj routes the pager's reply to the origin node's VM
+        // object; the glue marks the request as coming from the origin.
+        fx.pager.push(PagerSend {
+            pager_node: o.pager_for(page),
+            reply_to: req.origin,
+            mobj: o.mobj,
+            obj: req.origin_obj,
+            call: EmmiToPager::DataRequest {
+                page,
+                access: req.access,
+            },
+        });
+        let _ = (me, now, vm);
+    }
+
+    /// Grants the request at the owner (Figure 7 transitions 4–7).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn serve(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        req: QueuedReq,
+        fx: &mut Fx,
+    ) {
+        let mobj = o.mobj;
+        if req.kind == ReqKind::PushScan {
+            crate::copymgmt::push_scan_found(o, me, cost, now, vm, page, req, fx);
+            return;
+        }
+        // Delayed-copy rule (§3.7.2): a write on a page whose version lags
+        // the object version needs a push operation first.
+        if req.access == Access::Write {
+            let needs_push = {
+                let pi = o.pages.get(&page).unwrap();
+                pi.version != o.version
+            };
+            if needs_push {
+                crate::copymgmt::start_push(o, me, cost, now, vm, page, req, fx);
+                return;
+            }
+        }
+        if let Some(deliver) = req.deliver {
+            // Pull lookup (§3.7.3): hand a snapshot of the page to the
+            // origin in terms of the copy object; the origin does not join
+            // this object's reader list.
+            let (data, _) = vm
+                .peek_page(o.vm_obj, page)
+                .expect("owner must hold the page");
+            let data = data.clone();
+            fx.send(
+                req.origin,
+                AsvmMsg::Grant {
+                    mobj: deliver,
+                    page,
+                    access: req.access,
+                    data: Some(data),
+                    dirty: true,
+                    ownership: true,
+                    readers: vec![],
+                    version: 0,
+                    pull_snapshot: true,
+                },
+            );
+            return;
+        }
+        if req.origin == me {
+            // Our own request came back to us as owner.
+            o.pending.remove(&page);
+            match req.access {
+                Access::Read => {
+                    vm.kernel_call(
+                        now,
+                        o.vm_obj,
+                        EmmiToKernel::LockRequest {
+                            page,
+                            op: LockOp::Grant(Access::Read),
+                            mode: LockMode::Normal,
+                        },
+                        &mut fx.vm,
+                    );
+                }
+                Access::Write => Self::local_upgrade(o, me, cost, now, vm, page, fx),
+            }
+            return;
+        }
+        match req.access {
+            Access::Read => {
+                // Transition 5: grant read, join the reader list.
+                let pi = o.pages.get_mut(&page).unwrap();
+                if pi.access == Access::Write {
+                    // Single writer XOR multiple readers: downgrade first.
+                    if let Some((_, d)) = vm.peek_page(o.vm_obj, page) {
+                        pi.dirty |= d;
+                    }
+                    vm.kernel_call(
+                        now,
+                        o.vm_obj,
+                        EmmiToKernel::LockRequest {
+                            page,
+                            op: LockOp::Downgrade {
+                                return_dirty: false,
+                            },
+                            mode: LockMode::Normal,
+                        },
+                        &mut fx.vm,
+                    );
+                    pi.access = Access::Read;
+                }
+                pi.readers.insert(req.origin);
+                let (data, vm_dirty) = {
+                    let (d, dirty) = vm
+                        .peek_page(o.vm_obj, page)
+                        .expect("owner must hold the page");
+                    (d.clone(), dirty)
+                };
+                let pi = o.pages.get_mut(&page).unwrap();
+                pi.dirty |= vm_dirty;
+                fx.send(
+                    req.origin,
+                    AsvmMsg::Grant {
+                        mobj,
+                        page,
+                        access: Access::Read,
+                        data: Some(data),
+                        dirty: pi.dirty,
+                        ownership: false,
+                        readers: vec![],
+                        version: pi.version,
+                        pull_snapshot: false,
+                    },
+                );
+            }
+            Access::Write => {
+                // Transition 4/6: transfer ownership; invalidate readers
+                // first if any exist.
+                let pi = o.pages.get_mut(&page).unwrap();
+                let acks: std::collections::BTreeSet<NodeId> = pi
+                    .readers
+                    .iter()
+                    .copied()
+                    .filter(|r| *r != req.origin)
+                    .collect();
+                if acks.is_empty() {
+                    Self::finish_write_transfer(o, me, cost, now, vm, page, req.origin, fx);
+                } else {
+                    for r in &acks {
+                        fx.send(
+                            *r,
+                            AsvmMsg::Invalidate {
+                                mobj,
+                                page,
+                                from: me,
+                            },
+                        );
+                    }
+                    pi.busy = Some(Busy::WriteTransfer {
+                        to: req.origin,
+                        pending_acks: acks,
+                    });
+                    vm.set_busy(o.vm_obj, page, true);
+                }
+            }
+        }
+    }
+
+    /// Transition 7: the owner upgrades its own access.
+    pub(crate) fn local_upgrade(
+        o: &mut AsvmObject,
+        me: NodeId,
+        _cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        fx: &mut Fx,
+    ) {
+        let mobj = o.mobj;
+        let pi = o.pages.get_mut(&page).unwrap();
+        debug_assert!(pi.owner);
+        let acks: std::collections::BTreeSet<NodeId> = pi.readers.iter().copied().collect();
+        if acks.is_empty() {
+            pi.access = Access::Write;
+            pi.dirty = true;
+            vm.kernel_call(
+                now,
+                o.vm_obj,
+                EmmiToKernel::LockRequest {
+                    page,
+                    op: LockOp::Grant(Access::Write),
+                    mode: LockMode::Normal,
+                },
+                &mut fx.vm,
+            );
+        } else {
+            for r in &acks {
+                fx.send(
+                    *r,
+                    AsvmMsg::Invalidate {
+                        mobj,
+                        page,
+                        from: me,
+                    },
+                );
+            }
+            pi.busy = Some(Busy::LocalUpgrade { pending_acks: acks });
+            vm.set_busy(o.vm_obj, page, true);
+        }
+    }
+
+    /// Completes transition 4/6 once all invalidations are acknowledged.
+    fn finish_write_transfer(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        to: NodeId,
+        fx: &mut Fx,
+    ) {
+        let mobj = o.mobj;
+        let pi = o.pages.get_mut(&page).unwrap();
+        let in_readers = pi.readers.contains(&to);
+        let (data, vm_dirty) = {
+            let (d, dirty) = vm
+                .peek_page(o.vm_obj, page)
+                .expect("owner must hold the page during transfer");
+            (d.clone(), dirty)
+        };
+        let pi = o.pages.get_mut(&page).unwrap();
+        pi.dirty |= vm_dirty;
+        fx.send(
+            to,
+            AsvmMsg::Grant {
+                mobj,
+                page,
+                access: Access::Write,
+                data: (!in_readers).then_some(data),
+                dirty: pi.dirty,
+                ownership: true,
+                readers: vec![],
+                version: pi.version,
+                pull_snapshot: false,
+            },
+        );
+        // Flush our own copy: the new writer is the single writer.
+        vm.set_busy(o.vm_obj, page, false);
+        vm.kernel_call(
+            now,
+            o.vm_obj,
+            EmmiToKernel::LockRequest {
+                page,
+                op: LockOp::Flush {
+                    return_dirty: false,
+                },
+                mode: LockMode::Normal,
+            },
+            &mut fx.vm,
+        );
+        let queued: Vec<QueuedReq> = o.pages.get_mut(&page).unwrap().queued.drain(..).collect();
+        o.pages.remove(&page);
+        o.dyn_cache.insert(page, to);
+        // Tell the static manager about the transfer NOW (the new owner
+        // repeats this on receipt): a concurrent global walk that finds no
+        // owner must see the in-flight transfer at the static manager
+        // instead of minting a second owner at the pager.
+        let sm = o.static_node(page);
+        if sm == me {
+            o.static_seen.insert(page);
+            o.static_cache.insert(page, StaticHint::Owner(to));
+        } else {
+            fx.send(
+                sm,
+                AsvmMsg::OwnerHint {
+                    mobj: o.mobj,
+                    page,
+                    owner: to,
+                },
+            );
+        }
+        for q in queued {
+            Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+        }
+    }
+
+    /// An invalidation ack arrived; advance whatever was waiting on it.
+    #[allow(clippy::too_many_arguments)]
+    fn invalidate_ack(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        acker: NodeId,
+        fx: &mut Fx,
+    ) {
+        let Some(pi) = o.pages.get_mut(&page) else {
+            return; // Stale ack after the page moved on.
+        };
+        pi.readers.remove(&acker);
+        match &mut pi.busy {
+            Some(Busy::WriteTransfer { to, pending_acks }) => {
+                pending_acks.remove(&acker);
+                if pending_acks.is_empty() {
+                    let to = *to;
+                    pi.busy = None;
+                    Self::finish_write_transfer(o, me, cost, now, vm, page, to, fx);
+                }
+            }
+            Some(Busy::LocalUpgrade { pending_acks }) => {
+                pending_acks.remove(&acker);
+                if pending_acks.is_empty() {
+                    pi.busy = None;
+                    vm.set_busy(o.vm_obj, page, false);
+                    pi.access = Access::Write;
+                    pi.dirty = true;
+                    pi.readers.clear();
+                    let queued: Vec<QueuedReq> = pi.queued.drain(..).collect();
+                    vm.kernel_call(
+                        now,
+                        o.vm_obj,
+                        EmmiToKernel::LockRequest {
+                            page,
+                            op: LockOp::Grant(Access::Write),
+                            mode: LockMode::Normal,
+                        },
+                        &mut fx.vm,
+                    );
+                    for q in queued {
+                        Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+                    }
+                    Self::drain_parked(o, me, cost, now, vm, page, fx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A grant (read copy, write+ownership, or upgrade) arrived.
+    #[allow(clippy::too_many_arguments)]
+    fn grant_arrived(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        from: NodeId,
+        page: PageIdx,
+        access: Access,
+        data: Option<PageData>,
+        dirty: bool,
+        ownership: bool,
+        readers: Vec<NodeId>,
+        version: u64,
+        fx: &mut Fx,
+    ) {
+        // An owner-making write grant for a page whose version lags the
+        // object version must run a push before the write proceeds (the
+        // snapshot in the grant has not reached existing copies yet). This
+        // covers pulled snapshots; owner-to-owner transfers arrive already
+        // pushed by the granting owner.
+        let needs_push = ownership && access == Access::Write && version != o.version;
+        let lock = if needs_push { Access::Read } else { access };
+        let pend = o.pending.get(&page).copied();
+        if !needs_push {
+            if let Some(p) = pend {
+                if access.allows(p.access) {
+                    o.pending.remove(&page);
+                }
+            }
+        }
+        let pi = o
+            .pages
+            .entry(page)
+            .or_insert_with(|| PageInfo::new(lock, false, version));
+        pi.access = pi.access.max(lock);
+        pi.owner |= ownership;
+        pi.version = version;
+        pi.dirty |= dirty;
+        pi.readers.extend(readers);
+        pi.readers.remove(&me);
+        if !ownership {
+            // The sender is the owner; remember it.
+            o.dyn_cache.insert(page, from);
+        }
+        match data {
+            Some(d) => vm.kernel_call(
+                now,
+                o.vm_obj,
+                EmmiToKernel::DataSupply {
+                    page,
+                    data: d,
+                    lock,
+                    mode: SupplyMode::Normal,
+                },
+                &mut fx.vm,
+            ),
+            None => vm.kernel_call(
+                now,
+                o.vm_obj,
+                EmmiToKernel::LockRequest {
+                    page,
+                    op: LockOp::Grant(lock),
+                    mode: LockMode::Normal,
+                },
+                &mut fx.vm,
+            ),
+        }
+        if ownership {
+            Self::notify_owner_hint(o, me, cost, now, vm, page, fx);
+        }
+        if needs_push {
+            let req = QueuedReq {
+                access: Access::Write,
+                origin: me,
+                origin_obj: o.vm_obj,
+                has_copy: true,
+                kind: ReqKind::Access,
+                deliver: None,
+            };
+            crate::copymgmt::start_push(o, me, cost, now, vm, page, req, fx);
+        }
+        Self::drain_parked(o, me, cost, now, vm, page, fx);
+    }
+
+    /// Internode pageout step 2 reply.
+    #[allow(clippy::too_many_arguments)]
+    fn read_check_reply(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        reader: NodeId,
+        has_copy: bool,
+        fx: &mut Fx,
+    ) {
+        let mobj = o.mobj;
+        let pi = o
+            .pages
+            .get_mut(&page)
+            .expect("read-check reply without state");
+        let Some(Busy::Evict { data, dirty, stage }) = &mut pi.busy else {
+            panic!("read-check reply while not evicting");
+        };
+        let EvictStage::CheckingReaders { current, remaining } = stage else {
+            panic!("read-check reply in wrong eviction stage");
+        };
+        assert_eq!(*current, reader);
+        if has_copy {
+            // Ownership moves to the reader; no page contents needed.
+            let d = *dirty;
+            pi.readers.remove(&reader);
+            let readers: Vec<NodeId> = pi.readers.iter().copied().collect();
+            let version = pi.version;
+            fx.send(
+                reader,
+                AsvmMsg::OwnershipTransfer {
+                    mobj,
+                    page,
+                    readers,
+                    version,
+                    dirty: d,
+                },
+            );
+            let queued: Vec<QueuedReq> = pi.queued.drain(..).collect();
+            o.pages.remove(&page);
+            o.dyn_cache.insert(page, reader);
+            for q in queued {
+                Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+            }
+        } else {
+            pi.readers.remove(&reader);
+            if let Some((next, rest)) = remaining.split_first() {
+                let next = *next;
+                *stage = EvictStage::CheckingReaders {
+                    current: next,
+                    remaining: rest.to_vec(),
+                };
+                fx.send(
+                    next,
+                    AsvmMsg::ReadCheck {
+                        mobj,
+                        page,
+                        from: me,
+                    },
+                );
+            } else {
+                let (data, d) = (data.clone(), *dirty);
+                pi.busy = None;
+                Self::evict_step3(o, me, cost, now, vm, page, data, d, fx);
+            }
+        }
+    }
+
+    /// Internode pageout step 3: pick a candidate via the cycling counter.
+    #[allow(clippy::too_many_arguments)]
+    fn evict_step3(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        data: PageData,
+        dirty: bool,
+        fx: &mut Fx,
+    ) {
+        let mobj = o.mobj;
+        let candidates: Vec<NodeId> = o.nodes.iter().copied().filter(|n| *n != me).collect();
+        if candidates.is_empty() {
+            Self::evict_step4(o, me, cost, now, vm, page, data, dirty, fx);
+            return;
+        }
+        let candidate = candidates[o.pageout_counter % candidates.len()];
+        o.pageout_counter += 1;
+        let pi = o.pages.get_mut(&page).unwrap();
+        pi.busy = Some(Busy::Evict {
+            data,
+            dirty,
+            stage: EvictStage::Asking {
+                candidate,
+                tried_last_accept: false,
+            },
+        });
+        fx.send(
+            candidate,
+            AsvmMsg::AcceptAsk {
+                mobj,
+                page,
+                from: me,
+            },
+        );
+    }
+
+    /// Internode pageout step 3 reply.
+    #[allow(clippy::too_many_arguments)]
+    fn accept_reply(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        candidate: NodeId,
+        accept: bool,
+        fx: &mut Fx,
+    ) {
+        let mobj = o.mobj;
+        let pi = o.pages.get_mut(&page).expect("accept reply without state");
+        let Some(Busy::Evict { data, dirty, stage }) = &mut pi.busy else {
+            panic!("accept reply while not evicting");
+        };
+        let EvictStage::Asking {
+            candidate: asked,
+            tried_last_accept,
+        } = stage
+        else {
+            panic!("accept reply in wrong eviction stage");
+        };
+        assert_eq!(*asked, candidate);
+        if accept {
+            let (data, d, version) = (data.clone(), *dirty, pi.version);
+            fx.send(
+                candidate,
+                AsvmMsg::PageTransfer {
+                    mobj,
+                    page,
+                    data,
+                    dirty: d,
+                    version,
+                },
+            );
+            o.last_accept = Some(candidate);
+            let queued: Vec<QueuedReq> = pi.queued.drain(..).collect();
+            o.pages.remove(&page);
+            o.dyn_cache.insert(page, candidate);
+            for q in queued {
+                Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+            }
+        } else {
+            // Fall back to the node that most recently accepted a transfer.
+            let fallback = o
+                .last_accept
+                .filter(|n| *n != candidate && *n != me && !*tried_last_accept);
+            match fallback {
+                Some(n) => {
+                    *stage = EvictStage::Asking {
+                        candidate: n,
+                        tried_last_accept: true,
+                    };
+                    fx.send(
+                        n,
+                        AsvmMsg::AcceptAsk {
+                            mobj,
+                            page,
+                            from: me,
+                        },
+                    );
+                }
+                None => {
+                    let (data, d) = (data.clone(), *dirty);
+                    pi.busy = None;
+                    Self::evict_step4(o, me, cost, now, vm, page, data, d, fx);
+                }
+            }
+        }
+    }
+
+    /// Internode pageout step 4: return the page to the real pager.
+    #[allow(clippy::too_many_arguments)]
+    fn evict_step4(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        data: PageData,
+        dirty: bool,
+        fx: &mut Fx,
+    ) {
+        let mobj = o.mobj;
+        if dirty {
+            fx.pager.push(PagerSend {
+                pager_node: o.pager_node,
+                reply_to: me,
+                mobj: o.mobj,
+                obj: o.vm_obj,
+                call: EmmiToPager::DataReturn {
+                    page,
+                    data,
+                    dirty: true,
+                },
+            });
+        }
+        let sm = o.static_node(page);
+        if sm == me {
+            o.static_seen.insert(page);
+            o.static_cache.insert(page, StaticHint::Paged);
+        } else {
+            fx.send(sm, AsvmMsg::PagedHint { mobj, page });
+        }
+        let queued: Vec<QueuedReq> = o
+            .pages
+            .get_mut(&page)
+            .map(|pi| pi.queued.drain(..).collect())
+            .unwrap_or_default();
+        o.pages.remove(&page);
+        for q in queued {
+            Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+        }
+    }
+
+    // --- Hint maintenance -------------------------------------------------------------
+
+    /// Reports fresh ownership of `page` to its static manager (or applies
+    /// it locally when we are the static manager).
+    pub(crate) fn notify_owner_hint(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        fx: &mut Fx,
+    ) {
+        let mobj = o.mobj;
+        let sm = o.static_node(page);
+        if sm == me {
+            Self::owner_hint(o, me, cost, now, vm, page, me, fx);
+        } else {
+            fx.send(
+                sm,
+                AsvmMsg::OwnerHint {
+                    mobj,
+                    page,
+                    owner: me,
+                },
+            );
+        }
+    }
+
+    /// Applies an ownership hint at the static manager and releases any
+    /// requests serialized behind a pager fill.
+    #[allow(clippy::too_many_arguments)]
+    fn owner_hint(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        owner: NodeId,
+        fx: &mut Fx,
+    ) {
+        o.static_seen.insert(page);
+        o.static_cache.insert(page, StaticHint::Owner(owner));
+        o.static_filling.remove(&page);
+        let waiting = o.static_waiting.remove(&page).unwrap_or_default();
+        for q in waiting {
+            let path = ReqPath {
+                tried_static: true,
+                hops: 1,
+                global_pos: None,
+                walk_done: false,
+            };
+            if owner == me {
+                Self::route(o, me, cost, now, vm, page, q, path, fx);
+            } else {
+                Self::send_req(o, fx, owner, page, &q, path);
+            }
+        }
+    }
+
+    /// Re-dispatches requests parked while this node awaited a fill.
+    pub(crate) fn drain_parked(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        fx: &mut Fx,
+    ) {
+        let parked = o.fill_waiters.remove(&page).unwrap_or_default();
+        for q in parked {
+            Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+        }
+    }
+
+    /// Requests an exclusive range lock (§6 future work). The grant
+    /// arrives via [`Fx::lock_granted`] — possibly within this call when
+    /// this node is the home node and the range is free.
+    pub fn lock_range(&mut self, mobj: MemObjId, range: crate::locks::PageRange, fx: &mut Fx) {
+        let me = self.me;
+        let o = self
+            .objects
+            .get_mut(&mobj)
+            .expect("lock on unregistered object");
+        if o.home == me {
+            if o.range_locks.acquire(range, me) {
+                fx.lock_granted.push((mobj, range));
+            }
+        } else {
+            fx.send(
+                o.home,
+                AsvmMsg::RangeLockReq {
+                    mobj,
+                    first: range.first,
+                    count: range.count,
+                    from: me,
+                },
+            );
+        }
+    }
+
+    /// Releases a range lock previously granted to this node.
+    pub fn unlock_range(&mut self, mobj: MemObjId, range: crate::locks::PageRange, fx: &mut Fx) {
+        let me = self.me;
+        let o = self
+            .objects
+            .get_mut(&mobj)
+            .expect("unlock on unregistered object");
+        if o.home == me {
+            for g in o.range_locks.release(range, me) {
+                if g.holder == me {
+                    fx.lock_granted.push((mobj, g.range));
+                } else {
+                    fx.send(
+                        g.holder,
+                        AsvmMsg::RangeLockGrant {
+                            mobj,
+                            first: g.range.first,
+                            count: g.range.count,
+                        },
+                    );
+                }
+            }
+        } else {
+            fx.send(
+                o.home,
+                AsvmMsg::RangeLockRelease {
+                    mobj,
+                    first: range.first,
+                    count: range.count,
+                    from: me,
+                },
+            );
+        }
+    }
+
+    /// A delayed copy of `mobj` was created on this node: bump versions
+    /// and protections locally and broadcast to all sharing nodes via the
+    /// home node.
+    pub fn copy_made_local(&mut self, now: Time, vm: &mut VmSystem, mobj: MemObjId, fx: &mut Fx) {
+        let me = self.me;
+        let o = self
+            .objects
+            .get_mut(&mobj)
+            .expect("copy of unregistered object");
+        Self::apply_copy_made(o, now, vm, fx);
+        if o.home == me {
+            let targets: Vec<NodeId> = o.nodes.iter().copied().filter(|n| *n != me).collect();
+            if targets.is_empty() {
+                fx.settled.push(mobj);
+            } else {
+                for n in &targets {
+                    fx.send(*n, AsvmMsg::CopyMade { mobj, from: me });
+                }
+                o.copy_settles.push((me, targets.into_iter().collect()));
+            }
+        } else {
+            fx.send(o.home, AsvmMsg::CopyMade { mobj, from: me });
+        }
+    }
+
+    /// Applies the local half of a copy notification: bump the object
+    /// version and write-protect resident pages so the next write faults
+    /// into the push machinery.
+    fn apply_copy_made(o: &mut AsvmObject, now: Time, vm: &mut VmSystem, fx: &mut Fx) {
+        o.version += 1;
+        let pages: Vec<PageIdx> = o
+            .pages
+            .iter()
+            .filter(|(_, pi)| pi.access == Access::Write)
+            .map(|(p, _)| *p)
+            .collect();
+        for page in pages {
+            vm.kernel_call(
+                now,
+                o.vm_obj,
+                EmmiToKernel::LockRequest {
+                    page,
+                    op: LockOp::Downgrade {
+                        return_dirty: false,
+                    },
+                    mode: LockMode::Normal,
+                },
+                &mut fx.vm,
+            );
+            if let Some(pi) = o.pages.get_mut(&page) {
+                pi.access = Access::Read;
+            }
+        }
+    }
+
+    // --- Small helpers --------------------------------------------------------------
+
+    fn send_req(
+        o: &AsvmObject,
+        fx: &mut Fx,
+        dst: NodeId,
+        page: PageIdx,
+        req: &QueuedReq,
+        path: ReqPath,
+    ) {
+        fx.send(
+            dst,
+            AsvmMsg::PageReq {
+                mobj: o.mobj,
+                page,
+                access: req.access,
+                origin: req.origin,
+                origin_obj: req.origin_obj,
+                has_copy: req.has_copy,
+                path,
+                kind: req.kind,
+                deliver: req.deliver,
+            },
+        );
+    }
+
+    fn has_free_memory(vm: &VmSystem) -> bool {
+        vm.resident_total() + 16 <= vm.capacity_pages()
+    }
+}

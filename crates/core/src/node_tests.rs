@@ -1,0 +1,434 @@
+//! Unit tests driving the ASVM state machine directly, without the
+//! discrete-event simulator: a miniature network shuttles protocol
+//! messages between a handful of `(AsvmNode, VmSystem)` pairs and the
+//! tests assert on protocol decisions, page state and invariants.
+
+use machvm::{
+    Access, Backing, EmmiToKernel, EmmiToPager, Inherit, MemObjId, PageData, PageIdx, SupplyMode,
+    TaskId, VmObjId, VmSystem,
+};
+use svmsim::{CostModel, NodeId, Time};
+
+use crate::config::AsvmConfig;
+use crate::node::{AsvmNode, Fx};
+use crate::object::StaticHint;
+use crate::protocol::{AsvmMsg, PagerSend};
+
+const MOBJ: MemObjId = MemObjId(7);
+const PAGES: u32 = 16;
+
+/// A miniature cluster: ASVM instances with their VM systems, a message
+/// bag, and a fake pager that answers data requests with stamps.
+struct MiniNet {
+    nodes: Vec<(AsvmNode, VmSystem)>,
+    /// In-flight protocol messages: (from, to, msg).
+    wire: Vec<(NodeId, NodeId, AsvmMsg)>,
+    /// In-flight pager requests.
+    pager_wire: Vec<PagerSend>,
+    /// What the fake pager supplies per page.
+    pager_data: Box<dyn Fn(PageIdx) -> PageData>,
+    now_ns: u64,
+}
+
+impl MiniNet {
+    fn new(n: u16, cfg: AsvmConfig) -> MiniNet {
+        let cost = CostModel::default();
+        let mut nodes = Vec::new();
+        for i in 0..n {
+            let mut vm = VmSystem::new(8192, 1 << 20, cost.clone());
+            let mut asvm = AsvmNode::new(NodeId(i), cost.clone());
+            let vo = vm.create_object(PAGES, Backing::External(MOBJ));
+            let mut fx = Fx::new();
+            // Home is node 0; the pager node id is out-of-band (99).
+            asvm.register_object(MOBJ, vo, PAGES, NodeId(0), NodeId(99), cfg, &mut fx);
+            // Drop setup MapNotify traffic; membership is set directly.
+            nodes.push((asvm, vm));
+        }
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        for (a, _) in &mut nodes {
+            a.object_mut(MOBJ).nodes = members.clone();
+        }
+        MiniNet {
+            nodes,
+            wire: Vec::new(),
+            pager_wire: Vec::new(),
+            pager_data: Box::new(|_| PageData::Zero),
+            now_ns: 0,
+        }
+    }
+
+    fn now(&mut self) -> Time {
+        self.now_ns += 1000;
+        Time::from_nanos(self.now_ns)
+    }
+
+    fn vm_obj(&self, n: u16) -> VmObjId {
+        self.nodes[n as usize].0.object(MOBJ).vm_obj
+    }
+
+    /// Maps the object into a task on node `n` so faults can be raised.
+    fn add_task(&mut self, n: u16) -> TaskId {
+        let task = TaskId(100 + n as u32);
+        let vo = self.vm_obj(n);
+        let vm = &mut self.nodes[n as usize].1;
+        vm.create_task(task);
+        vm.map_object(task, 0, PAGES, vo, 0, Access::Write, Inherit::Share);
+        task
+    }
+
+    fn absorb(&mut self, from: NodeId, fx: Fx) {
+        for ns in fx.net {
+            self.wire.push((from, ns.dst, ns.msg));
+        }
+        self.pager_wire.extend(fx.pager);
+        // VM effects: route EMMI back into the local ASVM; surface fault
+        // completions implicitly through VM state.
+        let mut vm_out: std::collections::VecDeque<machvm::VmEffect> = fx.vm.out.into();
+        while let Some(eff) = vm_out.pop_front() {
+            if let machvm::VmEffect::ToPager { obj, call, .. } = eff {
+                let now = self.now();
+                let (a, vm) = &mut self.nodes[from.index()];
+                let mut fx2 = Fx::new();
+                a.handle_emmi(now, vm, obj, call, &mut fx2);
+                for ns in fx2.net {
+                    self.wire.push((from, ns.dst, ns.msg));
+                }
+                self.pager_wire.extend(fx2.pager);
+                vm_out.extend(fx2.vm.out);
+            }
+        }
+    }
+
+    /// Delivers every in-flight message until the network drains.
+    fn settle(&mut self) {
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 10_000, "mini net livelock");
+            if let Some(p) = self.pager_wire.pop() {
+                // Fake pager: answer data requests immediately.
+                if let EmmiToPager::DataRequest { page, .. } = p.call {
+                    let data = (self.pager_data)(page);
+                    let now = self.now();
+                    let (a, vm) = &mut self.nodes[p.reply_to.index()];
+                    let mut fx = Fx::new();
+                    a.on_pager_reply(
+                        now,
+                        vm,
+                        p.obj,
+                        EmmiToKernel::DataSupply {
+                            page,
+                            data,
+                            lock: Access::Write,
+                            mode: SupplyMode::Normal,
+                        },
+                        &mut fx,
+                    );
+                    self.absorb(p.reply_to, fx);
+                }
+                continue;
+            }
+            let Some((from, to, msg)) = self.wire.pop() else {
+                return;
+            };
+            let now = self.now();
+            let (a, vm) = &mut self.nodes[to.index()];
+            let mut fx = Fx::new();
+            a.handle_msg(now, vm, from, msg, &mut fx);
+            self.absorb(to, fx);
+        }
+    }
+
+    /// Raises a fault on node `n` and settles the network.
+    fn fault(&mut self, n: u16, task: TaskId, page: u32, access: Access) {
+        let now = self.now();
+        let (_, vm) = &mut self.nodes[n as usize];
+        let mut vfx = machvm::Effects::new();
+        vm.fault(now, task, page as u64, access, &mut vfx);
+        let fx = Fx {
+            vm: vfx,
+            ..Fx::new()
+        };
+        self.absorb(NodeId(n), fx);
+        self.settle();
+    }
+
+    fn owner_of(&self, page: u32) -> Option<NodeId> {
+        let mut owner = None;
+        for (i, (a, _)) in self.nodes.iter().enumerate() {
+            if let Some(pi) = a.page_info(MOBJ, PageIdx(page)) {
+                if pi.owner {
+                    assert!(owner.is_none(), "two owners for page {page}");
+                    owner = Some(NodeId(i as u16));
+                }
+            }
+        }
+        owner
+    }
+
+    /// The state invariant of §3.1/§3.4: every node holding page state for
+    /// a non-busy page has the page resident in its VM cache.
+    fn check_state_tied_to_residency(&self) {
+        for (i, (a, vm)) in self.nodes.iter().enumerate() {
+            let o = a.object(MOBJ);
+            for (page, pi) in &o.pages {
+                if pi.busy.is_none() {
+                    assert!(
+                        vm.object(o.vm_obj).resident(*page),
+                        "node {i} holds state for non-resident {page:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn first_touch_goes_to_pager_and_makes_owner() {
+    let mut net = MiniNet::new(3, AsvmConfig::default());
+    let t = net.add_task(1);
+    net.fault(1, t, 4, Access::Read);
+    assert_eq!(net.owner_of(4), Some(NodeId(1)));
+    // The static manager learned about the owner.
+    let sm = net.nodes[0].0.object(MOBJ).static_node(PageIdx(4));
+    let smo = net.nodes[sm.index()].0.object(MOBJ);
+    assert!(smo.static_seen.contains(&PageIdx(4)));
+    net.check_state_tied_to_residency();
+}
+
+#[test]
+fn read_grant_builds_reader_list() {
+    let mut net = MiniNet::new(4, AsvmConfig::default());
+    let t0 = net.add_task(0);
+    net.fault(0, t0, 0, Access::Write);
+    for n in 1..4 {
+        let t = net.add_task(n);
+        net.fault(n, t, 0, Access::Read);
+    }
+    let owner = net.owner_of(0).unwrap();
+    assert_eq!(owner, NodeId(0));
+    let pi = net.nodes[0].0.page_info(MOBJ, PageIdx(0)).unwrap();
+    assert_eq!(pi.readers.len(), 3, "all readers tracked");
+    assert_eq!(pi.access, Access::Read, "owner downgraded to share reads");
+    net.check_state_tied_to_residency();
+}
+
+#[test]
+fn write_transfer_moves_ownership_and_invalidates() {
+    let mut net = MiniNet::new(4, AsvmConfig::default());
+    let t0 = net.add_task(0);
+    net.fault(0, t0, 0, Access::Write);
+    let t1 = net.add_task(1);
+    net.fault(1, t1, 0, Access::Read);
+    let t2 = net.add_task(2);
+    net.fault(2, t2, 0, Access::Write);
+
+    assert_eq!(net.owner_of(0), Some(NodeId(2)));
+    // Old owner and old reader lost their copies.
+    assert!(net.nodes[0].0.page_info(MOBJ, PageIdx(0)).is_none());
+    assert!(net.nodes[1].0.page_info(MOBJ, PageIdx(0)).is_none());
+    assert!(!net.nodes[0].1.object(net.vm_obj(0)).resident(PageIdx(0)));
+    // The writer's VM has write access.
+    assert!(net.nodes[2].1.can_access(TaskId(102), 0, Access::Write));
+    net.check_state_tied_to_residency();
+}
+
+#[test]
+fn upgrade_in_place_needs_no_page_transfer() {
+    let mut net = MiniNet::new(3, AsvmConfig::default());
+    let t0 = net.add_task(0);
+    net.fault(0, t0, 3, Access::Write);
+    let t1 = net.add_task(1);
+    net.fault(1, t1, 3, Access::Read);
+    // Node 1 upgrades: it already holds the data.
+    net.fault(1, t1, 3, Access::Write);
+    assert_eq!(net.owner_of(3), Some(NodeId(1)));
+    assert!(net.nodes[1].1.can_access(t1, 3, Access::Write));
+    net.check_state_tied_to_residency();
+}
+
+#[test]
+fn dynamic_hints_chase_migrating_ownership() {
+    let mut net = MiniNet::new(4, AsvmConfig::default());
+    let tasks: Vec<_> = (0..4).map(|n| net.add_task(n)).collect();
+    for round in 0..3 {
+        for n in 0..4u16 {
+            net.fault(n, tasks[n as usize], 1, Access::Write);
+            let _ = round;
+        }
+    }
+    assert_eq!(net.owner_of(1), Some(NodeId(3)));
+    // Some node's dynamic cache should point at a recent owner.
+    let hint = net.nodes[0].0.object(MOBJ).dyn_cache.peek(&PageIdx(1));
+    assert!(hint.is_some(), "write traffic must leave ownership hints");
+}
+
+#[test]
+fn static_manager_records_paged_hint_on_evict_to_pager() {
+    let mut net = MiniNet::new(2, AsvmConfig::default());
+    let t0 = net.add_task(0);
+    net.fault(0, t0, 2, Access::Write);
+    net.nodes[0]
+        .1
+        .write_page(Time::from_nanos(1), t0, 2, PageData::Word(42));
+
+    // Evict the page on the owner; with a lone other node refusing is not
+    // modelled here (it accepts), so force step 4 by making node 1 "full":
+    // easiest honest path: single-member object.
+    let mut solo = MiniNet::new(1, AsvmConfig::default());
+    let ts = solo.add_task(0);
+    solo.fault(0, ts, 2, Access::Write);
+    solo.nodes[0]
+        .1
+        .write_page(Time::from_nanos(1), ts, 2, PageData::Word(42));
+    let now = solo.now();
+    let vo = solo.vm_obj(0);
+    let mut vfx = machvm::Effects::new();
+    solo.nodes[0].1.evict(now, vo, PageIdx(2), &mut vfx);
+    // Route the EvictExternal effect into ASVM.
+    let mut fx = Fx::new();
+    for eff in vfx.out {
+        if let machvm::VmEffect::EvictExternal {
+            obj,
+            page,
+            data,
+            dirty,
+            ..
+        } = eff
+        {
+            let now = solo.now();
+            let (a, vm) = &mut solo.nodes[0];
+            a.evict_external(now, vm, obj, page, data, dirty, &mut fx);
+        }
+    }
+    // Step 4: the dirty page went to the pager...
+    assert!(
+        fx.pager
+            .iter()
+            .any(|p| matches!(p.call, EmmiToPager::DataReturn { .. })),
+        "dirty page must be returned to the pager"
+    );
+    // ...state is gone, and the static manager (itself) knows it is paged.
+    let o = solo.nodes[0].0.object(MOBJ);
+    assert!(!o.pages.contains_key(&PageIdx(2)));
+    assert_eq!(o.static_cache.peek(&PageIdx(2)), Some(&StaticHint::Paged));
+}
+
+#[test]
+fn eviction_hands_ownership_to_a_reader_without_contents() {
+    let mut net = MiniNet::new(3, AsvmConfig::default());
+    let t0 = net.add_task(0);
+    net.fault(0, t0, 5, Access::Write);
+    let t1 = net.add_task(1);
+    net.fault(1, t1, 5, Access::Read);
+
+    // Evict on the owner (node 0): step 2 must transfer ownership to the
+    // reader (node 1) without a page-carrying message.
+    let now = net.now();
+    let vo = net.vm_obj(0);
+    let mut vfx = machvm::Effects::new();
+    net.nodes[0].1.evict(now, vo, PageIdx(5), &mut vfx);
+    let mut fx = Fx::new();
+    for eff in vfx.out {
+        if let machvm::VmEffect::EvictExternal {
+            obj,
+            page,
+            data,
+            dirty,
+            ..
+        } = eff
+        {
+            let now = net.now();
+            let (a, vm) = &mut net.nodes[0];
+            a.evict_external(now, vm, obj, page, data, dirty, &mut fx);
+        }
+    }
+    // Check that no page payload travels during the hand-off.
+    let ps = 8192;
+    for ns in &fx.net {
+        assert_eq!(
+            ns.msg.payload_bytes(ps),
+            0,
+            "ownership hand-off must not carry page contents"
+        );
+    }
+    net.absorb(NodeId(0), fx);
+    net.settle();
+    assert_eq!(net.owner_of(5), Some(NodeId(1)));
+    net.check_state_tied_to_residency();
+}
+
+#[test]
+fn global_walk_finds_owner_without_any_caches() {
+    let mut net = MiniNet::new(4, AsvmConfig::global_only());
+    let t2 = net.add_task(2);
+    net.fault(2, t2, 9, Access::Write);
+    // A different node finds the owner purely by walking.
+    let t0 = net.add_task(0);
+    net.fault(0, t0, 9, Access::Read);
+    assert_eq!(net.owner_of(9), Some(NodeId(2)));
+    let pi = net.nodes[2].0.page_info(MOBJ, PageIdx(9)).unwrap();
+    assert!(pi.readers.contains(&NodeId(0)));
+}
+
+#[test]
+fn copy_made_bumps_version_and_write_protects() {
+    let mut net = MiniNet::new(2, AsvmConfig::default());
+    let t0 = net.add_task(0);
+    net.fault(0, t0, 0, Access::Write);
+    assert_eq!(net.nodes[0].0.object(MOBJ).version, 0);
+
+    // Node 1 declares a copy (as a fork would).
+    let now = net.now();
+    let (a, vm) = &mut net.nodes[1];
+    let mut fx = Fx::new();
+    a.copy_made_local(now, vm, MOBJ, &mut fx);
+    net.absorb(NodeId(1), fx);
+    net.settle();
+
+    for (i, (a, _)) in net.nodes.iter().enumerate() {
+        assert_eq!(a.object(MOBJ).version, 1, "node {i} version");
+    }
+    // The owner's page state was downgraded to read-only.
+    let pi = net.nodes[0].0.page_info(MOBJ, PageIdx(0)).unwrap();
+    assert_eq!(pi.access, Access::Read);
+    // And a new write now requires a push round (version mismatch).
+    assert_eq!(pi.version, 0);
+    assert_ne!(pi.version, net.nodes[0].0.object(MOBJ).version);
+}
+
+#[test]
+fn pager_contents_flow_through_grants() {
+    let mut net = MiniNet::new(2, AsvmConfig::default());
+    net.pager_data = Box::new(|p| PageData::Word(0xF00D_0000 + p.0 as u64));
+    let t0 = net.add_task(0);
+    net.fault(0, t0, 6, Access::Read);
+    let now = net.now();
+    assert_eq!(
+        net.nodes[0].1.read_page(now, t0, 6),
+        PageData::Word(0xF00D_0006)
+    );
+    // Second node gets it from the owner, not the pager.
+    let before = net.pager_wire.len();
+    let t1 = net.add_task(1);
+    net.fault(1, t1, 6, Access::Read);
+    assert_eq!(net.pager_wire.len(), before, "no further pager traffic");
+    let now = net.now();
+    assert_eq!(
+        net.nodes[1].1.read_page(now, t1, 6),
+        PageData::Word(0xF00D_0006)
+    );
+}
+
+#[test]
+fn state_bytes_stay_bounded_by_residency() {
+    let mut net = MiniNet::new(2, AsvmConfig::default());
+    let t0 = net.add_task(0);
+    for p in 0..PAGES {
+        net.fault(0, t0, p, Access::Write);
+    }
+    let o = net.nodes[0].0.object(MOBJ);
+    assert_eq!(o.pages.len(), PAGES as usize);
+    // The other node holds no per-page state at all.
+    assert_eq!(net.nodes[1].0.object(MOBJ).pages.len(), 0);
+}

@@ -1,0 +1,356 @@
+//! Per-node, per-memory-object ASVM state.
+//!
+//! The paper's memory rule (§3.1): a node only holds page state for pages
+//! cached in its physical memory. [`PageInfo`] entries therefore exist only
+//! for locally resident pages (plus short-lived transitional records while
+//! an eviction or transfer is in flight), and all forwarding knowledge
+//! lives in bounded LRU caches.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use machvm::{Access, MemObjId, PageData, PageIdx, VmObjId};
+use svmsim::NodeId;
+
+use crate::config::AsvmConfig;
+use crate::lru::Lru;
+use crate::protocol::ReqKind;
+
+/// A request parked while the page is busy or while its owner is unknown.
+#[derive(Clone, Debug)]
+pub struct QueuedReq {
+    /// Requested access.
+    pub access: Access,
+    /// Requesting node.
+    pub origin: NodeId,
+    /// The requester's VM object (reply-routing token).
+    pub origin_obj: VmObjId,
+    /// The requester claims to hold a read copy.
+    pub has_copy: bool,
+    /// Normal access or push scan.
+    pub kind: ReqKind,
+    /// Pull lookup on behalf of this copy object (§3.7.3), if any.
+    pub deliver: Option<MemObjId>,
+}
+
+/// Stage of an internode pageout (paper §3.6).
+#[derive(Clone, Debug)]
+pub enum EvictStage {
+    /// Step 2: asking readers, one after another, whether they still hold
+    /// the page.
+    CheckingReaders {
+        /// The reader currently being asked.
+        current: NodeId,
+        /// Readers not yet asked.
+        remaining: Vec<NodeId>,
+    },
+    /// Step 3: asking a node with mapped memory to accept the page.
+    Asking {
+        /// The candidate currently being asked.
+        candidate: NodeId,
+        /// Whether the most-recent-acceptor fallback was already tried.
+        tried_last_accept: bool,
+    },
+}
+
+/// In-flight protocol operation pinning a page's state.
+#[derive(Clone, Debug)]
+pub enum Busy {
+    /// Transition 6: invalidating readers before granting write access
+    /// (and ownership) to another node.
+    WriteTransfer {
+        /// The node receiving write access.
+        to: NodeId,
+        /// Acks still outstanding.
+        pending_acks: BTreeSet<NodeId>,
+    },
+    /// Transition 7: invalidating readers before upgrading our own access.
+    LocalUpgrade {
+        /// Acks still outstanding.
+        pending_acks: BTreeSet<NodeId>,
+    },
+    /// Internode pageout in progress; the contents were already removed
+    /// from the VM cache and are held here.
+    Evict {
+        /// The page contents.
+        data: PageData,
+        /// Whether they differ from the pager's version.
+        dirty: bool,
+        /// Current stage.
+        stage: EvictStage,
+    },
+    /// We answered a read-check positively and are waiting for the
+    /// ownership transfer; the page is pinned against eviction.
+    AwaitingOwnership,
+    /// A push operation is collecting acknowledgements from sharing nodes
+    /// before write access is granted (§3.7.2).
+    Push {
+        /// Nodes that have not yet completed their local push.
+        pending: BTreeSet<NodeId>,
+        /// The write request to serve once the push completes.
+        resume: Box<QueuedReq>,
+    },
+}
+
+/// ASVM state for one page on one node.
+#[derive(Clone, Debug)]
+pub struct PageInfo {
+    /// Access level the local VM cache holds.
+    pub access: Access,
+    /// This node is the page owner.
+    pub owner: bool,
+    /// Nodes holding read copies (meaningful only when `owner`).
+    pub readers: BTreeSet<NodeId>,
+    /// Delayed-copy page version (paper §3.7.2).
+    pub version: u64,
+    /// The distributed page differs from the pager's version.
+    pub dirty: bool,
+    /// In-flight operation, if any.
+    pub busy: Option<Busy>,
+    /// Requests parked on this page while busy.
+    pub queued: VecDeque<QueuedReq>,
+}
+
+impl PageInfo {
+    /// A fresh record with the given access and ownership.
+    pub fn new(access: Access, owner: bool, version: u64) -> PageInfo {
+        PageInfo {
+            access,
+            owner,
+            readers: BTreeSet::new(),
+            version,
+            dirty: false,
+            busy: None,
+            queued: VecDeque::new(),
+        }
+    }
+}
+
+/// Our own outstanding request for a page.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingLocal {
+    /// Access requested.
+    pub access: Access,
+    /// We held a read copy when the request left.
+    pub has_copy: bool,
+}
+
+/// Static-ownership-manager knowledge about a page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StaticHint {
+    /// This node owns the page (last we heard).
+    Owner(NodeId),
+    /// The page was returned to the pager.
+    Paged,
+}
+
+/// Per-node representation of one ASVM-managed memory object.
+#[derive(Debug)]
+pub struct AsvmObject {
+    /// The distributed memory object.
+    pub mobj: MemObjId,
+    /// The local VM object representing it.
+    pub vm_obj: VmObjId,
+    /// Object length in pages.
+    pub size_pages: u32,
+    /// Creation node; membership authority.
+    pub home: NodeId,
+    /// I/O node hosting the backing pager.
+    pub pager_node: NodeId,
+    /// Striped backing (§6 future work): pager nodes used round-robin by
+    /// page. Contains just `pager_node` for a conventional object.
+    pub stripe: Vec<NodeId>,
+    /// Forwarding configuration.
+    pub cfg: AsvmConfig,
+    /// All nodes that have mapped the object, sorted (kept consistent by
+    /// home-node broadcasts).
+    pub nodes: Vec<NodeId>,
+    /// Page state (resident/owned pages only).
+    pub pages: BTreeMap<PageIdx, PageInfo>,
+    /// Our own outstanding requests.
+    pub pending: BTreeMap<PageIdx, PendingLocal>,
+    /// Requests from others that will be servable once our own pending
+    /// write/fill completes.
+    pub fill_waiters: BTreeMap<PageIdx, Vec<QueuedReq>>,
+    /// Dynamic forwarding hints (most recent presumed owner).
+    pub dyn_cache: Lru<PageIdx, NodeId>,
+    /// Static-manager hint cache (for pages this node statically manages).
+    pub static_cache: Lru<PageIdx, StaticHint>,
+    /// Pager fills in flight, recorded at the static manager so that
+    /// concurrent no-owner requests serialize instead of racing to the
+    /// pager.
+    pub static_filling: BTreeMap<PageIdx, NodeId>,
+    /// Requests parked at the static manager until a fill completes.
+    pub static_waiting: BTreeMap<PageIdx, Vec<QueuedReq>>,
+    /// Pages that have ever had an owner (distinguishes `fresh` from
+    /// merely-unknown while no hint has been evicted).
+    pub static_seen: BTreeSet<PageIdx>,
+    /// The `fresh` fast path is sound: membership has not changed since
+    /// setup, so "never seen at the static manager" really means "no owner
+    /// anywhere". Runtime membership changes (forks) clear it; unknown
+    /// pages then take the global walk, which finds owners the (moved)
+    /// static managers never heard about.
+    pub fresh_valid: bool,
+    /// Pages whose transfer we accepted and are waiting to receive
+    /// (internode pageout step 3); requests park until the page lands.
+    pub incoming_transfer: BTreeSet<PageIdx>,
+    /// Delayed-copy object version counter (incremented per copy).
+    pub version: u64,
+    /// Internode pageout cycling counter (§3.6 step 3).
+    pub pageout_counter: usize,
+    /// Node that most recently accepted a page transfer from us.
+    pub last_accept: Option<NodeId>,
+    /// Distributed delayed copy: the node where this copy object was
+    /// created ("peer node", §3.7.3), which maps the source object.
+    pub peer: Option<NodeId>,
+    /// Distributed delayed copy: the source object this object was copied
+    /// from.
+    pub source: Option<MemObjId>,
+    /// Distributed copy objects made from this object.
+    pub copies: Vec<MemObjId>,
+    /// Pull requests whose local shadow-chain traversal
+    /// (`memory_object_pull_request`) is in flight.
+    pub pull_in_flight: BTreeMap<PageIdx, Vec<QueuedReq>>,
+    /// Copy notifications being settled at the home node: the copying node
+    /// and the members whose acknowledgement is still outstanding.
+    pub copy_settles: Vec<(NodeId, BTreeSet<NodeId>)>,
+    /// Range-lock manager (home node only; §6 future work).
+    pub range_locks: crate::locks::RangeLockMgr,
+}
+
+impl AsvmObject {
+    /// Creates the local representation of `mobj`.
+    pub fn new(
+        mobj: MemObjId,
+        vm_obj: VmObjId,
+        size_pages: u32,
+        home: NodeId,
+        pager_node: NodeId,
+        me: NodeId,
+        cfg: AsvmConfig,
+    ) -> AsvmObject {
+        let mut nodes = vec![home];
+        if me != home {
+            nodes.push(me);
+            nodes.sort();
+        }
+        AsvmObject {
+            mobj,
+            vm_obj,
+            size_pages,
+            home,
+            pager_node,
+            stripe: vec![pager_node],
+            cfg,
+            nodes,
+            pages: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            fill_waiters: BTreeMap::new(),
+            dyn_cache: Lru::new(cfg.dynamic_cache_entries),
+            static_cache: Lru::new(cfg.static_cache_entries),
+            static_filling: BTreeMap::new(),
+            static_waiting: BTreeMap::new(),
+            static_seen: BTreeSet::new(),
+            fresh_valid: true,
+            incoming_transfer: BTreeSet::new(),
+            version: 0,
+            pageout_counter: 0,
+            last_accept: None,
+            peer: None,
+            source: None,
+            copies: Vec::new(),
+            pull_in_flight: BTreeMap::new(),
+            copy_settles: Vec::new(),
+            range_locks: crate::locks::RangeLockMgr::default(),
+        }
+    }
+
+    /// True if this node's local copy chain below the object still needs
+    /// `page` pushed into it (the copy object exists and lacks the page).
+    pub fn has_local_copy_needing(&self, vm: &machvm::VmSystem, page: PageIdx) -> bool {
+        let src = vm.object(self.vm_obj);
+        match src.copy {
+            Some(c) => {
+                let copy = vm.object(c);
+                !copy.resident(page) && !copy.paged_out.contains(&page)
+            }
+            None => false,
+        }
+    }
+
+    /// The static ownership manager for `page`: a fixed hash of the page
+    /// number over the object's membership.
+    pub fn static_node(&self, page: PageIdx) -> NodeId {
+        assert!(!self.nodes.is_empty(), "object with empty membership");
+        self.nodes[page.0 as usize % self.nodes.len()]
+    }
+
+    /// The pager serving `page`: round-robin over the stripe set (§6
+    /// future work — *"multiple pagers for one VM object that are used for
+    /// paging requests in a round-robin fashion"*).
+    pub fn pager_for(&self, page: PageIdx) -> NodeId {
+        self.stripe[page.0 as usize % self.stripe.len()]
+    }
+
+    /// Approximate bytes of non-pageable memory this node spends on the
+    /// object's distributed-memory state (for the memory ablation).
+    pub fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pages.len() * (size_of::<PageIdx>() + size_of::<PageInfo>())
+            + self
+                .pages
+                .values()
+                .map(|p| p.readers.len() * 2)
+                .sum::<usize>()
+            + self.dyn_cache.len() * (size_of::<PageIdx>() + size_of::<NodeId>() + 8)
+            + self.static_cache.len() * (size_of::<PageIdx>() + size_of::<StaticHint>() + 8)
+            + self.static_seen.len() * size_of::<PageIdx>()
+            + self.nodes.len() * size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(me: u16, home: u16) -> AsvmObject {
+        AsvmObject::new(
+            MemObjId(1),
+            VmObjId(1),
+            64,
+            NodeId(home),
+            NodeId(9),
+            NodeId(me),
+            AsvmConfig::default(),
+        )
+    }
+
+    #[test]
+    fn initial_membership_contains_home_and_self() {
+        let o = obj(2, 0);
+        assert_eq!(o.nodes, vec![NodeId(0), NodeId(2)]);
+        let h = obj(0, 0);
+        assert_eq!(h.nodes, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn static_manager_is_deterministic_hash() {
+        let mut o = obj(0, 0);
+        o.nodes = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        assert_eq!(o.static_node(PageIdx(0)), NodeId(0));
+        assert_eq!(o.static_node(PageIdx(5)), NodeId(1));
+        assert_eq!(o.static_node(PageIdx(7)), NodeId(3));
+    }
+
+    #[test]
+    fn state_bytes_grows_with_resident_pages_only() {
+        let mut o = obj(0, 0);
+        let empty = o.state_bytes();
+        o.pages
+            .insert(PageIdx(0), PageInfo::new(Access::Read, true, 0));
+        assert!(o.state_bytes() > empty);
+        // Crucially: no term proportional to size_pages.
+        let mut big = obj(0, 0);
+        big.size_pages = 1 << 20;
+        assert_eq!(big.state_bytes(), empty);
+    }
+}

@@ -1,0 +1,464 @@
+//! The ASVM wire protocol.
+//!
+//! ASVM defines its own protocol for all communication between ASVM
+//! instances, mapped onto the dedicated SVM Transport Service: messages are
+//! a fixed 32-byte block of untyped data, possibly followed by the contents
+//! of one VM page (paper §3.1). The variants below are that protocol; the
+//! [`AsvmMsg::payload_bytes`] accessor tells the transport how much data
+//! follows the header.
+
+use machvm::{Access, MemObjId, PageData, PageIdx, VmObjId};
+use svmsim::NodeId;
+
+/// Routing state carried by a request while the redirector forwards it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReqPath {
+    /// The static ownership manager has already been consulted.
+    pub tried_static: bool,
+    /// Forwarding hops so far (dynamic-hint loop guard).
+    pub hops: u16,
+    /// Position in the membership list during a global walk, if one is in
+    /// progress.
+    pub global_pos: Option<u16>,
+    /// A global walk completed without finding an owner; the static
+    /// manager must dispatch to the pager.
+    pub walk_done: bool,
+}
+
+/// What a [`AsvmMsg::PageReq`] is asking for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReqKind {
+    /// Normal access request for a fault.
+    Access,
+    /// Push scan (§3.7.2): determine whether any node holds an owner of
+    /// this page inside a shared *copy* object. If one exists the push is
+    /// cancelled; if the request falls through to "no owner", the push
+    /// proceeds.
+    PushScan,
+}
+
+/// One ASVM protocol message.
+#[derive(Clone, Debug)]
+pub enum AsvmMsg {
+    /// A node mapped the object; sent to the home node.
+    MapNotify {
+        /// The object.
+        mobj: MemObjId,
+        /// The mapping node.
+        node: NodeId,
+    },
+    /// Home node's authoritative membership broadcast.
+    Membership {
+        /// The object.
+        mobj: MemObjId,
+        /// All nodes that have mapped the object, sorted.
+        nodes: Vec<NodeId>,
+    },
+    /// Access request travelling toward the page owner.
+    PageReq {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// Requested access.
+        access: Access,
+        /// The requesting node (grant destination).
+        origin: NodeId,
+        /// The requester's VM object for this memory object (reply-routing
+        /// token for pager dispatches).
+        origin_obj: VmObjId,
+        /// The requester already holds a read copy (upgrade: the grant need
+        /// not carry page contents).
+        has_copy: bool,
+        /// Routing state.
+        path: ReqPath,
+        /// Normal access or push scan.
+        kind: ReqKind,
+        /// Pull-lookup marker (§3.7.3): when set, the request is a
+        /// snapshot lookup on behalf of a *copy* object; the grant is
+        /// delivered in terms of this object and does not register the
+        /// origin as a reader here.
+        deliver: Option<MemObjId>,
+    },
+    /// Owner's (or pager path's) answer to a `PageReq`.
+    Grant {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// Access granted.
+        access: Access,
+        /// Page contents, unless the requester already has them.
+        data: Option<PageData>,
+        /// The distributed page differs from the pager's version.
+        dirty: bool,
+        /// Ownership is transferred to the requester.
+        ownership: bool,
+        /// Reader list handed over with ownership.
+        readers: Vec<NodeId>,
+        /// Delayed-copy page version.
+        version: u64,
+        /// This grant answers a pull lookup: the receiver becomes the
+        /// page's first owner inside the copy object and takes the copy
+        /// object's current version.
+        pull_snapshot: bool,
+    },
+    /// Owner tells a reader to drop its copy.
+    Invalidate {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The owner (ack destination).
+        from: NodeId,
+    },
+    /// Reader's acknowledgement (sent even if the copy was already gone).
+    InvalidateAck {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The acknowledging reader.
+        from: NodeId,
+    },
+    /// Internode pageout step 2: does the reader still hold a copy?
+    ReadCheck {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The evicting owner.
+        from: NodeId,
+    },
+    /// Answer to [`AsvmMsg::ReadCheck`].
+    ReadCheckReply {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The replying reader.
+        from: NodeId,
+        /// It still holds a read copy.
+        has_copy: bool,
+    },
+    /// Internode pageout step 2: ownership moves to a reader — *"Note that
+    /// this ownership transfer doesn't require sending the page contents."*
+    OwnershipTransfer {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// Remaining reader list (minus the new owner).
+        readers: Vec<NodeId>,
+        /// Delayed-copy page version.
+        version: u64,
+        /// The page differs from the pager's version.
+        dirty: bool,
+    },
+    /// Internode pageout step 3: will you take this page?
+    AcceptAsk {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The evicting owner.
+        from: NodeId,
+    },
+    /// Answer to [`AsvmMsg::AcceptAsk`].
+    AcceptReply {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The candidate node.
+        from: NodeId,
+        /// It has memory available and accepts.
+        accept: bool,
+    },
+    /// Internode pageout step 3: the page moves; the receiver becomes
+    /// owner.
+    PageTransfer {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// Contents.
+        data: PageData,
+        /// The page differs from the pager's version.
+        dirty: bool,
+        /// Delayed-copy page version.
+        version: u64,
+    },
+    /// Tells the page's static ownership manager who owns it now.
+    OwnerHint {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The new owner.
+        owner: NodeId,
+    },
+    /// Tells the static manager the page went back to the pager.
+    PagedHint {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+    },
+    /// Push operation (§3.7.2): the write-granting owner asks a sharing
+    /// node to push the page down its local copy chain and invalidate it in
+    /// the source object (`memory_object_lock_request` with push mode).
+    PushReq {
+        /// The source object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The coordinating owner (ack destination).
+        from: NodeId,
+    },
+    /// Answer to [`AsvmMsg::PushReq`].
+    PushAck {
+        /// The source object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The replying node.
+        from: NodeId,
+        /// The page was absent locally; contents are needed to complete
+        /// the push (`lock_completed` reported `PageAbsent`).
+        needs_data: bool,
+    },
+    /// Page contents sent to a node whose push found the page absent; the
+    /// receiver performs `data_supply(mode=push)`.
+    PushData {
+        /// The source object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The coordinating owner (completion destination).
+        from: NodeId,
+        /// Contents to push down the local copy chain.
+        data: PageData,
+    },
+    /// Completion of the remote half of a push at one sharing node.
+    PushDone {
+        /// The source object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The node that completed its push.
+        from: NodeId,
+    },
+    /// A delayed copy of the object was created somewhere: every sharing
+    /// node bumps its version counter and write-protects its resident
+    /// pages, so the next write triggers a push operation (§3.7).
+    CopyMade {
+        /// The source object.
+        mobj: MemObjId,
+        /// Node that created the copy (the home relays to everyone else).
+        from: NodeId,
+    },
+    /// A sharing node finished applying a copy notification (version bump
+    /// + write protection); sent to the home node, which aggregates.
+    CopyMadeAck {
+        /// The source object.
+        mobj: MemObjId,
+        /// The acknowledging node.
+        from: NodeId,
+    },
+    /// Every sharing node has applied the copy notification: the fork that
+    /// created the copy may complete (the copy point is linearized here).
+    CopySettled {
+        /// The source object.
+        mobj: MemObjId,
+    },
+    /// Hands a pull lookup to the peer node of a copy object, which walks
+    /// its local shadow chain with `memory_object_pull_request` (§3.7.3).
+    PullHop {
+        /// The object whose local shadow chain must be traversed.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// Access the origin wants.
+        access: Access,
+        /// The faulting node.
+        origin: NodeId,
+        /// The origin's VM object for the deliver object.
+        origin_obj: VmObjId,
+        /// The copy object the grant must be delivered in terms of.
+        deliver: MemObjId,
+    },
+    /// Range-lock request (§6 future work): sent to the object's home
+    /// node, which runs the lock manager.
+    RangeLockReq {
+        /// The object.
+        mobj: MemObjId,
+        /// First page of the range.
+        first: PageIdx,
+        /// Length in pages.
+        count: u32,
+        /// The requesting node.
+        from: NodeId,
+    },
+    /// The range lock was granted.
+    RangeLockGrant {
+        /// The object.
+        mobj: MemObjId,
+        /// First page of the range.
+        first: PageIdx,
+        /// Length in pages.
+        count: u32,
+    },
+    /// The holder releases the range.
+    RangeLockRelease {
+        /// The object.
+        mobj: MemObjId,
+        /// First page of the range.
+        first: PageIdx,
+        /// Length in pages.
+        count: u32,
+        /// The releasing node.
+        from: NodeId,
+    },
+    /// Retry indicator (§3.7.3): a copy request raced with a push; the
+    /// origin must re-issue it.
+    Retry {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// Access originally requested.
+        access: Access,
+    },
+}
+
+impl AsvmMsg {
+    /// Bytes of payload following the fixed 32-byte header (page contents
+    /// and variable-length lists).
+    pub fn payload_bytes(&self, page_size: u32) -> u32 {
+        match self {
+            AsvmMsg::Grant {
+                data: Some(_),
+                readers,
+                ..
+            } => page_size + 2 * readers.len() as u32,
+            AsvmMsg::Grant {
+                data: None,
+                readers,
+                ..
+            }
+            | AsvmMsg::OwnershipTransfer { readers, .. } => 2 * readers.len() as u32,
+            AsvmMsg::PageTransfer { .. } | AsvmMsg::PushData { .. } => page_size,
+            AsvmMsg::Membership { nodes, .. } => 2 * nodes.len() as u32,
+            _ => 0,
+        }
+    }
+
+    /// The memory object this message concerns.
+    pub fn mobj(&self) -> MemObjId {
+        match self {
+            AsvmMsg::MapNotify { mobj, .. }
+            | AsvmMsg::Membership { mobj, .. }
+            | AsvmMsg::PageReq { mobj, .. }
+            | AsvmMsg::Grant { mobj, .. }
+            | AsvmMsg::Invalidate { mobj, .. }
+            | AsvmMsg::InvalidateAck { mobj, .. }
+            | AsvmMsg::ReadCheck { mobj, .. }
+            | AsvmMsg::ReadCheckReply { mobj, .. }
+            | AsvmMsg::OwnershipTransfer { mobj, .. }
+            | AsvmMsg::AcceptAsk { mobj, .. }
+            | AsvmMsg::AcceptReply { mobj, .. }
+            | AsvmMsg::PageTransfer { mobj, .. }
+            | AsvmMsg::OwnerHint { mobj, .. }
+            | AsvmMsg::PagedHint { mobj, .. }
+            | AsvmMsg::PushReq { mobj, .. }
+            | AsvmMsg::PushAck { mobj, .. }
+            | AsvmMsg::PushData { mobj, .. }
+            | AsvmMsg::PushDone { mobj, .. }
+            | AsvmMsg::PullHop { mobj, .. }
+            | AsvmMsg::CopyMade { mobj, .. }
+            | AsvmMsg::CopyMadeAck { mobj, .. }
+            | AsvmMsg::CopySettled { mobj }
+            | AsvmMsg::RangeLockReq { mobj, .. }
+            | AsvmMsg::RangeLockGrant { mobj, .. }
+            | AsvmMsg::RangeLockRelease { mobj, .. }
+            | AsvmMsg::Retry { mobj, .. } => *mobj,
+        }
+    }
+}
+
+/// A network send requested by the ASVM state machine.
+#[derive(Clone, Debug)]
+pub struct NetSend {
+    /// Destination node.
+    pub dst: NodeId,
+    /// The message.
+    pub msg: AsvmMsg,
+}
+
+/// An EMMI request to a real pager task, carried over NORMA-IPC.
+#[derive(Clone, Debug)]
+pub struct PagerSend {
+    /// The I/O node hosting the pager.
+    pub pager_node: NodeId,
+    /// Node the pager's reply must go to (the request origin — not
+    /// necessarily the node that dispatched the request).
+    pub reply_to: NodeId,
+    /// The memory object addressed.
+    pub mobj: MemObjId,
+    /// Reply-routing VM object on `reply_to`.
+    pub obj: VmObjId,
+    /// The EMMI call.
+    pub call: machvm::EmmiToPager,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_accounting() {
+        let ps = 8192;
+        let hdr_only = AsvmMsg::Invalidate {
+            mobj: MemObjId(1),
+            page: PageIdx(0),
+            from: NodeId(0),
+        };
+        assert_eq!(hdr_only.payload_bytes(ps), 0);
+
+        let grant = AsvmMsg::Grant {
+            mobj: MemObjId(1),
+            page: PageIdx(0),
+            access: Access::Write,
+            data: Some(PageData::Word(1)),
+            dirty: false,
+            ownership: true,
+            readers: vec![NodeId(1), NodeId(2)],
+            version: 0,
+            pull_snapshot: false,
+        };
+        assert_eq!(grant.payload_bytes(ps), ps + 4);
+
+        let upgrade = AsvmMsg::Grant {
+            mobj: MemObjId(1),
+            page: PageIdx(0),
+            access: Access::Write,
+            data: None,
+            dirty: false,
+            ownership: true,
+            readers: vec![],
+            version: 0,
+            pull_snapshot: false,
+        };
+        assert_eq!(upgrade.payload_bytes(ps), 0);
+    }
+
+    #[test]
+    fn mobj_extraction() {
+        let m = AsvmMsg::PagedHint {
+            mobj: MemObjId(9),
+            page: PageIdx(1),
+        };
+        assert_eq!(m.mobj(), MemObjId(9));
+    }
+}

@@ -1,0 +1,203 @@
+//! The External Memory Management Interface (EMMI).
+//!
+//! EMMI is the Mach protocol between the kernel's VM system and user-level
+//! pager tasks ("memory managers"). XMM intercepts it transparently; ASVM
+//! uses it as the interface to the local VM system and to pagers, and
+//! *extends* it for distributed delayed-copy management (§3.7.1 of the
+//! paper):
+//!
+//! * `memory_object_lock_request` gains a **mode** argument — push the page
+//!   down the VM-internal copy chain before the lock is applied
+//!   ([`LockMode::PushFirst`]).
+//! * `memory_object_lock_completed` gains a **result** — reports when a
+//!   push could not run because the page was absent
+//!   ([`LockResult::PageAbsent`]).
+//! * `memory_object_data_supply` gains a **mode** — deliver the page down
+//!   the copy chain instead of into the object itself
+//!   ([`SupplyMode::PushCopyChain`]).
+//! * `memory_object_pull_request` / `memory_object_pull_completed` are
+//!   added to retrieve a page through the VM-internal shadow chain; the
+//!   completion can report zero-fill, contents, or "ask the shadow's
+//!   memory manager" ([`PullResult`]).
+//!
+//! Everything here is plain data: the kernel side lives in
+//! [`crate::system::VmSystem`], the pager/manager sides in the `pager`,
+//! `xmm` and `asvm` crates.
+
+use crate::ids::{Access, PageIdx, VmObjId};
+use crate::pagedata::PageData;
+
+/// Calls from the kernel's VM system to a memory manager (pager or
+/// intercepting XMM/ASVM layer), addressed by VM object.
+#[derive(Clone, Debug)]
+pub enum EmmiToPager {
+    /// `memory_object_data_request`: the kernel needs the page with at
+    /// least `access` rights.
+    DataRequest {
+        /// Page within the object.
+        page: PageIdx,
+        /// Access level required.
+        access: Access,
+    },
+    /// `memory_object_data_unlock`: the page is cached with insufficient
+    /// rights; the kernel asks for an upgrade to `access`.
+    DataUnlock {
+        /// Page within the object.
+        page: PageIdx,
+        /// Access level required.
+        access: Access,
+    },
+    /// `memory_object_data_return`: the kernel evicts the page and returns
+    /// its (possibly dirty) contents to the manager.
+    DataReturn {
+        /// Page within the object.
+        page: PageIdx,
+        /// The page contents.
+        data: PageData,
+        /// True if the contents were modified since supply.
+        dirty: bool,
+    },
+    /// `memory_object_lock_completed`: reply to a
+    /// [`EmmiToKernel::LockRequest`], with the ASVM `result` extension.
+    LockCompleted {
+        /// Page within the object.
+        page: PageIdx,
+        /// Outcome of the lock (and of its push, if one was requested).
+        result: LockResult,
+    },
+    /// `memory_object_pull_completed` (ASVM extension): reply to a
+    /// [`EmmiToKernel::PullRequest`].
+    PullCompleted {
+        /// Page within the object.
+        page: PageIdx,
+        /// Outcome of the shadow-chain traversal.
+        result: PullResult,
+    },
+}
+
+/// Calls from a memory manager into the kernel's VM system, addressed by
+/// VM object (the "memory object control port" direction).
+#[derive(Clone, Debug)]
+pub enum EmmiToKernel {
+    /// `memory_object_data_supply`: deliver page contents with `lock` as
+    /// the maximum access the kernel may grant, with the ASVM `mode`
+    /// extension.
+    DataSupply {
+        /// Page within the object.
+        page: PageIdx,
+        /// The page contents.
+        data: PageData,
+        /// Maximum access granted.
+        lock: Access,
+        /// Normal supply or push down the copy chain.
+        mode: SupplyMode,
+    },
+    /// `memory_object_lock_request`: change the cache state of a page, with
+    /// the ASVM `mode` extension.
+    LockRequest {
+        /// Page within the object.
+        page: PageIdx,
+        /// The state change to apply.
+        op: LockOp,
+        /// Whether to push the page down the copy chain first.
+        mode: LockMode,
+    },
+    /// `memory_object_pull_request` (ASVM extension): retrieve the page
+    /// through the VM-internal shadow chain starting at this object.
+    PullRequest {
+        /// Page within the object.
+        page: PageIdx,
+    },
+    /// `memory_object_data_error`: the manager cannot provide the page.
+    DataError {
+        /// Page within the object.
+        page: PageIdx,
+    },
+}
+
+/// Cache-state change requested by a lock request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockOp {
+    /// Remove the page from the cache. If it is dirty and `return_dirty`
+    /// is set, the kernel returns the contents via
+    /// [`EmmiToPager::DataReturn`] first.
+    Flush {
+        /// Return dirty contents before flushing.
+        return_dirty: bool,
+    },
+    /// Reduce the page to read-only. Dirty contents are returned (cleaned)
+    /// if `return_dirty` is set.
+    Downgrade {
+        /// Return dirty contents while downgrading.
+        return_dirty: bool,
+    },
+    /// Raise the maximum access on the cached page (the manager grants an
+    /// upgrade previously requested through `data_unlock`).
+    Grant(Access),
+}
+
+/// ASVM `mode` argument of `memory_object_lock_request`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockMode {
+    /// Plain lock request.
+    Normal,
+    /// Push the page down the VM-internal copy chain before locking.
+    PushFirst,
+}
+
+/// ASVM `mode` argument of `memory_object_data_supply`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SupplyMode {
+    /// Supply into the object itself.
+    Normal,
+    /// Push down the copy chain instead of supplying the source object.
+    PushCopyChain,
+}
+
+/// ASVM `result` argument of `memory_object_lock_completed`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockResult {
+    /// The lock (and push, if requested) executed.
+    Done,
+    /// The push could not execute: the page is not in the VM cache.
+    PageAbsent,
+}
+
+/// Result of a `memory_object_pull_request` (ASVM extension).
+///
+/// The paper's three cases: *"1. The page is not available and can be
+/// zero-filled. 2. The page is available and its contents are returned.
+/// 3. The memory manager of a shadow object has to be asked for the page
+/// and the shadow object port is returned."*
+#[derive(Clone, Debug)]
+pub enum PullResult {
+    /// Case 1: zero-fill.
+    Zero,
+    /// Case 2: contents found in the local shadow chain.
+    Data(PageData),
+    /// Case 3: ask the memory manager of this shadow object (identified by
+    /// the VM object whose external association must be consulted).
+    AskShadow(VmObjId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_result_distinguishes_absent() {
+        assert_ne!(LockResult::Done, LockResult::PageAbsent);
+    }
+
+    #[test]
+    fn messages_are_cloneable_and_debuggable() {
+        let m = EmmiToKernel::DataSupply {
+            page: PageIdx(4),
+            data: PageData::Word(9),
+            lock: Access::Read,
+            mode: SupplyMode::Normal,
+        };
+        let c = m.clone();
+        assert!(format!("{c:?}").contains("DataSupply"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Identifier newtypes shared across the VM model and the memory managers.
+
+use std::fmt;
+
+/// A node-local VM object identifier.
+///
+/// VM objects are kernel-side entities; each node's VM system numbers its
+/// own. A `VmObjId` is only meaningful relative to one node's
+/// [`crate::system::VmSystem`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmObjId(pub u32);
+
+/// A system-wide memory object identifier.
+///
+/// Memory objects are the user-visible abstraction backed by a pager task
+/// and (when shared across nodes) managed by XMM or ASVM. One `MemObjId`
+/// names the same distributed entity on every node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemObjId(pub u32);
+
+/// A system-wide task identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+/// A page index within a memory or VM object (object-relative, not an
+/// address).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageIdx(pub u32);
+
+/// A node-local identifier for one in-flight page fault.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultId(pub u64);
+
+/// The kind of memory access a fault or request is for.
+///
+/// `Write` strictly dominates `Read`; the derived ordering encodes that and
+/// is used for "is this grant sufficient" checks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Access {
+    /// Read access.
+    Read,
+    /// Write (and read) access.
+    Write,
+}
+
+impl Access {
+    /// True if a grant of `self` satisfies a request for `want`.
+    pub fn allows(self, want: Access) -> bool {
+        self >= want
+    }
+}
+
+/// Inheritance attribute of an address-map entry, controlling what a child
+/// task receives on `fork`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Inherit {
+    /// Parent and child share the same memory (shared memory semantics).
+    Share,
+    /// The child receives a delayed copy (copy-on-write semantics).
+    Copy,
+    /// The child does not inherit the region.
+    None,
+}
+
+impl fmt::Debug for VmObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vo{}", self.0)
+    }
+}
+
+impl fmt::Debug for MemObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mo{}", self.0)
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for PageIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_dominates_read() {
+        assert!(Access::Write.allows(Access::Read));
+        assert!(Access::Write.allows(Access::Write));
+        assert!(Access::Read.allows(Access::Read));
+        assert!(!Access::Read.allows(Access::Write));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", VmObjId(3)), "vo3");
+        assert_eq!(format!("{:?}", MemObjId(5)), "mo5");
+        assert_eq!(format!("{:?}", PageIdx(7)), "p7");
+    }
+}

@@ -1,0 +1,136 @@
+//! Page contents.
+//!
+//! The simulation carries *real* page contents through every protocol so
+//! that coherence and copy semantics can be verified against a reference
+//! model rather than assumed. Three representations keep this cheap:
+//! all-zero pages (the common initial state) cost nothing, pages written
+//! page-at-a-time by workloads carry a single 64-bit stamp, and pages
+//! written byte-wise materialize a full buffer behind an `Rc` so that the
+//! many cached copies a shared page accumulates stay O(1) to clone.
+
+use std::rc::Rc;
+
+/// Contents of one VM page.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum PageData {
+    /// An all-zero page (zero-fill state).
+    #[default]
+    Zero,
+    /// A page whose entire contents are summarized by one stamp value —
+    /// what the workload generators write when only identity matters.
+    Word(u64),
+    /// Full byte contents (cheaply shared; copy-on-write on mutation).
+    Bytes(Rc<Vec<u8>>),
+}
+
+impl PageData {
+    /// Reads the stamp of a `Word` page, the first 8 bytes of a `Bytes`
+    /// page, or 0 for a zero page.
+    pub fn word(&self) -> u64 {
+        match self {
+            PageData::Zero => 0,
+            PageData::Word(w) => *w,
+            PageData::Bytes(b) => {
+                let mut buf = [0u8; 8];
+                for (i, x) in b.iter().take(8).enumerate() {
+                    buf[i] = *x;
+                }
+                u64::from_le_bytes(buf)
+            }
+        }
+    }
+
+    /// Reads `len` bytes at `off`, materializing the logical contents.
+    pub fn read_bytes(&self, off: usize, len: usize, page_size: usize) -> Vec<u8> {
+        assert!(off + len <= page_size, "read beyond page");
+        match self {
+            PageData::Zero => vec![0; len],
+            PageData::Word(w) => {
+                let mut page = vec![0u8; page_size];
+                page[..8.min(page_size)].copy_from_slice(&w.to_le_bytes()[..8.min(page_size)]);
+                page[off..off + len].to_vec()
+            }
+            PageData::Bytes(b) => b[off..off + len].to_vec(),
+        }
+    }
+
+    /// Writes `bytes` at `off`, materializing a byte buffer if needed.
+    pub fn write_bytes(&mut self, off: usize, bytes: &[u8], page_size: usize) {
+        assert!(off + bytes.len() <= page_size, "write beyond page");
+        let mut buf = match std::mem::take(self) {
+            PageData::Zero => vec![0u8; page_size],
+            PageData::Word(w) => {
+                let mut v = vec![0u8; page_size];
+                v[..8.min(page_size)].copy_from_slice(&w.to_le_bytes()[..8.min(page_size)]);
+                v
+            }
+            PageData::Bytes(rc) => match Rc::try_unwrap(rc) {
+                Ok(v) => v,
+                Err(rc) => (*rc).clone(),
+            },
+        };
+        buf[off..off + bytes.len()].copy_from_slice(bytes);
+        *self = PageData::Bytes(Rc::new(buf));
+    }
+
+    /// Approximate heap footprint, for memory accounting in the ablations.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            PageData::Zero | PageData::Word(_) => 0,
+            PageData::Bytes(b) => b.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 8192;
+
+    #[test]
+    fn zero_page_reads_zero() {
+        let p = PageData::Zero;
+        assert_eq!(p.word(), 0);
+        assert_eq!(p.read_bytes(100, 4, PS), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn word_round_trips() {
+        let p = PageData::Word(0xdead_beef_cafe_f00d);
+        assert_eq!(p.word(), 0xdead_beef_cafe_f00d);
+        assert_eq!(
+            p.read_bytes(0, 8, PS),
+            0xdead_beef_cafe_f00du64.to_le_bytes()
+        );
+        assert_eq!(p.read_bytes(8, 2, PS), vec![0, 0]);
+    }
+
+    #[test]
+    fn byte_writes_materialize_and_merge() {
+        let mut p = PageData::Word(7);
+        p.write_bytes(16, &[1, 2, 3], PS);
+        // Original stamp preserved in the first 8 bytes.
+        assert_eq!(p.word(), 7);
+        assert_eq!(p.read_bytes(16, 3, PS), vec![1, 2, 3]);
+        assert_eq!(p.heap_bytes(), PS);
+    }
+
+    #[test]
+    fn clones_share_until_written() {
+        let mut a = PageData::Zero;
+        a.write_bytes(0, &[9], PS);
+        let b = a.clone();
+        let mut c = a.clone();
+        c.write_bytes(0, &[8], PS);
+        assert_eq!(a.read_bytes(0, 1, PS), vec![9]);
+        assert_eq!(b.read_bytes(0, 1, PS), vec![9]);
+        assert_eq!(c.read_bytes(0, 1, PS), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "write beyond page")]
+    fn write_past_end_panics() {
+        PageData::Zero.write_bytes(PS - 1, &[1, 2], PS);
+    }
+}

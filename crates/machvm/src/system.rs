@@ -1,0 +1,1202 @@
+//! The per-node VM system: fault handling, EMMI kernel calls, delayed
+//! copies and pageout.
+//!
+//! This is a sans-IO state machine. Public methods consume kernel entry
+//! points (page faults from tasks, EMMI calls from managers, pageout ticks)
+//! and emit [`VmEffect`]s plus accumulated CPU cost into an [`Effects`]
+//! sink; the `cluster` crate binds those effects to the event loop and to
+//! whichever memory manager (local pager, XMM, ASVM) owns each object.
+//!
+//! Faults are fully asynchronous: a fault that cannot complete locally
+//! registers a waiter on the `(object, page)` it is stalled on and returns;
+//! a later `data_supply`/`lock_request(grant)` re-runs resolution. Nothing
+//! ever blocks a thread, mirroring the paper's "asynchronous state
+//! transitions" design rule.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use svmsim::{CostModel, Dur, Time};
+
+use crate::emmi::{
+    EmmiToKernel, EmmiToPager, LockMode, LockOp, LockResult, PullResult, SupplyMode,
+};
+use crate::ids::{Access, FaultId, Inherit, MemObjId, PageIdx, TaskId, VmObjId};
+use crate::map::{AddressMap, MapEntry};
+use crate::object::{Backing, CopyStrategy, ResidentPage, VmObject};
+use crate::pagedata::PageData;
+
+/// Side effects emitted by the VM state machine.
+#[derive(Debug)]
+pub enum VmEffect {
+    /// An EMMI call to the manager/pager of `obj` (routing decided by the
+    /// glue from `backing`).
+    ToPager {
+        /// Originating VM object.
+        obj: VmObjId,
+        /// Its backing at emission time (routing key).
+        backing: Backing,
+        /// The call.
+        call: EmmiToPager,
+    },
+    /// A pending fault completed; the task may resume.
+    FaultDone {
+        /// Faulting task.
+        task: TaskId,
+        /// Fault instance.
+        fault: FaultId,
+        /// When the fault started (for latency stats).
+        started: Time,
+    },
+    /// A delayed (asymmetric) copy object was created locally; managers of
+    /// the source may need to know (ASVM version counters / read-only
+    /// broadcast).
+    CopyCreated {
+        /// The source object.
+        source: VmObjId,
+        /// The new copy object.
+        copy: VmObjId,
+    },
+    /// An externally managed page was evicted from the cache; the manager
+    /// decides its fate (ASVM's four-step internode paging, §3.6).
+    EvictExternal {
+        /// The VM object.
+        obj: VmObjId,
+        /// Its memory object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// Contents handed off to the manager.
+        data: PageData,
+        /// Whether the contents were modified since supply.
+        dirty: bool,
+    },
+}
+
+/// Effect sink: emitted effects plus CPU time to charge.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// CPU to charge for the processing that generated these effects.
+    pub cpu: Dur,
+    /// Ordered effects.
+    pub out: Vec<VmEffect>,
+}
+
+impl Effects {
+    /// Creates an empty sink.
+    pub fn new() -> Effects {
+        Effects::default()
+    }
+
+    /// Adds CPU cost.
+    pub fn charge(&mut self, d: Dur) {
+        self.cpu += d;
+    }
+
+    fn pager(&mut self, obj: VmObjId, backing: Backing, call: EmmiToPager) {
+        self.out.push(VmEffect::ToPager { obj, backing, call });
+    }
+}
+
+/// Result of a fault entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultOutcome {
+    /// Resolved immediately (cache hit, local zero-fill or copy-up).
+    Hit,
+    /// Suspended; a [`VmEffect::FaultDone`] with this id will follow.
+    Pending(FaultId),
+}
+
+/// What happened to an evicted page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvictDisposition {
+    /// Dropped silently (reconstructible or clean).
+    Dropped,
+    /// Written to the default pager (anonymous memory).
+    ToDefaultPager,
+    /// Handed to the external manager via [`VmEffect::EvictExternal`].
+    Handed,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Resolve {
+    Done,
+    Wait(VmObjId, PageIdx),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Waiter {
+    Fault(FaultId),
+    Pull { origin: VmObjId, page: PageIdx },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingFault {
+    task: TaskId,
+    va_page: u64,
+    access: Access,
+    started: Time,
+}
+
+/// The VM system of one node.
+pub struct VmSystem {
+    page_size: u32,
+    capacity_pages: u32,
+    cost: CostModel,
+    next_obj: u32,
+    next_fault: u64,
+    objects: BTreeMap<VmObjId, VmObject>,
+    maps: BTreeMap<TaskId, AddressMap>,
+    resident_total: u32,
+    faults: BTreeMap<FaultId, PendingFault>,
+    waiters: BTreeMap<(VmObjId, PageIdx), Vec<Waiter>>,
+    outstanding: BTreeMap<(VmObjId, PageIdx), Access>,
+    clock: VecDeque<(VmObjId, PageIdx)>,
+}
+
+impl VmSystem {
+    /// Creates a VM system with a physical cache of `capacity_pages`.
+    pub fn new(page_size: u32, capacity_pages: u32, cost: CostModel) -> VmSystem {
+        VmSystem {
+            page_size,
+            capacity_pages,
+            cost,
+            next_obj: 1,
+            next_fault: 1,
+            objects: BTreeMap::new(),
+            maps: BTreeMap::new(),
+            resident_total: 0,
+            faults: BTreeMap::new(),
+            waiters: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            clock: VecDeque::new(),
+        }
+    }
+
+    /// The VM page size in bytes.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    /// Pages currently resident.
+    pub fn resident_total(&self) -> u32 {
+        self.resident_total
+    }
+
+    /// Physical page capacity.
+    pub fn capacity_pages(&self) -> u32 {
+        self.capacity_pages
+    }
+
+    /// Number of pages above capacity (pageout pressure).
+    pub fn over_capacity(&self) -> u32 {
+        self.resident_total.saturating_sub(self.capacity_pages)
+    }
+
+    // --- Objects and maps ---------------------------------------------------
+
+    /// Creates a VM object.
+    pub fn create_object(&mut self, size_pages: u32, backing: Backing) -> VmObjId {
+        let id = VmObjId(self.next_obj);
+        self.next_obj += 1;
+        self.objects
+            .insert(id, VmObject::new(id, size_pages, backing));
+        id
+    }
+
+    /// Immutable access to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object does not exist.
+    pub fn object(&self, id: VmObjId) -> &VmObject {
+        self.objects.get(&id).expect("no such VM object")
+    }
+
+    /// Mutable access to an object.
+    pub fn object_mut(&mut self, id: VmObjId) -> &mut VmObject {
+        self.objects.get_mut(&id).expect("no such VM object")
+    }
+
+    /// Associates an anonymous object with an external memory object,
+    /// turning it into a managed one (used when a local copy object becomes
+    /// shared across nodes).
+    pub fn associate(&mut self, obj: VmObjId, mobj: MemObjId) {
+        let o = self.object_mut(obj);
+        assert!(
+            matches!(o.backing, Backing::Anonymous),
+            "object already associated"
+        );
+        o.backing = Backing::External(mobj);
+    }
+
+    /// Registers an (empty) address space for `task`.
+    pub fn create_task(&mut self, task: TaskId) {
+        let prev = self.maps.insert(task, AddressMap::new());
+        assert!(prev.is_none(), "task already exists");
+    }
+
+    /// True if `task` has an address space on this node.
+    pub fn has_task(&self, task: TaskId) -> bool {
+        self.maps.contains_key(&task)
+    }
+
+    /// Maps `pages` pages of `obj` starting at `offset` into `task`'s
+    /// address space at `va_page`.
+    pub fn map_object(
+        &mut self,
+        task: TaskId,
+        va_page: u64,
+        pages: u32,
+        obj: VmObjId,
+        offset: u32,
+        prot: Access,
+        inherit: Inherit,
+    ) {
+        self.object_mut(obj).refs += 1;
+        self.maps
+            .get_mut(&task)
+            .expect("no such task")
+            .insert(MapEntry {
+                va_page,
+                pages,
+                object: obj,
+                offset,
+                prot,
+                inherit,
+                needs_copy: false,
+            });
+    }
+
+    /// The address map of `task`.
+    pub fn address_map(&self, task: TaskId) -> &AddressMap {
+        self.maps.get(&task).expect("no such task")
+    }
+
+    /// Removes the mapping covering `va_page` from `task`'s address space,
+    /// dropping one reference on its VM object (and garbage-collecting the
+    /// object chain when the last reference disappears).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is mapped at `va_page` or the task has a fault in
+    /// flight under the mapping (tear-down during a fault is a caller bug).
+    pub fn unmap(&mut self, task: TaskId, va_page: u64) {
+        let entry = self
+            .maps
+            .get_mut(&task)
+            .expect("no such task")
+            .remove(va_page)
+            .expect("unmap of unmapped range");
+        assert!(
+            !self.faults.values().any(|f| f.task == task
+                && f.va_page >= entry.va_page
+                && f.va_page < entry.va_page + entry.pages as u64),
+            "unmap with a fault in flight"
+        );
+        self.deallocate_ref(entry.object);
+    }
+
+    /// Destroys `task`: unmaps everything and removes its address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task still has faults in flight.
+    pub fn destroy_task(&mut self, task: TaskId) {
+        assert!(
+            !self.faults.values().any(|f| f.task == task),
+            "destroying a task with faults in flight"
+        );
+        let map = self.maps.remove(&task).expect("no such task");
+        for e in map.entries() {
+            self.deallocate_ref(e.object);
+        }
+    }
+
+    /// Drops one reference from `obj`; destroys it (releasing resident
+    /// pages and its shadow-chain references) when the count reaches zero.
+    fn deallocate_ref(&mut self, obj: VmObjId) {
+        let o = self.object_mut(obj);
+        assert!(o.refs > 0, "reference underflow on {obj:?}");
+        o.refs -= 1;
+        if o.refs > 0 {
+            return;
+        }
+        // Last reference: release the cache and follow the shadow link.
+        // (A live copy link means a copy object still shadows us, which
+        // keeps refs > 0 — so reaching zero implies no live copies.)
+        let shadow = o.shadow.take();
+        let resident = o.pages.len() as u32;
+        o.pages.clear();
+        o.paged_out.clear();
+        self.resident_total -= resident;
+        self.objects.remove(&obj);
+        if let Some(s) = shadow {
+            self.deallocate_ref(s);
+        }
+    }
+
+    /// Contents and dirty flag of a resident page, if present (managers
+    /// like ASVM are kernel-resident and may inspect the cache directly).
+    pub fn peek_page(&self, obj: VmObjId, page: PageIdx) -> Option<(&PageData, bool)> {
+        self.objects
+            .get(&obj)?
+            .pages
+            .get(&page)
+            .map(|rp| (&rp.data, rp.dirty))
+    }
+
+    /// Pins (`busy = true`) or unpins a resident page against eviction
+    /// while a manager protocol operation is in flight. A no-op if the
+    /// page is not resident.
+    pub fn set_busy(&mut self, obj: VmObjId, page: PageIdx, busy: bool) {
+        if let Some(o) = self.objects.get_mut(&obj) {
+            if let Some(rp) = o.pages.get_mut(&page) {
+                rp.busy = busy;
+            }
+        }
+    }
+
+    // --- Data access (driver fast path) ----------------------------------------
+
+    /// True if `task` can access `va_page` with `access` right now (no
+    /// fault needed). Does not mutate.
+    pub fn can_access(&self, task: TaskId, va_page: u64, access: Access) -> bool {
+        let Some(entry) = self.maps.get(&task).and_then(|m| m.lookup(va_page)) else {
+            return false;
+        };
+        if access == Access::Write && entry.needs_copy {
+            return false;
+        }
+        let page = entry.object_page(va_page);
+        let mut oid = entry.object;
+        let mut depth = 0u32;
+        loop {
+            let o = self.object(oid);
+            if let Some(rp) = o.pages.get(&page) {
+                return match access {
+                    Access::Read => true,
+                    // Writes must hit the top object with write protection.
+                    Access::Write => depth == 0 && rp.prot == Access::Write,
+                };
+            }
+            if o.paged_out.contains(&page) {
+                return false;
+            }
+            match (o.backing, o.shadow) {
+                (Backing::External(_), _) => return false,
+                (Backing::Anonymous, Some(s)) => {
+                    oid = s;
+                    depth += 1;
+                }
+                (Backing::Anonymous, None) => return false,
+            }
+        }
+    }
+
+    /// The stamp of the page currently serving `va_page` for `task`, or
+    /// `None` if no resident page serves it (no mutation; for tests and
+    /// verification harnesses).
+    pub fn peek_task_page(&self, task: TaskId, va_page: u64) -> Option<u64> {
+        let entry = self.maps.get(&task)?.lookup(va_page)?;
+        let page = entry.object_page(va_page);
+        let mut oid = entry.object;
+        loop {
+            let o = self.objects.get(&oid)?;
+            if let Some(rp) = o.pages.get(&page) {
+                return Some(rp.data.word());
+            }
+            oid = o.shadow?;
+        }
+    }
+
+    /// Reads the page serving `va_page` for `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access would fault — callers must fault first.
+    pub fn read_page(&mut self, now: Time, task: TaskId, va_page: u64) -> PageData {
+        let entry = self
+            .maps
+            .get(&task)
+            .and_then(|m| m.lookup(va_page))
+            .expect("read of unmapped page");
+        let page = entry.object_page(va_page);
+        let mut oid = entry.object;
+        loop {
+            if let Some(rp) = self.objects.get_mut(&oid).unwrap().pages.get_mut(&page) {
+                rp.last_use = now;
+                return rp.data.clone();
+            }
+            oid = self
+                .object(oid)
+                .shadow
+                .expect("read_page: page not resident anywhere in chain");
+        }
+    }
+
+    /// Overwrites the page at `va_page` with `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task lacks a resident, writable page — callers must
+    /// fault for write first.
+    pub fn write_page(&mut self, now: Time, task: TaskId, va_page: u64, data: PageData) {
+        let entry = self
+            .maps
+            .get(&task)
+            .and_then(|m| m.lookup(va_page))
+            .expect("write to unmapped page");
+        assert!(!entry.needs_copy, "write_page before copy-on-write fault");
+        let page = entry.object_page(va_page);
+        let obj = entry.object;
+        let rp = self
+            .objects
+            .get_mut(&obj)
+            .unwrap()
+            .pages
+            .get_mut(&page)
+            .expect("write_page: page not resident");
+        assert_eq!(rp.prot, Access::Write, "write_page without write grant");
+        rp.data = data;
+        rp.dirty = true;
+        rp.last_use = now;
+    }
+
+    // --- Fault entry ------------------------------------------------------------
+
+    /// Handles a page fault of `task` at `va_page` for `access`.
+    pub fn fault(
+        &mut self,
+        now: Time,
+        task: TaskId,
+        va_page: u64,
+        access: Access,
+        fx: &mut Effects,
+    ) -> FaultOutcome {
+        fx.charge(self.cost.vm_fault_entry);
+        match self.try_resolve(now, task, va_page, access, fx) {
+            Resolve::Done => {
+                fx.charge(self.cost.vm_fault_finish);
+                FaultOutcome::Hit
+            }
+            Resolve::Wait(obj, page) => {
+                let id = FaultId(self.next_fault);
+                self.next_fault += 1;
+                self.faults.insert(
+                    id,
+                    PendingFault {
+                        task,
+                        va_page,
+                        access,
+                        started: now,
+                    },
+                );
+                self.waiters
+                    .entry((obj, page))
+                    .or_default()
+                    .push(Waiter::Fault(id));
+                FaultOutcome::Pending(id)
+            }
+        }
+    }
+
+    /// Number of faults currently suspended (diagnostics).
+    pub fn pending_faults(&self) -> usize {
+        self.faults.len()
+    }
+
+    fn try_resolve(
+        &mut self,
+        now: Time,
+        task: TaskId,
+        va_page: u64,
+        access: Access,
+        fx: &mut Effects,
+    ) -> Resolve {
+        // Symmetric copy-on-write: the first write through a needs-copy
+        // entry gets a fresh shadow object (paper FIGURE 2).
+        let entry = self
+            .maps
+            .get(&task)
+            .and_then(|m| m.lookup(va_page))
+            .unwrap_or_else(|| panic!("fault outside mappings: {task:?} va {va_page}"));
+        let (mut top, page) = (entry.object, entry.object_page(va_page));
+        if access == Access::Write && entry.needs_copy {
+            let shadow = self.create_object(self.object(top).size_pages, Backing::Anonymous);
+            // The map entry moves from `top` to the shadow: `top` loses a
+            // map reference but gains the shadow link (net zero); the
+            // shadow object starts with the map reference.
+            self.object_mut(shadow).shadow = Some(top);
+            self.object_mut(shadow).refs += 1;
+            let e = self
+                .maps
+                .get_mut(&task)
+                .unwrap()
+                .lookup_mut(va_page)
+                .unwrap();
+            e.object = shadow;
+            e.needs_copy = false;
+            fx.charge(self.cost.vm_object_op);
+            top = shadow;
+        }
+
+        let mut oid = top;
+        let mut depth = 0u32;
+        loop {
+            let obj = self.object(oid);
+            assert!(
+                page.0 < obj.size_pages,
+                "fault beyond object size: {page:?} in {oid:?}"
+            );
+            if obj.resident(page) {
+                return self.resolve_at(now, top, oid, page, depth, access, fx);
+            }
+            if obj.paged_out.contains(&page) {
+                // The default pager holds this anonymous page.
+                self.request(oid, page, Access::Write, fx);
+                return Resolve::Wait(oid, page);
+            }
+            match (obj.backing, obj.shadow) {
+                (Backing::External(_), _) => {
+                    // Stop the local walk at the first externally managed
+                    // object lacking the page (paper §3.7.3). Below the top
+                    // object we only ever need read access: a write fault
+                    // copies the page up into the top object afterwards.
+                    let want = if depth == 0 { access } else { Access::Read };
+                    self.request(oid, page, want, fx);
+                    return Resolve::Wait(oid, page);
+                }
+                (Backing::Anonymous, Some(s)) => {
+                    fx.charge(self.cost.vm_object_op);
+                    oid = s;
+                    depth += 1;
+                }
+                (Backing::Anonymous, None) => {
+                    // End of chain: zero-fill into the top object.
+                    fx.charge(self.cost.vm_zero_fill);
+                    self.insert_page(
+                        top,
+                        page,
+                        ResidentPage {
+                            data: PageData::Zero,
+                            prot: Access::Write,
+                            dirty: access == Access::Write,
+                            busy: false,
+                            last_use: now,
+                        },
+                    );
+                    return Resolve::Done;
+                }
+            }
+        }
+    }
+
+    /// Completes resolution once the page was found resident in `oid` at
+    /// `depth` below `top`.
+    fn resolve_at(
+        &mut self,
+        now: Time,
+        top: VmObjId,
+        oid: VmObjId,
+        page: PageIdx,
+        depth: u32,
+        access: Access,
+        fx: &mut Effects,
+    ) -> Resolve {
+        if depth == 0 {
+            let rp = self
+                .objects
+                .get_mut(&oid)
+                .unwrap()
+                .pages
+                .get_mut(&page)
+                .unwrap();
+            rp.last_use = now;
+            if access == Access::Read || rp.prot == Access::Write {
+                if access == Access::Write {
+                    rp.dirty = true;
+                }
+                return Resolve::Done;
+            }
+            // Write upgrade on a read-only page. Push down the local copy
+            // chain first if a copy object lacks the page.
+            self.local_push(now, oid, page, fx);
+            let obj = self.object(oid);
+            match obj.backing {
+                Backing::Anonymous => {
+                    let rp = self
+                        .objects
+                        .get_mut(&oid)
+                        .unwrap()
+                        .pages
+                        .get_mut(&page)
+                        .unwrap();
+                    rp.prot = Access::Write;
+                    rp.dirty = true;
+                    Resolve::Done
+                }
+                Backing::External(_) => {
+                    // The manager must grant the upgrade.
+                    self.unlock(oid, page, fx);
+                    Resolve::Wait(oid, page)
+                }
+            }
+        } else {
+            // Page found in an ancestor.
+            if access == Access::Read {
+                // Enter the source object's page directly (paper §2.2: read
+                // faults are satisfied from the source object; no copy).
+                let rp = self
+                    .objects
+                    .get_mut(&oid)
+                    .unwrap()
+                    .pages
+                    .get_mut(&page)
+                    .unwrap();
+                rp.last_use = now;
+                return Resolve::Done;
+            }
+            // Write: copy the page up into the top object (copy-on-write).
+            match self.object(top).backing {
+                Backing::Anonymous => {
+                    let data = self.object(oid).pages.get(&page).unwrap().data.clone();
+                    fx.charge(self.cost.vm_page_copy);
+                    self.insert_page(
+                        top,
+                        page,
+                        ResidentPage {
+                            data,
+                            prot: Access::Write,
+                            dirty: true,
+                            busy: false,
+                            last_use: now,
+                        },
+                    );
+                    Resolve::Done
+                }
+                Backing::External(_) => {
+                    // A shared (distributed) copy object: write permission
+                    // comes from its manager, which coordinates the push
+                    // scan across nodes.
+                    self.request(top, page, Access::Write, fx);
+                    Resolve::Wait(top, page)
+                }
+            }
+        }
+    }
+
+    /// Pushes `page` of `oid` into its copy object if that copy lacks it
+    /// (the VM-internal part of a delayed-copy push).
+    ///
+    /// Pages pushed into an externally managed copy object are inserted
+    /// read-only: writes must fault into its manager, which coordinates
+    /// the copy object's *own* distributed push machinery. Pushes into
+    /// purely local copy objects grant write directly.
+    fn local_push(&mut self, now: Time, oid: VmObjId, page: PageIdx, fx: &mut Effects) -> bool {
+        let Some(copy) = self.object(oid).copy else {
+            return false;
+        };
+        if self.object(copy).resident(page) || self.object(copy).paged_out.contains(&page) {
+            return false;
+        }
+        let data = self.object(oid).pages.get(&page).unwrap().data.clone();
+        let prot = match self.object(copy).backing {
+            Backing::Anonymous => Access::Write,
+            Backing::External(_) => Access::Read,
+        };
+        fx.charge(self.cost.vm_page_copy);
+        self.insert_page(
+            copy,
+            page,
+            ResidentPage {
+                data,
+                prot,
+                dirty: true,
+                busy: false,
+                last_use: now,
+            },
+        );
+        true
+    }
+
+    /// Emits a `data_request` unless an equal-or-stronger one is already
+    /// outstanding for `(obj, page)`.
+    fn request(&mut self, obj: VmObjId, page: PageIdx, access: Access, fx: &mut Effects) {
+        if let Some(prev) = self.outstanding.get(&(obj, page)) {
+            if prev.allows(access) {
+                return;
+            }
+        }
+        self.outstanding.insert((obj, page), access);
+        let backing = self.object(obj).backing;
+        fx.charge(self.cost.vm_object_op);
+        fx.pager(obj, backing, EmmiToPager::DataRequest { page, access });
+    }
+
+    /// Emits a `data_unlock` (write upgrade) unless already outstanding.
+    fn unlock(&mut self, obj: VmObjId, page: PageIdx, fx: &mut Effects) {
+        if let Some(prev) = self.outstanding.get(&(obj, page)) {
+            if prev.allows(Access::Write) {
+                return;
+            }
+        }
+        self.outstanding.insert((obj, page), Access::Write);
+        let backing = self.object(obj).backing;
+        fx.charge(self.cost.vm_object_op);
+        fx.pager(
+            obj,
+            backing,
+            EmmiToPager::DataUnlock {
+                page,
+                access: Access::Write,
+            },
+        );
+    }
+
+    // --- EMMI ingress (manager → kernel) -------------------------------------------
+
+    /// Handles an EMMI call from the manager/pager of `obj`.
+    pub fn kernel_call(&mut self, now: Time, obj: VmObjId, call: EmmiToKernel, fx: &mut Effects) {
+        match call {
+            EmmiToKernel::DataSupply {
+                page,
+                data,
+                lock,
+                mode,
+            } => self.data_supply(now, obj, page, data, lock, mode, fx),
+            EmmiToKernel::LockRequest { page, op, mode } => {
+                self.lock_request(now, obj, page, op, mode, fx)
+            }
+            EmmiToKernel::PullRequest { page } => self.pull_request(now, obj, page, fx),
+            EmmiToKernel::DataError { page } => {
+                panic!("pager reported data error for {obj:?} {page:?}")
+            }
+        }
+    }
+
+    fn data_supply(
+        &mut self,
+        now: Time,
+        obj: VmObjId,
+        page: PageIdx,
+        data: PageData,
+        lock: Access,
+        mode: SupplyMode,
+        fx: &mut Effects,
+    ) {
+        fx.charge(self.cost.vm_object_op);
+        let target = match mode {
+            SupplyMode::Normal => obj,
+            SupplyMode::PushCopyChain => self
+                .object(obj)
+                .copy
+                .expect("push supply on object without copy"),
+        };
+        // Pushed pages land read-only in externally managed copy objects
+        // (see `local_push`).
+        let lock = if mode == SupplyMode::PushCopyChain
+            && matches!(self.object(target).backing, Backing::External(_))
+        {
+            Access::Read
+        } else {
+            lock
+        };
+        let dirty = mode == SupplyMode::PushCopyChain;
+        if mode == SupplyMode::PushCopyChain && self.object(target).resident(page) {
+            // The copy already has its own version; the push is stale.
+        } else {
+            let o = self.objects.get_mut(&target).unwrap();
+            o.paged_out.remove(&page);
+            match o.pages.get_mut(&page) {
+                Some(rp) => {
+                    // Re-supply of a resident page (e.g. a write grant that
+                    // arrives as a fresh supply): upgrade in place.
+                    rp.prot = rp.prot.max(lock);
+                    rp.data = data;
+                    rp.last_use = now;
+                }
+                None => self.insert_page(
+                    target,
+                    page,
+                    ResidentPage {
+                        data,
+                        prot: lock,
+                        dirty,
+                        busy: false,
+                        last_use: now,
+                    },
+                ),
+            }
+        }
+        if mode == SupplyMode::Normal {
+            self.outstanding.remove(&(obj, page));
+        }
+        self.wake(now, target, page, fx);
+        if target != obj {
+            self.wake(now, obj, page, fx);
+        }
+    }
+
+    fn lock_request(
+        &mut self,
+        now: Time,
+        obj: VmObjId,
+        page: PageIdx,
+        op: LockOp,
+        mode: LockMode,
+        fx: &mut Effects,
+    ) {
+        fx.charge(self.cost.vm_object_op);
+        let backing = self.object(obj).backing;
+        if mode == LockMode::PushFirst && !self.object(obj).resident(page) {
+            // ASVM extension: report that the push could not run.
+            fx.pager(
+                obj,
+                backing,
+                EmmiToPager::LockCompleted {
+                    page,
+                    result: LockResult::PageAbsent,
+                },
+            );
+            return;
+        }
+        if mode == LockMode::PushFirst {
+            self.local_push(now, obj, page, fx);
+        }
+        if self.object(obj).resident(page) {
+            match op {
+                LockOp::Flush { return_dirty } => {
+                    let rp = self.remove_page(obj, page);
+                    if rp.dirty && return_dirty {
+                        fx.charge(self.cost.vm_pmap_op);
+                        fx.pager(
+                            obj,
+                            backing,
+                            EmmiToPager::DataReturn {
+                                page,
+                                data: rp.data,
+                                dirty: true,
+                            },
+                        );
+                    } else {
+                        fx.charge(self.cost.vm_pmap_op);
+                    }
+                }
+                LockOp::Downgrade { return_dirty } => {
+                    let rp = self
+                        .objects
+                        .get_mut(&obj)
+                        .unwrap()
+                        .pages
+                        .get_mut(&page)
+                        .unwrap();
+                    rp.prot = Access::Read;
+                    fx.charge(self.cost.vm_pmap_op);
+                    if rp.dirty && return_dirty {
+                        let data = rp.data.clone();
+                        rp.dirty = false;
+                        fx.pager(
+                            obj,
+                            backing,
+                            EmmiToPager::DataReturn {
+                                page,
+                                data,
+                                dirty: true,
+                            },
+                        );
+                    }
+                }
+                LockOp::Grant(a) => {
+                    let rp = self
+                        .objects
+                        .get_mut(&obj)
+                        .unwrap()
+                        .pages
+                        .get_mut(&page)
+                        .unwrap();
+                    rp.prot = rp.prot.max(a);
+                    rp.last_use = now;
+                    self.outstanding.remove(&(obj, page));
+                    self.wake(now, obj, page, fx);
+                }
+            }
+        } else if let LockOp::Grant(_) = op {
+            // Grant for a page that is no longer resident: the fault will
+            // re-request; nothing to do.
+            self.outstanding.remove(&(obj, page));
+            self.wake(now, obj, page, fx);
+        }
+        fx.pager(
+            obj,
+            backing,
+            EmmiToPager::LockCompleted {
+                page,
+                result: LockResult::Done,
+            },
+        );
+    }
+
+    fn pull_request(&mut self, now: Time, obj: VmObjId, page: PageIdx, fx: &mut Effects) {
+        fx.charge(self.cost.vm_object_op);
+        let backing = self.object(obj).backing;
+        let mut oid = obj;
+        let mut depth = 0u32;
+        loop {
+            let o = self.object(oid);
+            if o.resident(page) {
+                let rp = self
+                    .objects
+                    .get_mut(&oid)
+                    .unwrap()
+                    .pages
+                    .get_mut(&page)
+                    .unwrap();
+                rp.last_use = now;
+                let data = rp.data.clone();
+                fx.pager(
+                    obj,
+                    backing,
+                    EmmiToPager::PullCompleted {
+                        page,
+                        result: PullResult::Data(data),
+                    },
+                );
+                return;
+            }
+            if o.paged_out.contains(&page) {
+                // Fetch from the default pager, then re-run the pull.
+                self.waiters
+                    .entry((oid, page))
+                    .or_default()
+                    .push(Waiter::Pull { origin: obj, page });
+                self.request(oid, page, Access::Write, fx);
+                return;
+            }
+            if depth > 0 {
+                if let Backing::External(_) = o.backing {
+                    // Case 3: ask the shadow object's memory manager.
+                    fx.pager(
+                        obj,
+                        backing,
+                        EmmiToPager::PullCompleted {
+                            page,
+                            result: PullResult::AskShadow(oid),
+                        },
+                    );
+                    return;
+                }
+            }
+            match o.shadow {
+                Some(s) => {
+                    fx.charge(self.cost.vm_object_op);
+                    oid = s;
+                    depth += 1;
+                }
+                None => {
+                    fx.pager(
+                        obj,
+                        backing,
+                        EmmiToPager::PullCompleted {
+                            page,
+                            result: PullResult::Zero,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Re-runs everything stalled on `(obj, page)`.
+    fn wake(&mut self, now: Time, obj: VmObjId, page: PageIdx, fx: &mut Effects) {
+        let Some(list) = self.waiters.remove(&(obj, page)) else {
+            return;
+        };
+        for w in list {
+            match w {
+                Waiter::Fault(fid) => {
+                    let Some(pf) = self.faults.get(&fid).copied() else {
+                        continue;
+                    };
+                    match self.try_resolve(now, pf.task, pf.va_page, pf.access, fx) {
+                        Resolve::Done => {
+                            self.faults.remove(&fid);
+                            fx.charge(self.cost.vm_fault_finish);
+                            fx.out.push(VmEffect::FaultDone {
+                                task: pf.task,
+                                fault: fid,
+                                started: pf.started,
+                            });
+                        }
+                        Resolve::Wait(o2, p2) => {
+                            self.waiters
+                                .entry((o2, p2))
+                                .or_default()
+                                .push(Waiter::Fault(fid));
+                        }
+                    }
+                }
+                Waiter::Pull { origin, page } => {
+                    self.pull_request(now, origin, page, fx);
+                }
+            }
+        }
+    }
+
+    // --- Delayed copies ---------------------------------------------------------------
+
+    /// Forks `parent` into `child` on the same node, honouring inheritance
+    /// attributes (paper §2.2).
+    pub fn fork_local(&mut self, _now: Time, parent: TaskId, child: TaskId, fx: &mut Effects) {
+        assert!(self.maps.contains_key(&parent), "no such parent task");
+        self.create_task(child);
+        let entries: Vec<MapEntry> = self.maps[&parent].entries().to_vec();
+        for e in entries {
+            match e.inherit {
+                Inherit::None => {}
+                Inherit::Share => {
+                    self.map_object(
+                        child, e.va_page, e.pages, e.object, e.offset, e.prot, e.inherit,
+                    );
+                }
+                Inherit::Copy => match self.object(e.object).copy_strategy {
+                    CopyStrategy::Symmetric => {
+                        // Both sides keep the object; whichever writes first
+                        // shadows it.
+                        if let Some(pe) = self.maps.get_mut(&parent).unwrap().lookup_mut(e.va_page)
+                        {
+                            pe.needs_copy = true;
+                        }
+                        self.object_mut(e.object).refs += 1;
+                        let mut ce = e.clone();
+                        ce.needs_copy = true;
+                        self.maps.get_mut(&child).unwrap().insert(ce);
+                        fx.charge(self.cost.vm_object_op);
+                    }
+                    CopyStrategy::Asymmetric => {
+                        let copy = self.copy_delayed(e.object, fx);
+                        self.map_object(
+                            child, e.va_page, e.pages, copy, e.offset, e.prot, e.inherit,
+                        );
+                    }
+                },
+            }
+        }
+    }
+
+    /// Creates a delayed (asymmetric) copy object of `src` and links it
+    /// into the copy chain (paper FIGURE 3). Returns the copy object.
+    pub fn copy_delayed(&mut self, src: VmObjId, fx: &mut Effects) -> VmObjId {
+        let size = self.object(src).size_pages;
+        let copy = self.create_object(size, Backing::Anonymous);
+        // New copies are inserted immediately after their source object:
+        // any older copy now shadows the new one.
+        if let Some(prev) = self.object(src).copy {
+            self.object_mut(prev).shadow = Some(copy);
+            self.object_mut(copy).refs += 1;
+            self.object_mut(src).refs -= 1;
+        }
+        self.object_mut(copy).shadow = Some(src);
+        self.object_mut(copy).copy_strategy = CopyStrategy::Asymmetric;
+        self.object_mut(src).refs += 1;
+        self.object_mut(src).copy = Some(copy);
+        let downgraded = self.object_mut(src).write_protect_all();
+        fx.charge(self.cost.vm_object_op + self.cost.vm_pmap_op * downgraded as u64);
+        fx.out.push(VmEffect::CopyCreated { source: src, copy });
+        copy
+    }
+
+    // --- Pageout -------------------------------------------------------------------------
+
+    /// Selects the next eviction victim using a clock (second-chance)
+    /// policy. Returns `None` if nothing is evictable.
+    pub fn select_victim(&mut self) -> Option<(VmObjId, PageIdx)> {
+        let mut passes = self.clock.len();
+        while passes > 0 {
+            passes -= 1;
+            let (obj, page) = self.clock.pop_front()?;
+            let Some(o) = self.objects.get_mut(&obj) else {
+                continue;
+            };
+            let Some(rp) = o.pages.get_mut(&page) else {
+                continue;
+            };
+            if rp.busy {
+                self.clock.push_back((obj, page));
+                continue;
+            }
+            self.clock.push_back((obj, page));
+            return Some((obj, page));
+        }
+        None
+    }
+
+    /// Evicts `(obj, page)` from the cache.
+    ///
+    /// Anonymous pages go to the default pager (or are dropped when
+    /// reconstructible); externally managed pages are handed to their
+    /// manager, which implements the paper's four-step internode pageout.
+    pub fn evict(
+        &mut self,
+        _now: Time,
+        obj: VmObjId,
+        page: PageIdx,
+        fx: &mut Effects,
+    ) -> EvictDisposition {
+        let backing = self.object(obj).backing;
+        match backing {
+            Backing::External(mobj) => {
+                let rp = self.remove_page(obj, page);
+                fx.charge(self.cost.vm_pmap_op);
+                fx.out.push(VmEffect::EvictExternal {
+                    obj,
+                    mobj,
+                    page,
+                    data: rp.data,
+                    dirty: rp.dirty,
+                });
+                EvictDisposition::Handed
+            }
+            Backing::Anonymous => {
+                let rp = self.remove_page(obj, page);
+                fx.charge(self.cost.vm_pmap_op);
+                let reconstructible = !rp.dirty
+                    && (matches!(rp.data, PageData::Zero)
+                        || self.object(obj).paged_out.contains(&page));
+                if reconstructible {
+                    return EvictDisposition::Dropped;
+                }
+                self.object_mut(obj).paged_out.insert(page);
+                fx.pager(
+                    obj,
+                    Backing::Anonymous,
+                    EmmiToPager::DataReturn {
+                        page,
+                        data: rp.data,
+                        dirty: true,
+                    },
+                );
+                EvictDisposition::ToDefaultPager
+            }
+        }
+    }
+
+    // --- internals ------------------------------------------------------------------------
+
+    fn insert_page(&mut self, obj: VmObjId, page: PageIdx, rp: ResidentPage) {
+        let o = self.objects.get_mut(&obj).unwrap();
+        let prev = o.pages.insert(page, rp);
+        assert!(prev.is_none(), "page already resident: {obj:?} {page:?}");
+        o.paged_out.remove(&page);
+        self.resident_total += 1;
+        self.clock.push_back((obj, page));
+    }
+
+    fn remove_page(&mut self, obj: VmObjId, page: PageIdx) -> ResidentPage {
+        let o = self.objects.get_mut(&obj).unwrap();
+        let rp = o.pages.remove(&page).expect("removing non-resident page");
+        self.resident_total -= 1;
+        rp
+    }
+}

@@ -1,0 +1,144 @@
+//! Two-dimensional mesh interconnect model.
+//!
+//! The Paragon connects its nodes through a 2-D mesh of wormhole-routed
+//! channels (200 MB/s raw per direction). Wormhole routing makes message
+//! latency almost insensitive to distance — the per-hop cost is a few tens
+//! of nanoseconds — so the model here charges a base wire latency, a small
+//! per-hop term for dimension-ordered (X then Y) routing, and a serialization
+//! term proportional to message size. Link contention is not modelled: in
+//! every experiment the paper reports, software overheads exceed wire time
+//! by two to three orders of magnitude, so the mesh is never the bottleneck.
+
+use std::fmt;
+
+/// Identifies a node of the multicomputer.
+///
+/// Node ids are dense indices `0..n`. By convention the compute nodes come
+/// first and I/O (disk) nodes follow, mirroring a Paragon partition with its
+/// service nodes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Geometry of the 2-D mesh.
+#[derive(Clone, Copy, Debug)]
+pub struct Mesh {
+    cols: u16,
+    nodes: u16,
+}
+
+impl Mesh {
+    /// Builds a mesh for `nodes` nodes, laid out on a near-square grid
+    /// (`cols` = ceil(sqrt(nodes))), matching how Paragon partitions are
+    /// allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: u16) -> Mesh {
+        assert!(nodes > 0, "a mesh needs at least one node");
+        let cols = (nodes as f64).sqrt().ceil() as u16;
+        Mesh { cols, nodes }
+    }
+
+    /// Number of nodes in the mesh.
+    pub fn len(&self) -> u16 {
+        self.nodes
+    }
+
+    /// True if the mesh consists of a single node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Grid coordinates of a node under row-major placement.
+    pub fn coords(&self, n: NodeId) -> (u16, u16) {
+        (n.0 % self.cols, n.0 / self.cols)
+    }
+
+    /// Number of mesh hops between two nodes under dimension-ordered routing.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_mesh() {
+        let m = Mesh::new(1);
+        assert_eq!(m.hops(NodeId(0), NodeId(0)), 0);
+    }
+
+    #[test]
+    fn square_mesh_coords() {
+        let m = Mesh::new(16);
+        assert_eq!(m.coords(NodeId(0)), (0, 0));
+        assert_eq!(m.coords(NodeId(5)), (1, 1));
+        assert_eq!(m.coords(NodeId(15)), (3, 3));
+    }
+
+    #[test]
+    fn manhattan_hops() {
+        let m = Mesh::new(16);
+        // (0,0) -> (3,3) is 6 hops under X-then-Y routing.
+        assert_eq!(m.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(m.hops(NodeId(15), NodeId(0)), 6);
+        assert_eq!(m.hops(NodeId(1), NodeId(2)), 1);
+    }
+
+    #[test]
+    fn non_square_counts() {
+        // 72 nodes (the paper's machine) lay out on a 9-wide grid.
+        let m = Mesh::new(72);
+        assert_eq!(m.len(), 72);
+        let max_hops = m
+            .node_ids()
+            .flat_map(|a| m.node_ids().map(move |b| (a, b)))
+            .map(|(a, b)| m.hops(a, b))
+            .max()
+            .unwrap();
+        assert!(max_hops <= 9 + 8);
+    }
+
+    #[test]
+    fn hops_symmetric_and_triangle() {
+        let m = Mesh::new(30);
+        for a in m.node_ids() {
+            assert_eq!(m.hops(a, a), 0);
+            for b in m.node_ids() {
+                assert_eq!(m.hops(a, b), m.hops(b, a));
+                for c in m.node_ids().step_by(7) {
+                    assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
+                }
+            }
+        }
+    }
+}

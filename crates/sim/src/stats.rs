@@ -1,0 +1,165 @@
+//! Simulation statistics: counters and latency tallies.
+//!
+//! Keys are static strings; storage is a `BTreeMap` so that reports iterate
+//! in a stable order (the simulator is deterministic end to end).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::Dur;
+
+/// Running aggregate of a duration-valued sample stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tally {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: Dur,
+    /// Smallest sample (undefined if `count == 0`).
+    pub min: Dur,
+    /// Largest sample.
+    pub max: Dur,
+}
+
+impl Tally {
+    /// Records one sample.
+    pub fn record(&mut self, d: Dur) {
+        if self.count == 0 {
+            self.min = d;
+            self.max = d;
+        } else {
+            self.min = self.min.min(d);
+            self.max = self.max.max(d);
+        }
+        self.count += 1;
+        self.sum += d;
+    }
+
+    /// Arithmetic mean of the samples, or zero if none were recorded.
+    pub fn mean(&self) -> Dur {
+        if self.count == 0 {
+            Dur::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+}
+
+impl fmt::Display for Tally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// All statistics gathered during a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    counters: BTreeMap<&'static str, u64>,
+    tallies: BTreeMap<&'static str, Tally>,
+}
+
+impl Stats {
+    /// Creates an empty statistics store.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Adds `n` to counter `key`.
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Increments counter `key` by one.
+    pub fn bump(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of counter `key` (zero if never touched).
+    pub fn counter(&self, key: &'static str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Records a duration sample under `key`.
+    pub fn sample(&mut self, key: &'static str, d: Dur) {
+        self.tallies.entry(key).or_default().record(d);
+    }
+
+    /// The tally for `key`, if any samples were recorded.
+    pub fn tally(&self, key: &'static str) -> Option<&Tally> {
+        self.tallies.get(key)
+    }
+
+    /// Iterates over all counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates over all tallies in key order.
+    pub fn tallies(&self) -> impl Iterator<Item = (&'static str, &Tally)> + '_ {
+        self.tallies.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Clears all recorded data (used between benchmark phases so warm-up
+    /// traffic does not pollute the measurement).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.tallies.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.bump("msg");
+        s.add("msg", 4);
+        assert_eq!(s.counter("msg"), 5);
+        assert_eq!(s.counter("other"), 0);
+    }
+
+    #[test]
+    fn tally_mean_min_max() {
+        let mut t = Tally::default();
+        t.record(Dur::from_micros(10));
+        t.record(Dur::from_micros(30));
+        t.record(Dur::from_micros(20));
+        assert_eq!(t.count, 3);
+        assert_eq!(t.mean(), Dur::from_micros(20));
+        assert_eq!(t.min, Dur::from_micros(10));
+        assert_eq!(t.max, Dur::from_micros(30));
+    }
+
+    #[test]
+    fn empty_tally_mean_is_zero() {
+        assert_eq!(Tally::default().mean(), Dur::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = Stats::new();
+        s.bump("a");
+        s.sample("b", Dur::from_nanos(1));
+        s.reset();
+        assert_eq!(s.counter("a"), 0);
+        assert!(s.tally("b").is_none());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut s = Stats::new();
+        s.bump("zz");
+        s.bump("aa");
+        let keys: Vec<_> = s.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["aa", "zz"]);
+    }
+}

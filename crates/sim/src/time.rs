@@ -1,0 +1,287 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! Two newtypes keep instants and durations apart: [`Time`] is an absolute
+//! point on the simulation clock, [`Dur`] is a span. Both count nanoseconds
+//! in a `u64`, which covers ~584 simulated years — far beyond any experiment
+//! in this repository (the longest, the 64-node XMM EM3D run, stays below
+//! one simulated hour).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in nanoseconds since start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The simulation epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// Largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Builds an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    /// Raw nanoseconds since the simulation epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in milliseconds, for reporting.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Value in seconds, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; the simulation never runs
+    /// its clock backwards, so this indicates a bookkeeping bug.
+    pub fn since(self, earlier: Time) -> Dur {
+        assert!(
+            earlier.0 <= self.0,
+            "time went backwards: {earlier:?} > {self:?}"
+        );
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Element-wise maximum of two instants.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+}
+
+impl Dur {
+    /// The empty span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Builds a span from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// Builds a span from microseconds.
+    pub const fn from_micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Builds a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Builds a span from a floating-point number of microseconds.
+    ///
+    /// Used by the cost model, whose calibration constants are most
+    /// naturally written in microseconds. Negative inputs clamp to zero.
+    pub fn from_micros_f64(us: f64) -> Dur {
+        Dur((us.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// Builds a span from a floating-point number of milliseconds.
+    pub fn from_millis_f64(ms: f64) -> Dur {
+        Dur((ms.max(0.0) * 1.0e6).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds, for reporting.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1.0e3
+    }
+
+    /// Value in milliseconds, for reporting.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Value in seconds, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// True if this is the empty span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Element-wise maximum of two spans.
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if negative.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        Dur(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_plus_dur() {
+        let t = Time::from_nanos(10) + Dur::from_nanos(5);
+        assert_eq!(t.as_nanos(), 15);
+    }
+
+    #[test]
+    fn since_measures_span() {
+        let a = Time::from_nanos(100);
+        let b = Time::from_nanos(350);
+        assert_eq!(b.since(a), Dur::from_nanos(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_rejects_backwards() {
+        let _ = Time::from_nanos(1).since(Time::from_nanos(2));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(Dur::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(Dur::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(Dur::from_micros_f64(1.5).as_nanos(), 1_500);
+        assert_eq!(Dur::from_millis_f64(0.25).as_nanos(), 250_000);
+        assert!((Dur::from_millis(8).as_millis_f64() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_float_clamps() {
+        assert_eq!(Dur::from_micros_f64(-4.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn dur_arithmetic() {
+        let d = Dur::from_micros(10) * 3 / 2;
+        assert_eq!(d, Dur::from_micros(15));
+        assert_eq!(
+            Dur::from_micros(5).saturating_sub(Dur::from_micros(9)),
+            Dur::ZERO
+        );
+        let total: Dur = [Dur::from_nanos(1), Dur::from_nanos(2)].into_iter().sum();
+        assert_eq!(total, Dur::from_nanos(3));
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Time::from_nanos(1) < Time::from_nanos(2));
+        assert_eq!(
+            Time::from_nanos(1).max(Time::from_nanos(2)),
+            Time::from_nanos(2)
+        );
+        assert_eq!(
+            Dur::from_nanos(7).max(Dur::from_nanos(3)),
+            Dur::from_nanos(7)
+        );
+    }
+}

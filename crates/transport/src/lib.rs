@@ -1,0 +1,171 @@
+//! Transport services for cross-node communication.
+//!
+//! The paper contrasts two transports (§3.1):
+//!
+//! * **NORMA-IPC** — Mach's distributed IPC. Every message pays for port
+//!   right translation, typed message construction and parsing, and a large
+//!   envelope. On the Paragon, NORMA-IPC accounted for *"about 90 percent of
+//!   the latency involved in resolving remote page faults for memory that is
+//!   shared through XMM"*. XMM's XMMI protocol rides on it, as does all
+//!   kernel-to-pager EMMI traffic.
+//! * **STS** — the dedicated SVM Transport Service built for ASVM. Messages
+//!   are a fixed 32-byte block of untyped data, optionally followed by one
+//!   VM page; receive buffers are preallocated because page contents only
+//!   ever move in response to a request. The result is roughly an order of
+//!   magnitude less software overhead per message.
+//!
+//! A transport turns "send this many payload bytes to that node" into a
+//! [`MsgCosts`] envelope (sender CPU, receiver CPU, wire bytes) evaluated
+//! against the machine's [`CostModel`]. The protocol crates never hard-code
+//! costs; they pick a transport, which keeps the transport-swap ablation
+//! (`ablation_transport`) honest.
+
+use svmsim::{CostModel, Ctx, Dur, MsgCosts, NodeId};
+
+/// Which transport carries a message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportKind {
+    /// Mach NORMA-IPC: heavyweight, typed, port-based.
+    NormaIpc,
+    /// The SVM Transport Service: fixed 32-byte untyped header.
+    Sts,
+}
+
+/// A configured transport endpoint (stateless; cheap to copy).
+#[derive(Clone, Copy, Debug)]
+pub struct Transport {
+    kind: TransportKind,
+}
+
+impl Transport {
+    /// The NORMA-IPC transport.
+    pub const NORMA: Transport = Transport {
+        kind: TransportKind::NormaIpc,
+    };
+
+    /// The STS transport.
+    pub const STS: Transport = Transport {
+        kind: TransportKind::Sts,
+    };
+
+    /// The kind of this transport.
+    pub fn kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// Statistics key counting messages sent on this transport.
+    pub fn stat_key(&self) -> &'static str {
+        match self.kind {
+            TransportKind::NormaIpc => "norma.messages",
+            TransportKind::Sts => "sts.messages",
+        }
+    }
+
+    /// Cost envelope for a node-local (loopback) message: a kernel-internal
+    /// hand-off that skips the wire and the protocol stack.
+    pub fn local_costs(&self, cost: &CostModel, payload_bytes: u32) -> MsgCosts {
+        MsgCosts {
+            send_cpu: cost.local_ipc_cpu,
+            recv_cpu: cost.local_ipc_cpu,
+            bytes: payload_bytes,
+        }
+    }
+
+    /// Computes the cost envelope for a message with `payload_bytes` of
+    /// payload (0 for a header-only message, one page size for a page
+    /// carrier).
+    pub fn costs(&self, cost: &CostModel, payload_bytes: u32) -> MsgCosts {
+        match self.kind {
+            TransportKind::NormaIpc => {
+                // Typed in-line data adds per-byte marshalling work on both
+                // sides in addition to the fixed port/translation overhead.
+                let marshal = Dur::from_nanos(payload_bytes as u64 * 12);
+                MsgCosts {
+                    send_cpu: cost.norma_send_cpu + marshal,
+                    recv_cpu: cost.norma_recv_cpu + marshal,
+                    bytes: cost.norma_header_bytes + payload_bytes,
+                }
+            }
+            TransportKind::Sts => {
+                // Preallocated receive buffers: pages land directly where
+                // they belong, so payload adds wire time but almost no CPU.
+                let touch = Dur::from_nanos(payload_bytes as u64 * 2);
+                MsgCosts {
+                    send_cpu: cost.sts_send_cpu,
+                    recv_cpu: cost.sts_recv_cpu + touch,
+                    bytes: cost.sts_header_bytes + payload_bytes,
+                }
+            }
+        }
+    }
+
+    /// Sends `msg` to `dst` through this transport, charging costs and
+    /// per-transport statistics. Node-local destinations take the loopback
+    /// fast path.
+    pub fn send<M>(&self, ctx: &mut Ctx<'_, M>, dst: NodeId, payload_bytes: u32, msg: M) {
+        let costs = if dst == ctx.me() {
+            self.local_costs(&ctx.machine().config.cost, payload_bytes)
+        } else {
+            self.costs(&ctx.machine().config.cost, payload_bytes)
+        };
+        ctx.stats().bump(self.stat_key());
+        if payload_bytes > 0 {
+            ctx.stats().bump(match self.kind {
+                TransportKind::NormaIpc => "norma.page_messages",
+                TransportKind::Sts => "sts.page_messages",
+            });
+        }
+        ctx.send(dst, costs, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn norma_is_an_order_of_magnitude_heavier() {
+        let c = cost();
+        let n = Transport::NORMA.costs(&c, 0);
+        let s = Transport::STS.costs(&c, 0);
+        let n_cpu = n.send_cpu + n.recv_cpu;
+        let s_cpu = s.send_cpu + s.recv_cpu;
+        assert!(
+            n_cpu.as_nanos() >= 8 * s_cpu.as_nanos(),
+            "NORMA {n_cpu} should dwarf STS {s_cpu}"
+        );
+    }
+
+    #[test]
+    fn sts_header_is_32_bytes() {
+        let c = cost();
+        assert_eq!(Transport::STS.costs(&c, 0).bytes, 32);
+        assert_eq!(Transport::STS.costs(&c, 8192).bytes, 32 + 8192);
+    }
+
+    #[test]
+    fn payload_increases_costs_monotonically() {
+        let c = cost();
+        for t in [Transport::NORMA, Transport::STS] {
+            let small = t.costs(&c, 0);
+            let big = t.costs(&c, 8192);
+            assert!(big.bytes > small.bytes);
+            assert!(big.recv_cpu >= small.recv_cpu);
+            assert!(big.send_cpu >= small.send_cpu);
+        }
+    }
+
+    #[test]
+    fn sts_page_cpu_overhead_stays_small() {
+        // The whole point of STS: moving a page costs wire time, not CPU.
+        let c = cost();
+        let hdr = Transport::STS.costs(&c, 0);
+        let page = Transport::STS.costs(&c, 8192);
+        let extra = (page.recv_cpu - hdr.recv_cpu) + (page.send_cpu - hdr.send_cpu);
+        assert!(extra < Dur::from_micros(50), "extra CPU {extra} too high");
+    }
+}

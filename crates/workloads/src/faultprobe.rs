@@ -1,0 +1,218 @@
+//! Microbenchmark probes for basic page-fault latencies (Table 1 and
+//! Figure 10 of the paper).
+//!
+//! The probe arranges the exact page state each Table 1 row describes and
+//! then measures one fault in isolation:
+//!
+//! * an *initializer* node writes the page, making it dirty and making that
+//!   node the owner;
+//! * `readers - 1` further nodes read it (the initializer's own copy is the
+//!   remaining read copy), so exactly `readers` nodes hold read copies;
+//! * the *faulting* node — which optionally already holds one of those read
+//!   copies — performs the measured access.
+//!
+//! The object's home (ASVM) / manager (XMM) node is distinct from all of
+//! the above, matching the paper's *"general case in which the XMM stack is
+//! remote from both the faulting node and the nodes that have read
+//! copies"*.
+
+use cluster::{ManagerKind, ScriptProgram, Ssi, Step};
+use machvm::{Access, Inherit};
+use svmsim::{Dur, NodeId};
+
+/// What the measured access is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProbeAccess {
+    /// A read fault.
+    Read,
+    /// A write fault.
+    Write,
+}
+
+/// One fault-latency experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultProbeSpec {
+    /// Which manager runs the cluster.
+    pub kind: ManagerKind,
+    /// Number of nodes holding read copies before the measured fault
+    /// (including the initializer's downgraded copy). Zero means the page
+    /// is only dirty at the initializer.
+    pub read_copies: u16,
+    /// The faulting node already holds one of the read copies.
+    pub faulter_has_copy: bool,
+    /// The measured access.
+    pub access: ProbeAccess,
+}
+
+/// Result of a probe run.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultProbeResult {
+    /// Latency of the measured fault.
+    pub latency: Dur,
+    /// ASVM/XMMI protocol messages during the measured fault.
+    pub protocol_messages: u64,
+    /// Messages carrying page contents during the measured fault.
+    pub page_messages: u64,
+}
+
+/// Runs one fault-latency probe.
+///
+/// # Panics
+///
+/// Panics if the simulation fails to quiesce (protocol bug).
+pub fn fault_probe(spec: FaultProbeSpec) -> FaultProbeResult {
+    // Layout: node 0 = home/manager (and barrier coordinator),
+    // node 1 = initializer, nodes 2.. = additional readers, last = faulter.
+    let extra_readers = spec.read_copies.saturating_sub(1);
+    let n_nodes = 3 + extra_readers;
+    let mut ssi = Ssi::new(n_nodes.max(4), spec.kind, 7);
+    let home = NodeId(0);
+    let init = NodeId(1);
+    let faulter = NodeId(n_nodes - 1);
+    let mobj = ssi.create_object(home, 16, false);
+
+    let mut tasks = Vec::new();
+    for n in 0..n_nodes {
+        let t = ssi.alloc_task();
+        ssi.map_shared(
+            t,
+            NodeId(n),
+            0,
+            mobj,
+            home,
+            16,
+            Access::Write,
+            Inherit::Share,
+        );
+        tasks.push(t);
+    }
+    ssi.finalize();
+
+    let page = 0u64;
+    // Phase A: the initializer dirties the page.
+    ssi.spawn(
+        init,
+        tasks[init.0 as usize],
+        Box::new(ScriptProgram::new(vec![
+            Step::Write {
+                va_page: page,
+                value: 0xD1,
+            },
+            Step::Done,
+        ])),
+    );
+    ssi.run(1_000_000).expect("phase A quiesces");
+
+    // Phase B: build up the read copies.
+    if spec.read_copies > 0 {
+        let mut phase_b: Vec<NodeId> = (0..extra_readers).map(|i| NodeId(2 + i)).collect();
+        if spec.faulter_has_copy {
+            phase_b.push(faulter);
+        }
+        for n in phase_b {
+            let t = tasks[n.0 as usize];
+            let now = ssi.world.now();
+            ssi.world.node_mut(n).install_task(
+                t,
+                Box::new(ScriptProgram::new(vec![
+                    Step::Read { va_page: page },
+                    Step::Done,
+                ])),
+                now,
+            );
+            ssi.world.post(now, n, cluster::Msg::Resume(t));
+        }
+        ssi.run(1_000_000).expect("phase B quiesces");
+    }
+
+    // Phase C: the measured fault.
+    ssi.world.stats_mut().reset();
+    let t = tasks[faulter.0 as usize];
+    let access = match spec.access {
+        ProbeAccess::Read => Access::Read,
+        ProbeAccess::Write => Access::Write,
+    };
+    let now = ssi.world.now();
+    ssi.world.node_mut(faulter).install_task(
+        t,
+        Box::new(ScriptProgram::new(vec![
+            Step::Touch {
+                va_page: page,
+                access,
+            },
+            Step::Done,
+        ])),
+        now,
+    );
+    ssi.world.post(now, faulter, cluster::Msg::Resume(t));
+    ssi.run(1_000_000).expect("phase C quiesces");
+
+    let tally = ssi
+        .stats()
+        .tally("fault.ms")
+        .expect("the measured access must fault");
+    assert_eq!(tally.count, 1, "exactly one measured fault expected");
+    let stats = ssi.stats();
+    FaultProbeResult {
+        latency: tally.mean(),
+        protocol_messages: stats.counter("sts.messages") + stats.counter("norma.messages"),
+        page_messages: stats.counter("sts.page_messages") + stats.counter("norma.page_messages"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asvm_write_fault_one_copy_single_digit_ms() {
+        let r = fault_probe(FaultProbeSpec {
+            kind: ManagerKind::asvm(),
+            read_copies: 1,
+            faulter_has_copy: false,
+            access: ProbeAccess::Write,
+        });
+        let ms = r.latency.as_millis_f64();
+        assert!(ms > 0.5 && ms < 10.0, "ASVM write fault {ms} ms");
+    }
+
+    #[test]
+    fn xmm_write_fault_one_copy_pays_disk() {
+        let r = fault_probe(FaultProbeSpec {
+            kind: ManagerKind::xmm(),
+            read_copies: 1,
+            faulter_has_copy: false,
+            access: ProbeAccess::Write,
+        });
+        let ms = r.latency.as_millis_f64();
+        assert!(ms > 15.0 && ms < 90.0, "XMM write fault {ms} ms");
+    }
+
+    #[test]
+    fn upgrade_faults_skip_page_transfer() {
+        let r = fault_probe(FaultProbeSpec {
+            kind: ManagerKind::asvm(),
+            read_copies: 2,
+            faulter_has_copy: true,
+            access: ProbeAccess::Write,
+        });
+        assert_eq!(r.page_messages, 0, "upgrades must not move page contents");
+    }
+
+    #[test]
+    fn latency_grows_with_readers() {
+        let few = fault_probe(FaultProbeSpec {
+            kind: ManagerKind::asvm(),
+            read_copies: 2,
+            faulter_has_copy: false,
+            access: ProbeAccess::Write,
+        });
+        let many = fault_probe(FaultProbeSpec {
+            kind: ManagerKind::asvm(),
+            read_copies: 32,
+            faulter_has_copy: false,
+            access: ProbeAccess::Write,
+        });
+        assert!(many.latency > few.latency);
+    }
+}

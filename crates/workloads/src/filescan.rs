@@ -1,0 +1,201 @@
+//! Memory-mapped file transfer-rate workload (Table 2, Figures 12/13).
+//!
+//! Mirrors the paper's measurement: the OSF/1 server is bypassed; each node
+//! maps the file and reads/writes memory directly. The *write* test has all
+//! nodes write disjoint sections of a fresh 4 MB file (asynchronous writes:
+//! nothing waits for writeback, so the bound is how fast the pager supplies
+//! zero-filled pages). The *read* test has all nodes read the whole 4 MB
+//! populated file in parallel (the bound is the pager's supply rate — or,
+//! under ASVM, the peer caches once the first copy is in memory).
+
+use cluster::{ManagerKind, Program, Ssi, Step, TaskEnv};
+use machvm::{Access, Inherit};
+use svmsim::{Dur, NodeId};
+
+/// Scan direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScanDir {
+    /// All nodes read the whole file.
+    Read,
+    /// Each node writes its own section.
+    Write,
+}
+
+/// One file-scan experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct FileScanSpec {
+    /// Which manager runs the cluster.
+    pub kind: ManagerKind,
+    /// Number of compute nodes taking part.
+    pub nodes: u16,
+    /// File size in pages (4 MB = 512 pages in the paper).
+    pub file_pages: u32,
+    /// Read or write scan.
+    pub dir: ScanDir,
+}
+
+/// Result of a file-scan run.
+#[derive(Clone, Copy, Debug)]
+pub struct FileScanResult {
+    /// Mean effective transfer rate seen by each node, MB/s.
+    pub rate_mb_s: f64,
+    /// Elapsed simulated time of the slowest node.
+    pub elapsed: Dur,
+    /// Total pager-supplied pages.
+    pub pages_supplied: u64,
+}
+
+struct Scanner {
+    first: u32,
+    count: u32,
+    next: u32,
+    write: bool,
+}
+
+impl Program for Scanner {
+    fn step(&mut self, _env: &mut TaskEnv) -> Step {
+        if self.next < self.count {
+            let p = (self.first + self.next) as u64;
+            self.next += 1;
+            if self.write {
+                Step::Write {
+                    va_page: p,
+                    value: 0xF11E_0000 + p,
+                }
+            } else {
+                Step::Read { va_page: p }
+            }
+        } else {
+            Step::Done
+        }
+    }
+}
+
+/// Runs one file-scan experiment.
+pub fn file_scan(spec: FileScanSpec) -> FileScanResult {
+    let mut ssi = Ssi::new(spec.nodes, spec.kind, 23);
+    let home = NodeId(0);
+    let populated = spec.dir == ScanDir::Read;
+    let mobj = ssi.create_object(home, spec.file_pages, populated);
+
+    let mut tasks = Vec::new();
+    for n in 0..spec.nodes {
+        let t = ssi.alloc_task();
+        ssi.map_shared(
+            t,
+            NodeId(n),
+            0,
+            mobj,
+            home,
+            spec.file_pages,
+            Access::Write,
+            Inherit::Share,
+        );
+        tasks.push(t);
+    }
+    ssi.finalize();
+
+    let per_node = spec.file_pages / spec.nodes as u32;
+    for (i, t) in tasks.iter().enumerate() {
+        let (first, count) = match spec.dir {
+            ScanDir::Read => (0, spec.file_pages),
+            ScanDir::Write => (i as u32 * per_node, per_node),
+        };
+        ssi.spawn(
+            NodeId(i as u16),
+            *t,
+            Box::new(Scanner {
+                first,
+                count,
+                next: 0,
+                write: spec.dir == ScanDir::Write,
+            }),
+        );
+    }
+    ssi.run(600_000_000).expect("file scan quiesces");
+    assert!(ssi.all_done(), "all scanners must finish");
+
+    // Verify read scans observed the file contents.
+    if spec.dir == ScanDir::Read {
+        for (i, t) in tasks.iter().enumerate() {
+            let n = ssi.node(NodeId(i as u16));
+            // Spot-check a few pages.
+            for p in [0u32, spec.file_pages / 2, spec.file_pages - 1] {
+                if let Some(v) = n.vm.peek_task_page(*t, p as u64) {
+                    assert_eq!(
+                        v,
+                        pager::file_stamp(mobj, machvm::PageIdx(p)),
+                        "node {i} read wrong contents for page {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    // Per-node rate: section bytes / that node's elapsed time.
+    let page_bytes = 8192u64;
+    let mut rates = Vec::new();
+    let mut slowest = Dur::ZERO;
+    for (i, t) in tasks.iter().enumerate() {
+        let rt = ssi
+            .node(NodeId(i as u16))
+            .task_runtime(*t)
+            .expect("task finished");
+        slowest = slowest.max(rt);
+        let bytes = match spec.dir {
+            ScanDir::Read => spec.file_pages as u64 * page_bytes,
+            ScanDir::Write => per_node as u64 * page_bytes,
+        };
+        rates.push(bytes as f64 / rt.as_secs_f64() / (1024.0 * 1024.0));
+    }
+    let rate_mb_s = rates.iter().sum::<f64>() / rates.len() as f64;
+    FileScanResult {
+        rate_mb_s,
+        elapsed: slowest,
+        pages_supplied: ssi.stats().counter("disk.reads"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asvm_single_node_write_rate_plausible() {
+        let r = file_scan(FileScanSpec {
+            kind: ManagerKind::asvm(),
+            nodes: 1,
+            file_pages: 128,
+            dir: ScanDir::Write,
+        });
+        assert!(
+            r.rate_mb_s > 0.5 && r.rate_mb_s < 20.0,
+            "write rate {} MB/s implausible",
+            r.rate_mb_s
+        );
+    }
+
+    #[test]
+    fn asvm_read_scales_better_than_xmm() {
+        let nodes = 8;
+        let pages = 128;
+        let a = file_scan(FileScanSpec {
+            kind: ManagerKind::asvm(),
+            nodes,
+            file_pages: pages,
+            dir: ScanDir::Read,
+        });
+        let x = file_scan(FileScanSpec {
+            kind: ManagerKind::xmm(),
+            nodes,
+            file_pages: pages,
+            dir: ScanDir::Read,
+        });
+        assert!(
+            a.rate_mb_s > 2.0 * x.rate_mb_s,
+            "ASVM {} MB/s should beat XMM {} MB/s clearly",
+            a.rate_mb_s,
+            x.rate_mb_s
+        );
+    }
+}

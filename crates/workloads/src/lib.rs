@@ -1,0 +1,22 @@
+//! `workloads` — the evaluation workloads of the ASVM paper.
+//!
+//! * [`faultprobe`] — basic SVM page-fault latencies (Table 1, Figure 10);
+//! * [`copychain`] — inherited-memory faults across fork chains (Figure 11);
+//! * [`filescan`] — memory-mapped file read/write scans (Table 2,
+//!   Figures 12/13);
+//! * [`em3d`] — the EM3D electromagnetic wave propagation kernel ported to
+//!   shared-memory communication (Table 3);
+//! * [`patterns`] — reusable synthetic access patterns (migratory,
+//!   producer/consumer, hotspot, uniform) for ablations and tests.
+
+pub mod copychain;
+pub mod em3d;
+pub mod faultprobe;
+pub mod filescan;
+pub mod patterns;
+
+pub use copychain::{copy_chain_probe, CopyChainResult, CopyChainSpec};
+pub use em3d::{em3d_run, Em3dOutcome, Em3dSpec};
+pub use faultprobe::{fault_probe, FaultProbeResult, FaultProbeSpec, ProbeAccess};
+pub use filescan::{file_scan, FileScanResult, FileScanSpec, ScanDir};
+pub use patterns::{run_pattern, Pattern, PatternOutcome};

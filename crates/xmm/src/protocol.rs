@@ -1,0 +1,158 @@
+//! The XMMI protocol (NMK13 XMM), carried over NORMA-IPC.
+//!
+//! XMMI extends EMMI across nodes: every cross-node interaction is a
+//! heavyweight typed NORMA-IPC message. The write-permission transfer the
+//! paper criticizes takes five messages, two of them carrying page
+//! contents: request → manager, manager → current writer (lock/clean),
+//! writer → pager (data return with contents), manager → pager (forwarded
+//! request), pager → requester (supply with contents).
+
+use machvm::{Access, MemObjId, PageData, PageIdx, VmObjId};
+use svmsim::NodeId;
+
+/// Lock operations a manager may demand from a proxy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum XLock {
+    /// Flush the page; return contents to the pager first if dirty.
+    FlushReturn,
+    /// Flush the page without returning contents (clean read copies).
+    Flush,
+}
+
+/// One XMMI message.
+#[derive(Clone, Debug)]
+pub enum XmmMsg {
+    /// Proxy asks the centralized manager for page access.
+    Request {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// Access wanted.
+        access: Access,
+        /// The faulting node.
+        origin: NodeId,
+        /// Its VM object (pager reply routing).
+        origin_obj: VmObjId,
+    },
+    /// Manager instructs a holder to give up its copy.
+    LockReq {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// What to do.
+        op: XLock,
+        /// The manager (ack destination).
+        from: NodeId,
+    },
+    /// Holder acknowledges a [`XmmMsg::LockReq`] (after any data return to
+    /// the pager has been sent).
+    LockAck {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The acknowledging holder.
+        from: NodeId,
+    },
+    /// Manager grants a write upgrade to a node that already holds a clean
+    /// read copy (no pager round trip, no contents).
+    GrantUp {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+    },
+    /// Requester tells the manager the transaction finished (supply or
+    /// upgrade arrived); the manager may start the next queued request.
+    Complete {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The requester.
+        from: NodeId,
+    },
+    /// A proxy evicted a page (the manager's state table must be updated;
+    /// dirty contents went to the pager separately).
+    Evicted {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The evicting node.
+        from: NodeId,
+    },
+    /// Kernel-to-internal-pager page request for inherited memory (the
+    /// copy-pager path of §2.3.3).
+    IpRequest {
+        /// The (internal-pager-backed) object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The faulting node.
+        origin: NodeId,
+        /// Its VM object (supply routing).
+        origin_obj: VmObjId,
+    },
+    /// Internal pager supplies a page to a remote kernel.
+    IpSupply {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// Contents.
+        data: PageData,
+        /// Destination VM object.
+        dst_obj: VmObjId,
+    },
+}
+
+impl XmmMsg {
+    /// Payload bytes beyond the NORMA envelope.
+    pub fn payload_bytes(&self, page_size: u32) -> u32 {
+        match self {
+            XmmMsg::IpSupply { .. } => page_size,
+            _ => 0,
+        }
+    }
+
+    /// The memory object this message concerns.
+    pub fn mobj(&self) -> MemObjId {
+        match self {
+            XmmMsg::Request { mobj, .. }
+            | XmmMsg::LockReq { mobj, .. }
+            | XmmMsg::LockAck { mobj, .. }
+            | XmmMsg::GrantUp { mobj, .. }
+            | XmmMsg::Complete { mobj, .. }
+            | XmmMsg::Evicted { mobj, .. }
+            | XmmMsg::IpRequest { mobj, .. }
+            | XmmMsg::IpSupply { mobj, .. } => *mobj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_supplies_carry_pages() {
+        let m = XmmMsg::Request {
+            mobj: MemObjId(1),
+            page: PageIdx(0),
+            access: Access::Read,
+            origin: NodeId(0),
+            origin_obj: VmObjId(1),
+        };
+        assert_eq!(m.payload_bytes(8192), 0);
+        let s = XmmMsg::IpSupply {
+            mobj: MemObjId(1),
+            page: PageIdx(0),
+            data: PageData::Zero,
+            dst_obj: VmObjId(2),
+        };
+        assert_eq!(s.payload_bytes(8192), 8192);
+    }
+}

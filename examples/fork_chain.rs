@@ -1,0 +1,135 @@
+//! Inherited memory across a chain of remote forks (the paper's §3.7 /
+//! Figure 9 scenario).
+//!
+//! A root task initializes a private region and forks to another node; the
+//! child forks further. Each fork creates a distributed delayed copy: the
+//! child sees a snapshot of the parent's memory at fork time, served by
+//! pull operations that hop across the copy chain, while the parent keeps
+//! writing (push operations preserve the snapshots).
+//!
+//! Run with: `cargo run --example fork_chain` (add `-- xmm` for the
+//! NMK13 XMM baseline with its internal copy pagers).
+
+use cluster::{FnProgram, ManagerKind, Program, Ssi, Step, TaskEnv};
+use machvm::{Access, Inherit, TaskId};
+use svmsim::NodeId;
+
+const REGION_PAGES: u32 = 8;
+const CHAIN: u16 = 4;
+
+/// Chain link: remember the inherited values, then fork onward.
+struct Link {
+    depth: u16,
+    page: u32,
+    forked: bool,
+}
+
+impl Program for Link {
+    fn step(&mut self, env: &mut TaskEnv) -> Step {
+        // Read the whole inherited region first.
+        if self.page < REGION_PAGES {
+            let p = self.page;
+            self.page += 1;
+            return Step::Read { va_page: p as u64 };
+        }
+        if self.depth < CHAIN && !self.forked {
+            self.forked = true;
+            return Step::Fork {
+                child: TaskId(100 + self.depth as u32 + 1),
+                node: NodeId(env.node.0 + 1),
+                program: Box::new(Link {
+                    depth: self.depth + 1,
+                    page: 0,
+                    forked: false,
+                }),
+            };
+        }
+        Step::Done
+    }
+}
+
+fn main() {
+    let kind = if std::env::args().any(|a| a == "xmm") {
+        ManagerKind::xmm()
+    } else {
+        ManagerKind::asvm()
+    };
+    println!("running fork chain under {}", kind.label());
+
+    let mut ssi = Ssi::new(CHAIN + 1, kind, 3);
+    let root = ssi.alloc_task();
+    {
+        let n = ssi.world.node_mut(NodeId(0));
+        n.vm.create_task(root);
+        let obj = n.vm.create_object(REGION_PAGES, machvm::Backing::Anonymous);
+        n.vm.map_object(root, 0, REGION_PAGES, obj, 0, Access::Write, Inherit::Copy);
+    }
+    ssi.finalize();
+
+    // Root: write stamps, fork the chain, then OVERWRITE its own copy.
+    // The children must still see the fork-time snapshot.
+    let mut phase = 0u32;
+    ssi.spawn(
+        NodeId(0),
+        root,
+        Box::new(FnProgram(move |_env: &mut TaskEnv| {
+            let step = match phase {
+                p if p < REGION_PAGES => Step::Write {
+                    va_page: p as u64,
+                    value: 0xAA00 + p as u64,
+                },
+                p if p == REGION_PAGES => Step::Fork {
+                    child: TaskId(101),
+                    node: NodeId(1),
+                    program: Box::new(Link {
+                        depth: 1,
+                        page: 0,
+                        forked: false,
+                    }),
+                },
+                p if p <= 2 * REGION_PAGES => Step::Write {
+                    va_page: (p - REGION_PAGES - 1) as u64,
+                    value: 0xBB00,
+                },
+                _ => Step::Done,
+            };
+            phase += 1;
+            step
+        })),
+    );
+
+    ssi.run(50_000_000).expect("chain quiesces");
+    assert!(ssi.all_done());
+
+    // Every link saw the fork-time snapshot, not the later 0xBB00 writes.
+    for depth in 1..=CHAIN {
+        let task = TaskId(100 + depth as u32);
+        let node = ssi.node(NodeId(depth));
+        let mut got = 0;
+        for p in 0..REGION_PAGES {
+            if let Some(v) = node.vm.peek_task_page(task, p as u64) {
+                assert_eq!(
+                    v,
+                    0xAA00 + p as u64,
+                    "link {depth} page {p} lost its snapshot"
+                );
+                got += 1;
+            }
+        }
+        println!(
+            "link {depth} on {}: {got}/{REGION_PAGES} snapshot pages intact",
+            NodeId(depth)
+        );
+    }
+
+    println!("\nsimulated time: {}", ssi.world.now());
+    if let Some(t) = ssi.stats().tally("fault.ms") {
+        println!("inherited-memory faults: {t}");
+    }
+    println!(
+        "forks: {}, protocol messages: {} STS / {} NORMA",
+        ssi.stats().counter("forks"),
+        ssi.stats().counter("sts.messages"),
+        ssi.stats().counter("norma.messages"),
+    );
+}

@@ -1,0 +1,14 @@
+//! `asvm-repro` — umbrella crate for the ASVM reproduction.
+//!
+//! Re-exports the public API of every workspace crate. See `README.md` for
+//! the architecture overview, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use asvm;
+pub use cluster;
+pub use machvm;
+pub use pager;
+pub use svmsim;
+pub use transport;
+pub use workloads;
+pub use xmm;

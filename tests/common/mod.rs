@@ -1,0 +1,258 @@
+//! Shared helpers for the cross-crate integration tests: a generic trace
+//! runner that executes a barrier-sequenced operation schedule on a live
+//! cluster and checks every read — in-band, at the moment it happens —
+//! against a sequential reference memory.
+
+use std::collections::BTreeMap;
+
+use cluster::{ManagerKind, Program, Ssi, Step, TaskEnv};
+use machvm::{Access, Inherit, TaskId};
+use svmsim::NodeId;
+
+/// One operation of a coherence trace.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceOp {
+    /// Node performing the operation this round.
+    pub node: u16,
+    /// Page operated on.
+    pub page: u32,
+    /// Write (true) or read (false).
+    pub write: bool,
+}
+
+/// The deterministic value written in round `r`.
+#[allow(dead_code)]
+pub fn round_value(r: usize) -> u64 {
+    0x5EED_0000 + r as u64
+}
+
+enum Phase {
+    Op,
+    CheckThenBarrier,
+    Verify,
+    VerifyCheck,
+}
+
+/// Per-node program executing its slice of the rounds, barrier-separated,
+/// verifying each read against the sequential reference.
+struct TraceRunner {
+    me: u16,
+    label: &'static str,
+    ops: Vec<TraceOp>,
+    /// Reference value of each op's page *at its round* (what a read must
+    /// observe).
+    expected_at: Vec<u64>,
+    /// Final reference per page.
+    finals: BTreeMap<u32, u64>,
+    pages: u32,
+    round: usize,
+    phase: Phase,
+    verify_page: u32,
+}
+
+impl Program for TraceRunner {
+    fn step(&mut self, env: &mut TaskEnv) -> Step {
+        loop {
+            if self.round < self.ops.len() {
+                let op = self.ops[self.round];
+                match self.phase {
+                    Phase::Op => {
+                        self.phase = Phase::CheckThenBarrier;
+                        if op.node == self.me {
+                            return if op.write {
+                                Step::Write {
+                                    va_page: op.page as u64,
+                                    value: round_value(self.round),
+                                }
+                            } else {
+                                Step::Read {
+                                    va_page: op.page as u64,
+                                }
+                            };
+                        }
+                        // Not our round; fall through to the barrier.
+                    }
+                    Phase::CheckThenBarrier => {
+                        if op.node == self.me && !op.write {
+                            let got = env.last_read.expect("read completed");
+                            let want = self.expected_at[self.round];
+                            assert_eq!(
+                                got, want,
+                                "{} node {} round {} page {}: read {got:#x}, \
+                                 reference says {want:#x}",
+                                self.label, self.me, self.round, op.page
+                            );
+                        }
+                        let r = self.round;
+                        self.round += 1;
+                        self.phase = Phase::Op;
+                        return Step::Barrier(r as u32);
+                    }
+                    _ => unreachable!(),
+                }
+            } else {
+                match self.phase {
+                    Phase::Op | Phase::CheckThenBarrier => self.phase = Phase::Verify,
+                    Phase::Verify => {
+                        if self.verify_page < self.pages {
+                            self.phase = Phase::VerifyCheck;
+                            return Step::Read {
+                                va_page: self.verify_page as u64,
+                            };
+                        }
+                        return Step::Done;
+                    }
+                    Phase::VerifyCheck => {
+                        let got = env.last_read.expect("verify read completed");
+                        let want = self.finals.get(&self.verify_page).copied().unwrap_or(0);
+                        assert_eq!(
+                            got, want,
+                            "{} node {} final page {}: read {got:#x}, reference {want:#x}",
+                            self.label, self.me, self.verify_page
+                        );
+                        self.verify_page += 1;
+                        self.phase = Phase::Verify;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs `ops` on a `nodes`-node cluster under `kind`, checking strong
+/// coherence: every read (both in-trace and in a final all-pages pass on
+/// every node) observes the most recent write in barrier order.
+#[allow(dead_code)]
+pub fn run_trace(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) {
+    // Build the per-round and final reference values.
+    let mut mem: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut expected_at = Vec::with_capacity(ops.len());
+    for (r, op) in ops.iter().enumerate() {
+        expected_at.push(mem.get(&op.page).copied().unwrap_or(0));
+        if op.write {
+            mem.insert(op.page, round_value(r));
+        }
+    }
+    let finals = mem;
+
+    let mut ssi = Ssi::new(nodes, kind, 99);
+    let home = NodeId(0);
+    let mobj = ssi.create_object(home, pages, false);
+    let tasks: Vec<TaskId> = (0..nodes)
+        .map(|n| {
+            let t = ssi.alloc_task();
+            ssi.map_shared(
+                t,
+                NodeId(n),
+                0,
+                mobj,
+                home,
+                pages,
+                Access::Write,
+                Inherit::Share,
+            );
+            t
+        })
+        .collect();
+    ssi.finalize();
+    ssi.set_barrier_parties(nodes as u32);
+    for n in 0..nodes {
+        ssi.spawn(
+            NodeId(n),
+            tasks[n as usize],
+            Box::new(TraceRunner {
+                me: n,
+                label: kind.label(),
+                ops: ops.to_vec(),
+                expected_at: expected_at.clone(),
+                finals: finals.clone(),
+                pages,
+                round: 0,
+                phase: Phase::Op,
+                verify_page: 0,
+            }),
+        );
+    }
+    ssi.run(200_000_000).expect("trace quiesces");
+    assert!(ssi.all_done(), "{}: all trace runners finish", kind.label());
+    match kind {
+        ManagerKind::Asvm(_) => cluster::check_asvm_invariants(&ssi),
+        ManagerKind::Xmm { .. } => cluster::check_xmm_invariants(&ssi),
+    }
+}
+
+/// Like [`run_trace`] but dumps per-node state instead of asserting
+/// completion (debugging aid).
+#[allow(dead_code)]
+pub fn run_trace_debug(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) {
+    let mut mem: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut expected_at = Vec::with_capacity(ops.len());
+    for (r, op) in ops.iter().enumerate() {
+        expected_at.push(mem.get(&op.page).copied().unwrap_or(0));
+        if op.write {
+            mem.insert(op.page, round_value(r));
+        }
+    }
+    let finals = mem;
+    let mut ssi = Ssi::new(nodes, kind, 99);
+    let home = NodeId(0);
+    let mobj = ssi.create_object(home, pages, false);
+    let tasks: Vec<TaskId> = (0..nodes)
+        .map(|n| {
+            let t = ssi.alloc_task();
+            ssi.map_shared(
+                t,
+                NodeId(n),
+                0,
+                mobj,
+                home,
+                pages,
+                Access::Write,
+                Inherit::Share,
+            );
+            t
+        })
+        .collect();
+    let _ = &tasks;
+    ssi.finalize();
+    ssi.set_barrier_parties(nodes as u32);
+    for n in 0..nodes {
+        ssi.spawn(
+            NodeId(n),
+            tasks[n as usize],
+            Box::new(TraceRunner {
+                me: n,
+                label: kind.label(),
+                ops: ops.to_vec(),
+                expected_at: expected_at.clone(),
+                finals: finals.clone(),
+                pages,
+                round: 0,
+                phase: Phase::Op,
+                verify_page: 0,
+            }),
+        );
+    }
+    ssi.run(200_000_000).expect("trace quiesces");
+    for n in 0..nodes {
+        let node = ssi.node(NodeId(n));
+        let o = node.asvm().object(mobj);
+        println!(
+            "node {n}: done={} pages={:?} pending={:?} filling={:?} sw={:?} fw={:?} vmf={}",
+            node.all_tasks_done(),
+            o.pages.keys().collect::<Vec<_>>(),
+            o.pending,
+            o.static_filling,
+            o.static_waiting
+                .iter()
+                .map(|(k, v)| (*k, v.len()))
+                .collect::<Vec<_>>(),
+            o.fill_waiters
+                .iter()
+                .map(|(k, v)| (*k, v.len()))
+                .collect::<Vec<_>>(),
+            node.vm.pending_faults()
+        );
+    }
+    assert!(ssi.all_done(), "stalled");
+}

@@ -1,0 +1,206 @@
+//! Internode paging under memory pressure (paper §3.6), property-based.
+//!
+//! Invariants: no write is ever lost, regardless of how often pages are
+//! evicted, transferred between nodes, or returned to the pager; and the
+//! cluster keeps pages in node memory in preference to disk.
+
+mod common;
+
+use cluster::{ManagerKind, Program, Ssi, Step, TaskEnv};
+use machvm::{Access, Inherit};
+use proptest::prelude::*;
+use svmsim::{MachineConfig, NodeId};
+
+/// Writes `region` pages (larger than one node's memory), then reads them
+/// all back in a random-ish order and checks the values.
+struct Churn {
+    region: u32,
+    phase: u8,
+    idx: u32,
+    stride: u32,
+}
+
+impl Program for Churn {
+    fn step(&mut self, env: &mut TaskEnv) -> Step {
+        loop {
+            match self.phase {
+                0 => {
+                    if self.idx < self.region {
+                        let p = self.idx;
+                        self.idx += 1;
+                        return Step::Write {
+                            va_page: p as u64,
+                            value: 0xCAFE_0000 + p as u64,
+                        };
+                    }
+                    self.phase = 1;
+                    self.idx = 0;
+                }
+                1 => {
+                    if self.idx < self.region {
+                        // Strided revisit order stresses the clock policy.
+                        let p = (self.idx * self.stride) % self.region;
+                        self.idx += 1;
+                        self.phase = 2;
+                        return Step::Read { va_page: p as u64 };
+                    }
+                    return Step::Done;
+                }
+                2 => {
+                    let p = ((self.idx - 1) * self.stride) % self.region;
+                    let got = env.last_read.expect("read done");
+                    assert_eq!(
+                        got,
+                        0xCAFE_0000 + p as u64,
+                        "page {p} lost its data under memory pressure"
+                    );
+                    self.phase = 1;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn churn(kind: ManagerKind, capacity_pages: u64, region: u32, stride: u32, nodes: u16) {
+    let mut cfg = MachineConfig::paragon(nodes);
+    cfg.user_mem_bytes_per_node = capacity_pages * 8192;
+    let mut ssi = Ssi::with_machine(cfg, kind, 3);
+    let home = NodeId(0);
+    let mobj = ssi.create_object(home, region, false);
+    let tasks: Vec<_> = (0..nodes)
+        .map(|n| {
+            let t = ssi.alloc_task();
+            ssi.map_shared(
+                t,
+                NodeId(n),
+                0,
+                mobj,
+                home,
+                region,
+                Access::Write,
+                Inherit::Share,
+            );
+            t
+        })
+        .collect();
+    ssi.finalize();
+    // Only node 0 runs the churner; the rest donate their memory.
+    ssi.spawn(
+        NodeId(0),
+        tasks[0],
+        Box::new(Churn {
+            region,
+            phase: 0,
+            idx: 0,
+            stride,
+        }),
+    );
+    ssi.run(u64::MAX / 2).expect("churn quiesces");
+    assert!(ssi.node(NodeId(0)).all_tasks_done(), "churner finished");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn asvm_survives_pressure(
+        region in 96u32..192,
+        stride in prop::sample::select(vec![1u32, 3, 7, 11]),
+    ) {
+        // 64-page nodes; the region overflows node 0 several times over.
+        churn(ManagerKind::asvm(), 64, region, stride, 4);
+    }
+
+    #[test]
+    fn xmm_survives_pressure(
+        region in 96u32..160,
+        stride in prop::sample::select(vec![1u32, 3, 7]),
+    ) {
+        churn(ManagerKind::xmm(), 64, region, stride, 3);
+    }
+}
+
+#[test]
+fn asvm_prefers_peer_memory_over_disk() {
+    let mut cfg = MachineConfig::paragon(4);
+    cfg.user_mem_bytes_per_node = 64 * 8192;
+    let mut ssi = Ssi::with_machine(cfg, ManagerKind::asvm(), 3);
+    let home = NodeId(0);
+    let region = 128u32;
+    let mobj = ssi.create_object(home, region, false);
+    let tasks: Vec<_> = (0..4u16)
+        .map(|n| {
+            let t = ssi.alloc_task();
+            ssi.map_shared(
+                t,
+                NodeId(n),
+                0,
+                mobj,
+                home,
+                region,
+                Access::Write,
+                Inherit::Share,
+            );
+            t
+        })
+        .collect();
+    ssi.finalize();
+    ssi.spawn(
+        NodeId(0),
+        tasks[0],
+        Box::new(Churn {
+            region,
+            phase: 0,
+            idx: 0,
+            stride: 1,
+        }),
+    );
+    ssi.run(u64::MAX / 2).expect("quiesces");
+    // 128 pages into a 64-page node: overflow fits in the 3 idle peers
+    // (3 x 64 = 192 pages), so no disk traffic is needed at all.
+    assert_eq!(
+        ssi.stats().counter("disk.writes"),
+        0,
+        "peer memory should absorb the overflow without touching the disk"
+    );
+}
+
+#[test]
+fn xmm_under_pressure_goes_to_disk() {
+    // The baseline has no internode paging: the same overflow must hit the
+    // pager's disk.
+    let mut cfg = MachineConfig::paragon(4);
+    cfg.user_mem_bytes_per_node = 64 * 8192;
+    let mut ssi = Ssi::with_machine(cfg, ManagerKind::xmm(), 3);
+    let home = NodeId(0);
+    let region = 128u32;
+    let mobj = ssi.create_object(home, region, false);
+    let t = ssi.alloc_task();
+    ssi.map_shared(
+        t,
+        NodeId(0),
+        0,
+        mobj,
+        home,
+        region,
+        Access::Write,
+        Inherit::Share,
+    );
+    ssi.finalize();
+    ssi.spawn(
+        NodeId(0),
+        t,
+        Box::new(Churn {
+            region,
+            phase: 0,
+            idx: 0,
+            stride: 1,
+        }),
+    );
+    ssi.run(u64::MAX / 2).expect("quiesces");
+    assert!(
+        ssi.stats().counter("disk.writes") > 0,
+        "XMM overflow must be written to the paging space"
+    );
+}

@@ -1,0 +1,170 @@
+//! Property tests for the substrate data structures, checked against
+//! straightforward reference models.
+
+use machvm::{Access, AddressMap, Inherit, MapEntry, PageData, VmObjId};
+use proptest::prelude::*;
+use svmsim::{EventQueue, Time};
+
+// --- Event queue ------------------------------------------------------------
+
+proptest! {
+    /// Events always pop in time order, with insertion order breaking ties.
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(Time::from_nanos(*t), i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut popped = 0;
+        while let Some((t, idx)) = q.pop() {
+            popped += 1;
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t.as_nanos() > lt || (t.as_nanos() == lt && idx > lidx),
+                    "order violated: ({lt},{lidx}) then ({},{idx})", t.as_nanos());
+            }
+            last = Some((t.as_nanos(), idx));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+}
+
+// --- LRU cache ----------------------------------------------------------------
+
+proptest! {
+    /// The LRU cache never exceeds capacity and agrees with a reference
+    /// model on membership after arbitrary operation sequences.
+    #[test]
+    fn lru_matches_reference(
+        cap in 1usize..8,
+        ops in prop::collection::vec((0u32..16, any::<bool>()), 1..100),
+    ) {
+        let mut lru = asvm::Lru::new(cap);
+        // Reference: vector ordered most-recent-first.
+        let mut model: Vec<(u32, u32)> = Vec::new();
+        for (key, is_insert) in ops {
+            if is_insert {
+                lru.insert(key, key * 10);
+                model.retain(|(k, _)| *k != key);
+                model.insert(0, (key, key * 10));
+                model.truncate(cap);
+            } else {
+                let got = lru.get(&key).copied();
+                let want = model.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+                prop_assert_eq!(got, want);
+                if want.is_some() {
+                    model.retain(|(k, _)| *k != key);
+                    model.insert(0, (key, key * 10));
+                }
+            }
+            prop_assert!(lru.len() <= cap);
+            prop_assert_eq!(lru.len(), model.len());
+        }
+    }
+}
+
+// --- Address map -----------------------------------------------------------------
+
+fn arb_entries() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    // Disjoint ranges by construction: gaps then lengths.
+    prop::collection::vec((1u64..20, 1u32..10), 1..10).prop_map(|pairs| {
+        let mut out = Vec::new();
+        let mut base = 0u64;
+        for (gap, len) in pairs {
+            base += gap;
+            out.push((base, len));
+            base += len as u64;
+        }
+        out
+    })
+}
+
+proptest! {
+    /// `AddressMap::lookup` agrees with a linear scan over the entries.
+    #[test]
+    fn address_map_lookup_matches_scan(entries in arb_entries(), probe in 0u64..300) {
+        let mut m = AddressMap::new();
+        for (i, (va, len)) in entries.iter().enumerate() {
+            m.insert(MapEntry {
+                va_page: *va,
+                pages: *len,
+                object: VmObjId(i as u32 + 1),
+                offset: 0,
+                prot: Access::Write,
+                inherit: Inherit::Copy,
+                needs_copy: false,
+            });
+        }
+        let expect = entries
+            .iter()
+            .enumerate()
+            .find(|(_, (va, len))| probe >= *va && probe < *va + *len as u64)
+            .map(|(i, _)| VmObjId(i as u32 + 1));
+        prop_assert_eq!(m.lookup(probe).map(|e| e.object), expect);
+    }
+}
+
+// --- Page data --------------------------------------------------------------------
+
+proptest! {
+    /// Byte-level writes against a plain `Vec<u8>` reference model.
+    #[test]
+    fn pagedata_matches_byte_model(
+        writes in prop::collection::vec((0usize..256, prop::collection::vec(any::<u8>(), 1..16)), 0..20),
+        stamp in any::<u64>(),
+    ) {
+        const PS: usize = 256;
+        let mut page = PageData::Word(stamp);
+        let mut model = vec![0u8; PS];
+        model[..8].copy_from_slice(&stamp.to_le_bytes());
+        for (off, bytes) in writes {
+            let off = off.min(PS - bytes.len());
+            page.write_bytes(off, &bytes, PS);
+            model[off..off + bytes.len()].copy_from_slice(&bytes);
+        }
+        prop_assert_eq!(page.read_bytes(0, PS, PS), model);
+    }
+}
+
+// --- Range locks -------------------------------------------------------------------
+
+proptest! {
+    /// No two held locks ever overlap, and every queued request is
+    /// eventually granted when everything is released in FIFO order.
+    #[test]
+    fn range_locks_exclusive_and_live(
+        reqs in prop::collection::vec((0u32..16, 1u32..6, 0u16..4), 1..24),
+    ) {
+        use asvm::{PageRange, RangeLockMgr};
+        use machvm::PageIdx;
+        use svmsim::NodeId;
+
+        let mut mgr = RangeLockMgr::default();
+        let mut held: Vec<(PageRange, NodeId)> = Vec::new();
+        let mut granted_total = 0usize;
+        for (first, count, node) in &reqs {
+            let range = PageRange { first: PageIdx(*first), count: *count };
+            if mgr.acquire(range, NodeId(*node)) {
+                // Invariant: no overlap with anything already held.
+                for (h, _) in &held {
+                    prop_assert!(!h.overlaps(&range));
+                }
+                held.push((range, NodeId(*node)));
+                granted_total += 1;
+            }
+        }
+        // Release everything ever held; each release may grant more.
+        while let Some((range, node)) = held.pop() {
+            for g in mgr.release(range, node) {
+                for (h, _) in &held {
+                    prop_assert!(!h.overlaps(&g.range));
+                }
+                held.push((g.range, g.holder));
+                granted_total += 1;
+            }
+        }
+        prop_assert_eq!(granted_total, reqs.len(), "every request granted eventually");
+        prop_assert_eq!(mgr.held_count(), 0);
+        prop_assert_eq!(mgr.queued_count(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Reproduces the copy-pager deadlock the paper cites as a motivation for
+//! ASVM's asynchronous state transitions (§3.1):
+//!
+//! *"One problem of the mechanism XMM uses for implementing its delayed
+//! copy support is that the copy pager thread which generates a page-fault
+//! is blocked until the page-fault completes. As an internode copy chain
+//! might cross the same node multiple times, this leads to a deadlock if
+//! the available number of threads is exhausted."*
+//!
+//! We build a fork chain that revisits nodes and give XMM a single copy
+//! pager thread per node: concurrent faults through the chain exhaust the
+//! pool and the simulation quiesces with work permanently stuck. ASVM on
+//! the same workload completes — nothing in it ever blocks a thread.
+
+use cluster::{Manager, ManagerKind, Program, Ssi, Step, TaskEnv};
+use machvm::{Access, Inherit, TaskId};
+use svmsim::NodeId;
+
+const REGION: u32 = 8;
+
+/// Chain link bouncing between two nodes; the last two links fault all
+/// pages *concurrently*, driving multiple faults through node 0's single
+/// internal-pager thread at once.
+struct Bounce {
+    depth: u16,
+    max_depth: u16,
+    page: u32,
+    forked: bool,
+}
+
+impl Program for Bounce {
+    fn step(&mut self, env: &mut TaskEnv) -> Step {
+        if self.depth < self.max_depth && !self.forked {
+            self.forked = true;
+            // Bounce between node 0 and node 1 so the chain crosses the
+            // same node repeatedly.
+            let next = NodeId(if env.node.0 == 0 { 1 } else { 0 });
+            return Step::Fork {
+                child: TaskId(900 + self.depth as u32 + 1),
+                node: next,
+                program: Box::new(Bounce {
+                    depth: self.depth + 1,
+                    max_depth: self.max_depth,
+                    page: 0,
+                    forked: false,
+                }),
+            };
+        }
+        // Deep links fault the inherited region (the last link, plus its
+        // parent after the fork returns, giving concurrent chain faults).
+        if self.depth + 1 >= self.max_depth && self.page < REGION {
+            let p = self.page;
+            self.page += 1;
+            return Step::Read { va_page: p as u64 };
+        }
+        Step::Done
+    }
+}
+
+fn build(kind: ManagerKind) -> (Ssi, TaskId) {
+    let mut ssi = Ssi::new(2, kind, 13);
+    let root = ssi.alloc_task();
+    {
+        let n = ssi.world.node_mut(NodeId(0));
+        n.vm.create_task(root);
+        let obj = n.vm.create_object(REGION, machvm::Backing::Anonymous);
+        n.vm.map_object(root, 0, REGION, obj, 0, Access::Write, Inherit::Copy);
+    }
+    ssi.finalize();
+    (ssi, root)
+}
+
+fn spawn_root(ssi: &mut Ssi, root: TaskId, max_depth: u16) {
+    let now = ssi.world.now();
+    // Root initializes the region, then starts the bouncing chain.
+    struct Root {
+        page: u32,
+        forked: bool,
+        max_depth: u16,
+    }
+    impl Program for Root {
+        fn step(&mut self, _env: &mut TaskEnv) -> Step {
+            if self.page < REGION {
+                let p = self.page;
+                self.page += 1;
+                return Step::Write {
+                    va_page: p as u64,
+                    value: 0xD00D + p as u64,
+                };
+            }
+            if !self.forked {
+                self.forked = true;
+                return Step::Fork {
+                    child: TaskId(901),
+                    node: NodeId(1),
+                    program: Box::new(Bounce {
+                        depth: 1,
+                        max_depth: self.max_depth,
+                        page: 0,
+                        forked: false,
+                    }),
+                };
+            }
+            Step::Done
+        }
+    }
+    ssi.world.node_mut(NodeId(0)).install_task(
+        root,
+        Box::new(Root {
+            page: 0,
+            forked: false,
+            max_depth,
+        }),
+        now,
+    );
+    ssi.world.post(now, NodeId(0), cluster::Msg::Resume(root));
+}
+
+#[test]
+fn xmm_single_thread_pool_deadlocks_on_chains() {
+    let (mut ssi, root) = build(ManagerKind::Xmm { copy_threads: 1 });
+    spawn_root(&mut ssi, root, 6);
+    ssi.run(u64::MAX / 2)
+        .expect("the simulation itself quiesces");
+    // The cluster went quiet with tasks still waiting: the classic
+    // blocked-thread deadlock.
+    let stuck: usize = (0..2u16)
+        .map(|n| ssi.node(NodeId(n)).vm.pending_faults())
+        .sum();
+    let queued: usize = (0..2u16)
+        .map(|n| match &ssi.node(NodeId(n)).mgr {
+            Manager::Xmm(x) => x.thread_queue_len(),
+            Manager::Asvm(_) => 0,
+        })
+        .sum();
+    assert!(
+        stuck > 0 && queued > 0,
+        "expected a thread-exhaustion deadlock (stuck={stuck}, queued={queued})"
+    );
+    assert!(!ssi.all_done(), "the chain must NOT have completed");
+}
+
+#[test]
+fn xmm_with_enough_threads_completes() {
+    let (mut ssi, root) = build(ManagerKind::Xmm { copy_threads: 16 });
+    spawn_root(&mut ssi, root, 6);
+    ssi.run(u64::MAX / 2).expect("quiesces");
+    assert!(ssi.all_done(), "with a big pool the chain completes");
+}
+
+#[test]
+fn asvm_never_deadlocks_on_chains() {
+    // ASVM has no thread pool at all: the same bouncing chain completes.
+    let (mut ssi, root) = build(ManagerKind::asvm());
+    spawn_root(&mut ssi, root, 6);
+    ssi.run(u64::MAX / 2).expect("quiesces");
+    assert!(
+        ssi.all_done(),
+        "asynchronous state transitions cannot deadlock"
+    );
+}
