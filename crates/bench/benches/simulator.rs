@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cluster::ManagerKind;
-use svmsim::{Dur, EventQueue, Machine, MachineConfig, Time};
+use svmsim::{Dur, EventQueue, Machine, MachineConfig, Stats, Time};
 use workloads::{
     copy_chain_probe, em3d_run, fault_probe, run_pattern, CopyChainSpec, Em3dSpec, FaultProbeSpec,
     Pattern, ProbeAccess,
@@ -27,6 +27,77 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(sum)
         })
     });
+}
+
+fn bench_event_queue_preallocated(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k_prealloc", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(1000);
+            for i in 0..1000u64 {
+                q.push(Time::from_nanos((i * 7919) % 10_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    // The per-message counter update, both ways: the cold string-keyed
+    // lookup and the interned-id fast path the event loop actually uses.
+    let mut g = c.benchmark_group("stats");
+    g.bench_function("bump_by_key_1k", |b| {
+        let mut s = Stats::new();
+        // Populate a realistic number of distinct counters first.
+        for k in [
+            "net.messages",
+            "net.bytes",
+            "disk.reads",
+            "disk.writes",
+            "faults.raised",
+            "faults.completed",
+            "norma.messages",
+            "sts.messages",
+            "pageouts",
+            "forks",
+        ] {
+            s.bump(k);
+        }
+        b.iter(|| {
+            for _ in 0..1000 {
+                s.bump(black_box("sts.messages"));
+            }
+            black_box(s.counter("sts.messages"))
+        })
+    });
+    g.bench_function("bump_by_id_1k", |b| {
+        let mut s = Stats::new();
+        for k in [
+            "net.messages",
+            "net.bytes",
+            "disk.reads",
+            "disk.writes",
+            "faults.raised",
+            "faults.completed",
+            "norma.messages",
+            "sts.messages",
+            "pageouts",
+            "forks",
+        ] {
+            s.bump(k);
+        }
+        let id = s.counter_id("sts.messages");
+        b.iter(|| {
+            for _ in 0..1000 {
+                s.bump_id(black_box(id));
+            }
+            black_box(s.counter_value(id))
+        })
+    });
+    g.finish();
 }
 
 fn bench_mesh_routing(c: &mut Criterion) {
@@ -126,6 +197,8 @@ fn bench_em3d(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_event_queue_preallocated,
+    bench_stats,
     bench_mesh_routing,
     bench_fault_probe,
     bench_copy_chain,

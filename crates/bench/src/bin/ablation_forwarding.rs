@@ -8,6 +8,7 @@
 //! plus the effect of shrinking the dynamic hint cache.
 
 use asvm::AsvmConfig;
+use bench::sweep::Sweep;
 use cluster::ManagerKind;
 use workloads::{run_pattern, Pattern, PatternOutcome};
 
@@ -23,7 +24,9 @@ const CONFIGS: [(&str, ConfigFn); 4] = [
     ("global only (min memory)", AsvmConfig::global_only),
 ];
 
-fn row(label: &str, outs: &[PatternOutcome]) {
+const CACHE_SIZES: [usize; 5] = [0, 4, 16, 64, 4096];
+
+fn row(label: &str, outs: &[&PatternOutcome]) {
     print!("{label:<36}");
     for o in outs {
         print!("{:>9.2}{:>9}", o.mean_fault_ms, o.messages);
@@ -45,6 +48,35 @@ fn main() {
             },
         ),
     ];
+
+    let mut sweep = Sweep::from_env("ablation_forwarding");
+    for (label, cfg) in CONFIGS {
+        for (pl, p) in patterns {
+            sweep.cell(format!("{label} / {pl}"), move || {
+                let o = run_pattern(ManagerKind::Asvm(cfg()), nodes, pages, p);
+                let events = o.events;
+                (o, events)
+            });
+        }
+    }
+    for entries in CACHE_SIZES {
+        sweep.cell(format!("cache {entries} / migratory"), move || {
+            let cfg = AsvmConfig {
+                dynamic_cache_entries: entries,
+                ..AsvmConfig::default()
+            };
+            let o = run_pattern(
+                ManagerKind::Asvm(cfg),
+                nodes,
+                pages,
+                Pattern::Migratory { rounds: 4 },
+            );
+            let events = o.events;
+            (o, events)
+        });
+    }
+    let report = sweep.run();
+
     println!("forwarding strategies x access patterns ({nodes} nodes, {pages} pages)");
     println!("columns per pattern: mean fault ms | protocol messages");
     print!("{:<36}", "");
@@ -53,10 +85,11 @@ fn main() {
     }
     println!();
     println!("{}", "-".repeat(36 + 18 * patterns.len()));
-    for (label, cfg) in CONFIGS {
-        let outs: Vec<PatternOutcome> = patterns
+    let mut cells = report.values();
+    for (label, _) in CONFIGS {
+        let outs: Vec<&PatternOutcome> = patterns
             .iter()
-            .map(|(_, p)| run_pattern(ManagerKind::Asvm(cfg()), nodes, pages, *p))
+            .map(|_| cells.next().expect("one result per pattern"))
             .collect();
         row(label, &outs);
     }
@@ -67,17 +100,8 @@ fn main() {
         "{:>14}{:>16}{:>16}",
         "cache entries", "mean fault ms", "messages"
     );
-    for entries in [0usize, 4, 16, 64, 4096] {
-        let cfg = AsvmConfig {
-            dynamic_cache_entries: entries,
-            ..AsvmConfig::default()
-        };
-        let o = run_pattern(
-            ManagerKind::Asvm(cfg),
-            nodes,
-            pages,
-            Pattern::Migratory { rounds: 4 },
-        );
+    for entries in CACHE_SIZES {
+        let o = cells.next().expect("one result per cache size");
         println!("{entries:>14}{:>16.2}{:>16}", o.mean_fault_ms, o.messages);
     }
     println!();
@@ -85,4 +109,5 @@ fn main() {
     println!("small, requests fall back to the static managers and finally the");
     println!("global walk — §3.4's layered design. The global-only column shows");
     println!("what the caches buy.");
+    report.finish();
 }

@@ -8,14 +8,20 @@
 //! ties it to physical pages"* — manager memory must grow with the
 //! *resident set*, not with `address space × nodes`.
 
+use bench::sweep::Sweep;
 use cluster::{Manager, ManagerKind, ScriptProgram, Ssi, Step};
 use machvm::{Access, Inherit};
 use svmsim::NodeId;
 
 /// Builds a cluster where every node maps a large, sparsely touched object
-/// and touches `touched` pages each; returns (max per-node state bytes,
-/// total state bytes).
-fn measure(kind: ManagerKind, nodes: u16, object_pages: u32, touched: u32) -> (usize, usize) {
+/// and touches `touched` pages each; returns ((max per-node state bytes,
+/// total state bytes), events).
+fn measure(
+    kind: ManagerKind,
+    nodes: u16,
+    object_pages: u32,
+    touched: u32,
+) -> ((usize, usize), u64) {
     let mut ssi = Ssi::new(nodes, kind, 5);
     let home = NodeId(0);
     let mobj = ssi.create_object(home, object_pages, false);
@@ -61,26 +67,34 @@ fn measure(kind: ManagerKind, nodes: u16, object_pages: u32, touched: u32) -> (u
         max = max.max(bytes);
         total += bytes;
     }
-    (max, total)
+    ((max, total), ssi.world.events_processed())
 }
+
+const GRID: [(u16, u32); 5] = [(4, 4096), (8, 4096), (16, 4096), (16, 65536), (32, 65536)];
 
 fn main() {
     let touched = 32u32;
+    let mut sweep = Sweep::from_env("ablation_memory");
+    for (nodes, object_pages) in GRID {
+        for kind in [ManagerKind::xmm(), ManagerKind::asvm()] {
+            sweep.cell(
+                format!("{} {}n {}p", kind.label(), nodes, object_pages),
+                move || measure(kind, nodes, object_pages, touched),
+            );
+        }
+    }
+    let report = sweep.run();
+
     println!("manager state for a sparse shared object (each node touches {touched} pages)");
     println!(
         "{:>8}{:>12}{:>16}{:>16}{:>16}{:>16}",
         "nodes", "obj pages", "XMM max/node", "XMM total", "ASVM max/node", "ASVM total"
     );
     println!("{}", "-".repeat(84));
-    for (nodes, object_pages) in [
-        (4u16, 4096u32),
-        (8, 4096),
-        (16, 4096),
-        (16, 65536),
-        (32, 65536),
-    ] {
-        let (xmax, xtot) = measure(ManagerKind::xmm(), nodes, object_pages, touched);
-        let (amax, atot) = measure(ManagerKind::asvm(), nodes, object_pages, touched);
+    let mut cells = report.values();
+    for (nodes, object_pages) in GRID {
+        let (xmax, xtot) = *cells.next().expect("xmm cell");
+        let (amax, atot) = *cells.next().expect("asvm cell");
         println!(
             "{:>8}{:>12}{:>16}{:>16}{:>16}{:>16}",
             nodes, object_pages, xmax, xtot, amax, atot
@@ -91,4 +105,5 @@ fn main() {
     println!("ASVM's state follows the resident pages plus bounded hint caches.");
     println!("(The paper notes the XMM design can exhaust memory and crash on");
     println!("large sparse address spaces; here it merely dwarfs ASVM.)");
+    report.finish();
 }

@@ -7,12 +7,19 @@
 //! a last resort does it go to the pager's disk. This harness squeezes one
 //! node's memory and reports where its pages ended up — and what a
 //! re-touch costs compared with a disk refault.
+//!
+//! Unlike the grid sweeps, this is a single two-phase experiment on one
+//! shared world, so it runs as one sweep cell; the phases stay sequential.
 
+use std::fmt::Write as _;
+
+use bench::sweep::Sweep;
 use cluster::{ManagerKind, ScriptProgram, Ssi, Step};
 use machvm::{Access, Inherit};
 use svmsim::{MachineConfig, NodeId};
 
-fn main() {
+fn experiment() -> (String, u64) {
+    let mut out = String::new();
     // A machine with tiny memories so pressure is easy to create.
     let nodes = 4u16;
     let mut cfg = MachineConfig::paragon(nodes);
@@ -52,7 +59,11 @@ fn main() {
     ssi.spawn(NodeId(0), tasks[0], Box::new(ScriptProgram::new(steps)));
     ssi.run(u64::MAX / 2).expect("phase 1 quiesces");
 
-    println!("after initializing {region_pages} pages on node 0 (capacity 256):");
+    writeln!(
+        out,
+        "after initializing {region_pages} pages on node 0 (capacity 256):"
+    )
+    .unwrap();
     let mut resident = Vec::new();
     for n in 0..nodes {
         let node = ssi.node(NodeId(n));
@@ -64,17 +75,21 @@ fn main() {
             .filter(|pi| pi.owner)
             .count();
         resident.push(owned);
-        println!(
+        writeln!(
+            out,
             "  node {n}: {owned:>4} owned pages resident ({} total resident)",
             node.vm.resident_total()
-        );
+        )
+        .unwrap();
     }
     let disk_writes = ssi.stats().counter("disk.writes");
-    println!("  pages written to the pager's disk: {disk_writes}");
-    println!(
+    writeln!(out, "  pages written to the pager's disk: {disk_writes}").unwrap();
+    writeln!(
+        out,
         "  page transfers accepted by peers:  {}",
         ssi.stats().counter("net.messages").min(99999)
-    );
+    )
+    .unwrap();
     assert!(
         resident[1] + resident[2] + resident[3] > 0,
         "peers must have absorbed overflow pages"
@@ -96,20 +111,32 @@ fn main() {
     ssi.run(u64::MAX / 2).expect("phase 2 quiesces");
 
     let t = ssi.stats().tally("fault.ms").expect("refaults happened");
-    println!();
-    println!("node 0 re-reads the region:");
-    println!(
+    writeln!(out).unwrap();
+    writeln!(out, "node 0 re-reads the region:").unwrap();
+    writeln!(
+        out,
         "  refaults: {}, mean {:.2} ms (disk refault would be ~30 ms)",
         t.count,
         t.mean().as_millis_f64()
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "  disk reads during re-scan: {}",
         ssi.stats().counter("disk.reads")
-    );
-    println!();
-    println!("ownership (and pages) spread across the peers' free memory instead of");
-    println!("hitting the disk — §3.6's internode paging plus §5's load balancing.");
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "ownership (and pages) spread across the peers' free memory instead of"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "hitting the disk — §3.6's internode paging plus §5's load balancing."
+    )
+    .unwrap();
 
     // Verify data survived the entire eviction/transfer dance.
     let node0 = ssi.node(NodeId(0));
@@ -118,5 +145,18 @@ fn main() {
             assert_eq!(v, 7000 + p as u64, "page {p} corrupted by internode paging");
         }
     }
-    println!("data integrity verified across eviction, transfer and refault.");
+    writeln!(
+        out,
+        "data integrity verified across eviction, transfer and refault."
+    )
+    .unwrap();
+    (out, ssi.world.events_processed())
+}
+
+fn main() {
+    let mut sweep = Sweep::from_env("ablation_paging");
+    sweep.cell("squeeze+rescan", experiment);
+    let report = sweep.run();
+    print!("{}", report.values().next().expect("one cell"));
+    report.finish();
 }

@@ -12,15 +12,24 @@
 //!    messages ... only one of them containing page contents"* — we count
 //!    the messages each implementation actually sends.
 
+use bench::sweep::Sweep;
 use cluster::{ManagerKind, ScriptProgram, Ssi, Step};
 use machvm::{Access, Inherit};
 use svmsim::{CostModel, MachineConfig, NodeId};
 use workloads::{fault_probe, FaultProbeSpec, ProbeAccess};
 
+/// One cell's measurement: latency plus the message counters that the
+/// message-count cells care about.
+#[derive(Clone, Copy, Debug)]
+struct Probe {
+    ms: f64,
+    messages: u64,
+    page_messages: u64,
+}
+
 /// Runs the XMM write-transfer probe (dirty page at one node, measured
-/// write fault at another) under the given cost model; returns (latency
-/// ms, messages, page messages).
-fn xmm_probe(cost: CostModel) -> (f64, u64, u64) {
+/// write fault at another) under the given cost model.
+fn xmm_probe(cost: CostModel) -> (Probe, u64) {
     let mut cfg = MachineConfig::paragon(4);
     cfg.cost = cost;
     let mut ssi = Ssi::with_machine(cfg, ManagerKind::xmm(), 7);
@@ -87,75 +96,17 @@ fn xmm_probe(cost: CostModel) -> (f64, u64, u64) {
         .post(now, NodeId(3), cluster::Msg::Resume(tasks[3]));
     ssi.run(1_000_000).unwrap();
     let t = ssi.stats().tally("fault.ms").unwrap();
-    (
-        t.mean().as_millis_f64(),
-        ssi.stats().counter("norma.messages") + ssi.stats().counter("sts.messages"),
-        ssi.stats().counter("norma.page_messages") + ssi.stats().counter("sts.page_messages"),
-    )
-}
-
-fn main() {
-    // --- Message counts ----------------------------------------------------
-    // Count on the dirty-page transfer (write permission moves from the
-    // current writer): the coherent version must reach the pager first.
-    let xmm_dirty = fault_probe(FaultProbeSpec {
-        kind: ManagerKind::xmm(),
-        read_copies: 1,
-        faulter_has_copy: false,
-        access: ProbeAccess::Write,
-    });
-    let asvm = fault_probe(FaultProbeSpec {
-        kind: ManagerKind::asvm(),
-        read_copies: 1,
-        faulter_has_copy: false,
-        access: ProbeAccess::Write,
-    });
-    println!("write-permission transfer from the current writer:");
-    println!(
-        "  XMMI : {:>3} messages, {} carrying page contents \
-         (paper: 5 msgs, 2 pages; ours adds the ack/completion bookkeeping)",
-        xmm_dirty.protocol_messages, xmm_dirty.page_messages
-    );
-    println!(
-        "  ASVM : {:>3} messages, {} carrying page contents \
-         (paper: 3 msgs, 1 page; ours adds the static-manager hint update)",
-        asvm.protocol_messages, asvm.page_messages
-    );
-
-    // --- Transport share of XMM fault latency --------------------------------
-    let (xmm_ms, _, _) = xmm_probe(CostModel::default());
-    let mut stripped = CostModel::default();
-    stripped.norma_send_cpu = stripped.sts_send_cpu;
-    stripped.norma_recv_cpu = stripped.sts_recv_cpu;
-    stripped.norma_header_bytes = stripped.sts_header_bytes;
-    stripped.xmm_handle = stripped.asvm_handle;
-    stripped.xmm_ack_handle = stripped.asvm_ack_handle;
-    let (fast_ms, _, _) = xmm_probe(stripped);
-    let share = (xmm_ms - fast_ms) / xmm_ms * 100.0;
-    println!();
-    println!("XMM remote write fault (warm pager):");
-    println!("  NORMA-IPC transport + handling : {xmm_ms:>7.2} ms");
-    println!("  STS-class transport + handling : {fast_ms:>7.2} ms");
-    println!("  transport share of latency     : {share:>6.1} %   (paper: ~90 %)");
-
-    // --- The converse: the unchanged ASVM state machines over NORMA-IPC ----
-    let asvm_norma = asvm_over(transport::Transport::NORMA);
-    let asvm_sts = asvm_over(transport::Transport::STS);
-    println!();
-    println!("ASVM write fault (1 read copy), same state machines:");
-    println!("  over STS (dedicated transport) : {asvm_sts:>7.2} ms");
-    println!("  over NORMA-IPC                 : {asvm_norma:>7.2} ms");
-    println!(
-        "  the dedicated transport buys   : {:>6.1}x",
-        asvm_norma / asvm_sts
-    );
+    let probe = Probe {
+        ms: t.mean().as_millis_f64(),
+        messages: ssi.stats().counter("norma.messages") + ssi.stats().counter("sts.messages"),
+        page_messages: ssi.stats().counter("norma.page_messages")
+            + ssi.stats().counter("sts.page_messages"),
+    };
+    (probe, ssi.world.events_processed())
 }
 
 /// The ASVM 1-read-copy write probe with the protocol carried by `t`.
-fn asvm_over(t: transport::Transport) -> f64 {
-    use cluster::Ssi;
-    use machvm::{Access, Inherit};
-    use svmsim::NodeId;
+fn asvm_over(t: transport::Transport) -> (Probe, u64) {
     let mut ssi = Ssi::new(4, ManagerKind::asvm(), 7);
     ssi.set_asvm_transport(t);
     let home = NodeId(0);
@@ -205,9 +156,93 @@ fn asvm_over(t: transport::Transport) -> f64 {
     ssi.world
         .post(now, NodeId(3), cluster::Msg::Resume(tasks[3]));
     ssi.run(1_000_000).unwrap();
-    ssi.stats()
-        .tally("fault.ms")
-        .unwrap()
-        .mean()
-        .as_millis_f64()
+    let probe = Probe {
+        ms: ssi
+            .stats()
+            .tally("fault.ms")
+            .unwrap()
+            .mean()
+            .as_millis_f64(),
+        messages: 0,
+        page_messages: 0,
+    };
+    (probe, ssi.world.events_processed())
+}
+
+fn count_probe(kind: ManagerKind) -> (Probe, u64) {
+    let out = fault_probe(FaultProbeSpec {
+        kind,
+        read_copies: 1,
+        faulter_has_copy: false,
+        access: ProbeAccess::Write,
+    });
+    (
+        Probe {
+            ms: out.latency.as_millis_f64(),
+            messages: out.protocol_messages,
+            page_messages: out.page_messages,
+        },
+        out.events,
+    )
+}
+
+fn main() {
+    let mut stripped = CostModel::default();
+    stripped.norma_send_cpu = stripped.sts_send_cpu;
+    stripped.norma_recv_cpu = stripped.sts_recv_cpu;
+    stripped.norma_header_bytes = stripped.sts_header_bytes;
+    stripped.xmm_handle = stripped.asvm_handle;
+    stripped.xmm_ack_handle = stripped.asvm_ack_handle;
+
+    let mut sweep = Sweep::from_env("ablation_transport");
+    sweep.cell("xmm message counts", || count_probe(ManagerKind::xmm()));
+    sweep.cell("asvm message counts", || count_probe(ManagerKind::asvm()));
+    sweep.cell("xmm over norma", || xmm_probe(CostModel::default()));
+    sweep.cell("xmm over sts-class", move || xmm_probe(stripped));
+    sweep.cell("asvm over norma", || asvm_over(transport::Transport::NORMA));
+    sweep.cell("asvm over sts", || asvm_over(transport::Transport::STS));
+    let report = sweep.run();
+    let cells: Vec<Probe> = report.values().copied().collect();
+    let (xmm_dirty, asvm, xmm_norma, xmm_fast, asvm_norma, asvm_sts) =
+        (cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]);
+
+    // --- Message counts ----------------------------------------------------
+    // Count on the dirty-page transfer (write permission moves from the
+    // current writer): the coherent version must reach the pager first.
+    println!("write-permission transfer from the current writer:");
+    println!(
+        "  XMMI : {:>3} messages, {} carrying page contents \
+         (paper: 5 msgs, 2 pages; ours adds the ack/completion bookkeeping)",
+        xmm_dirty.messages, xmm_dirty.page_messages
+    );
+    println!(
+        "  ASVM : {:>3} messages, {} carrying page contents \
+         (paper: 3 msgs, 1 page; ours adds the static-manager hint update)",
+        asvm.messages, asvm.page_messages
+    );
+
+    // --- Transport share of XMM fault latency --------------------------------
+    let share = (xmm_norma.ms - xmm_fast.ms) / xmm_norma.ms * 100.0;
+    println!();
+    println!("XMM remote write fault (warm pager):");
+    println!(
+        "  NORMA-IPC transport + handling : {:>7.2} ms",
+        xmm_norma.ms
+    );
+    println!("  STS-class transport + handling : {:>7.2} ms", xmm_fast.ms);
+    println!("  transport share of latency     : {share:>6.1} %   (paper: ~90 %)");
+
+    // --- The converse: the unchanged ASVM state machines over NORMA-IPC ----
+    println!();
+    println!("ASVM write fault (1 read copy), same state machines:");
+    println!("  over STS (dedicated transport) : {:>7.2} ms", asvm_sts.ms);
+    println!(
+        "  over NORMA-IPC                 : {:>7.2} ms",
+        asvm_norma.ms
+    );
+    println!(
+        "  the dedicated transport buys   : {:>6.1}x",
+        asvm_norma.ms / asvm_sts.ms
+    );
+    report.finish();
 }

@@ -7,19 +7,15 @@
 //! (pipelined invalidations at the owner); XMM latencies grow steeply
 //! (serialized NORMA-IPC flush messages at the centralized manager).
 
+use bench::sweep::Sweep;
 use cluster::ManagerKind;
 use workloads::{fault_probe, FaultProbeSpec, ProbeAccess};
 
+const READERS: [u16; 8] = [1, 2, 4, 8, 16, 32, 48, 64];
+
 fn main() {
-    let readers = [1u16, 2, 4, 8, 16, 32, 48, 64];
-    println!("Figure 10: write fault latency (ms) vs read copies");
-    println!(
-        "{:>8}{:>14}{:>14}{:>14}{:>14}",
-        "readers", "ASVM wf", "ASVM upg", "XMM wf", "XMM upg"
-    );
-    println!("{}", "-".repeat(64));
-    for r in readers {
-        let mut row = vec![format!("{r:>8}")];
+    let mut sweep = Sweep::from_env("figure10");
+    for r in READERS {
         for (kind, has_copy) in [
             (ManagerKind::asvm(), false),
             (ManagerKind::asvm(), true),
@@ -28,20 +24,43 @@ fn main() {
         ] {
             // An upgrade needs the faulter to be one of the readers.
             if has_copy && r < 2 {
-                row.push(format!("{:>14}", "-"));
+                sweep.cell(format!("{} skip {}r", kind.label(), r), move || (None, 0));
                 continue;
             }
-            let res = fault_probe(FaultProbeSpec {
+            let spec = FaultProbeSpec {
                 kind,
                 read_copies: r,
                 faulter_has_copy: has_copy,
                 access: ProbeAccess::Write,
+            };
+            let tag = if has_copy { "upg" } else { "wf" };
+            sweep.cell(format!("{} {} {}r", kind.label(), tag, r), move || {
+                let out = fault_probe(spec);
+                (Some(out.latency.as_millis_f64()), out.events)
             });
-            row.push(format!("{:>14.2}", res.latency.as_millis_f64()));
+        }
+    }
+    let report = sweep.run();
+
+    println!("Figure 10: write fault latency (ms) vs read copies");
+    println!(
+        "{:>8}{:>14}{:>14}{:>14}{:>14}",
+        "readers", "ASVM wf", "ASVM upg", "XMM wf", "XMM upg"
+    );
+    println!("{}", "-".repeat(64));
+    let mut cells = report.values();
+    for r in READERS {
+        let mut row = vec![format!("{r:>8}")];
+        for _ in 0..4 {
+            row.push(match cells.next().expect("one result per cell") {
+                Some(ms) => format!("{ms:>14.2}"),
+                None => format!("{:>14}", "-"),
+            });
         }
         println!("{}", row.join(""));
     }
     println!();
     println!("paper anchor points: ASVM wf 1→2.24, 2→3.10, 64→8.96;");
     println!("                     XMM  wf 1→38.42 (disk), 2→12.92, 64→72.18");
+    report.finish();
 }

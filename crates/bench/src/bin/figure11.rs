@@ -9,40 +9,46 @@
 //!   internal-pager fault over NORMA-IPC);
 //! * ASVM: lb ≈ 2.7 ms, la ≈ 0.48 ms per hop (pull operations over STS).
 
+use bench::sweep::Sweep;
 use cluster::ManagerKind;
 use workloads::{copy_chain_probe, CopyChainSpec};
 
+const LENGTHS: [u16; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
 fn main() {
-    let lengths = [1u16, 2, 3, 4, 5, 6, 7, 8];
+    let mut sweep = Sweep::from_env("figure11");
+    for len in LENGTHS {
+        for kind in [ManagerKind::asvm(), ManagerKind::xmm()] {
+            let spec = CopyChainSpec {
+                kind,
+                chain_len: len,
+                region_pages: 16,
+            };
+            sweep.cell(format!("{} chain{}", kind.label(), len), move || {
+                let out = copy_chain_probe(spec);
+                (out.mean_fault.as_millis_f64(), out.events)
+            });
+        }
+    }
+    let report = sweep.run();
+
     println!("Figure 11: inherited-memory fault latency (ms) vs chain length");
     println!("{:>8}{:>12}{:>12}", "chain", "ASVM", "XMM");
     println!("{}", "-".repeat(32));
     let mut asvm = Vec::new();
     let mut xmm = Vec::new();
-    for len in lengths {
-        let a = copy_chain_probe(CopyChainSpec {
-            kind: ManagerKind::asvm(),
-            chain_len: len,
-            region_pages: 16,
-        });
-        let x = copy_chain_probe(CopyChainSpec {
-            kind: ManagerKind::xmm(),
-            chain_len: len,
-            region_pages: 16,
-        });
-        asvm.push(a.mean_fault.as_millis_f64());
-        xmm.push(x.mean_fault.as_millis_f64());
-        println!(
-            "{:>8}{:>12.2}{:>12.2}",
-            len,
-            a.mean_fault.as_millis_f64(),
-            x.mean_fault.as_millis_f64()
-        );
+    let mut cells = report.values();
+    for len in LENGTHS {
+        let a = *cells.next().expect("asvm cell");
+        let x = *cells.next().expect("xmm cell");
+        asvm.push(a);
+        xmm.push(x);
+        println!("{:>8}{:>12.2}{:>12.2}", len, a, x);
     }
     // Least-squares fit of latency = lb + n*la.
     let fit = |ys: &[f64]| {
         let n = ys.len() as f64;
-        let xs: Vec<f64> = lengths.iter().map(|l| *l as f64).collect();
+        let xs: Vec<f64> = LENGTHS.iter().map(|l| *l as f64).collect();
         let sx: f64 = xs.iter().sum();
         let sy: f64 = ys.iter().sum();
         let sxx: f64 = xs.iter().map(|x| x * x).sum();
@@ -62,4 +68,5 @@ fn main() {
         "chain of 8 (a 256-node binary-tree spawn): ASVM {:.1} ms, XMM {:.1} ms (paper: 6.4, 35)",
         asvm[7], xmm[7]
     );
+    report.finish();
 }

@@ -6,12 +6,16 @@
 //! (3) clustering of page-in requests. All three are implemented behind
 //! `AsvmConfig`/`Ssi` switches; this harness measures what they buy.
 
+use bench::sweep::Sweep;
 use cluster::{ManagerKind, ScriptProgram, Ssi, Step};
 use machvm::{Access, Inherit};
 use svmsim::{MachineConfig, NodeId};
 
+const STRIPES: [u16; 3] = [1, 2, 4];
+const READAHEADS: [u32; 3] = [0, 4, 8];
+
 /// Sequential cold read of a populated file; returns MB/s seen by node 0.
-fn read_rate(stripes: u16, readahead: u32, pages: u32) -> f64 {
+fn read_rate(stripes: u16, readahead: u32, pages: u32) -> (f64, u64) {
     let mut cfg = MachineConfig::paragon(2);
     cfg.io_nodes = stripes.max(1);
     let kind = ManagerKind::Asvm(asvm::AsvmConfig::with_readahead(readahead));
@@ -44,22 +48,35 @@ fn read_rate(stripes: u16, readahead: u32, pages: u32) -> f64 {
         .task_runtime(t)
         .expect("finished")
         .as_secs_f64();
-    pages as f64 * 8192.0 / secs / (1024.0 * 1024.0)
+    let rate = pages as f64 * 8192.0 / secs / (1024.0 * 1024.0);
+    (rate, ssi.world.events_processed())
 }
 
 fn main() {
     let pages = 512; // a 4 MB file, as in Table 2
+    let mut sweep = Sweep::from_env("futurework");
+    for stripes in STRIPES {
+        for ra in READAHEADS {
+            sweep.cell(format!("{stripes}s ra{ra}"), move || {
+                read_rate(stripes, ra, pages)
+            });
+        }
+    }
+    let report = sweep.run();
+
     println!("cold sequential read of a 4 MB mapped file, one node (MB/s):");
     println!(
         "{:<12}{:>14}{:>14}{:>14}",
         "stripes", "ra=0", "ra=4", "ra=8"
     );
     println!("{}", "-".repeat(54));
-    for stripes in [1u16, 2, 4] {
-        let r0 = read_rate(stripes, 0, pages);
-        let r4 = read_rate(stripes, 4, pages);
-        let r8 = read_rate(stripes, 8, pages);
-        println!("{stripes:<12}{r0:>14.2}{r4:>14.2}{r8:>14.2}");
+    let mut cells = report.values();
+    for stripes in STRIPES {
+        print!("{stripes:<12}");
+        for _ in READAHEADS {
+            print!("{:>14.2}", cells.next().expect("one result per cell"));
+        }
+        println!();
     }
     println!();
     println!("baseline (1 stripe, no clustering) matches Table 2's single-node");
@@ -69,4 +86,5 @@ fn main() {
     println!();
     println!("range locks: see tests/futurework.rs — multi-page updates become");
     println!("atomic under concurrent writers/readers with no token server.");
+    report.finish();
 }

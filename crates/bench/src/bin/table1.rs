@@ -3,6 +3,7 @@
 //! Seven characteristic SVM fault types, measured in task context exactly
 //! as the paper does, under both ASVM and NMK13 XMM.
 
+use bench::sweep::Sweep;
 use cluster::ManagerKind;
 use workloads::{fault_probe, FaultProbeSpec, ProbeAccess};
 
@@ -75,27 +76,36 @@ const ROWS: &[Row] = &[
 ];
 
 fn main() {
+    let mut sweep = Sweep::from_env("table1");
+    for row in ROWS {
+        for kind in [ManagerKind::asvm(), ManagerKind::xmm()] {
+            let spec = FaultProbeSpec {
+                kind,
+                read_copies: row.read_copies,
+                faulter_has_copy: row.faulter_has_copy,
+                access: row.access,
+            };
+            sweep.cell(format!("{} {}", kind.label(), row.label), move || {
+                let out = fault_probe(spec);
+                (out.latency.as_millis_f64(), out.events)
+            });
+        }
+    }
+    let report = sweep.run();
+
     println!("Table 1: Page Fault Latencies (ms) — paper/measured");
     println!("{:<32}{:>18}{:>18}", "Fault Type", "ASVM", "XMM");
     println!("{}", "-".repeat(68));
+    let mut cells = report.values();
     for row in ROWS {
-        let asvm = fault_probe(FaultProbeSpec {
-            kind: ManagerKind::asvm(),
-            read_copies: row.read_copies,
-            faulter_has_copy: row.faulter_has_copy,
-            access: row.access,
-        });
-        let xmm = fault_probe(FaultProbeSpec {
-            kind: ManagerKind::xmm(),
-            read_copies: row.read_copies,
-            faulter_has_copy: row.faulter_has_copy,
-            access: row.access,
-        });
+        let asvm = cells.next().expect("asvm cell");
+        let xmm = cells.next().expect("xmm cell");
         println!(
             "{:<32}{:>18}{:>18}",
             row.label,
-            bench::pair(row.paper_asvm, asvm.latency.as_millis_f64()),
-            bench::pair(row.paper_xmm, xmm.latency.as_millis_f64()),
+            bench::pair(row.paper_asvm, *asvm),
+            bench::pair(row.paper_xmm, *xmm),
         );
     }
+    report.finish();
 }

@@ -7,6 +7,7 @@
 //! scan the whole populated file on every node (bounded by the pager — or,
 //! under ASVM, served from peer caches after the first copy).
 
+use bench::sweep::Sweep;
 use cluster::ManagerKind;
 use workloads::{file_scan, FileScanSpec, ScanDir};
 
@@ -18,47 +19,51 @@ const PAPER_XMM_READ: [f64; 7] = [1.18, 0.38, 0.25, 0.11, 0.05, 0.02, 0.01];
 
 fn main() {
     let file_pages = 512; // 4 MB
+    let mut sweep = Sweep::from_env("table2");
+    for n in NODES {
+        for (kind, dir) in [
+            (ManagerKind::asvm(), ScanDir::Write),
+            (ManagerKind::xmm(), ScanDir::Write),
+            (ManagerKind::asvm(), ScanDir::Read),
+            (ManagerKind::xmm(), ScanDir::Read),
+        ] {
+            let spec = FileScanSpec {
+                kind,
+                nodes: n,
+                file_pages,
+                dir,
+            };
+            sweep.cell(format!("{} {:?} {}n", kind.label(), dir, n), move || {
+                let out = file_scan(spec);
+                (out.rate_mb_s, out.events)
+            });
+        }
+    }
+    let report = sweep.run();
+
     println!("Table 2: File Transfer Rates (MB/s) — paper/measured");
     println!(
         "{:>6}{:>18}{:>18}{:>18}{:>18}",
         "nodes", "ASVM write", "XMM write", "ASVM read", "XMM read"
     );
     println!("{}", "-".repeat(78));
+    let mut cells = report.values();
     for (i, n) in NODES.iter().enumerate() {
-        let aw = file_scan(FileScanSpec {
-            kind: ManagerKind::asvm(),
-            nodes: *n,
-            file_pages,
-            dir: ScanDir::Write,
-        });
-        let xw = file_scan(FileScanSpec {
-            kind: ManagerKind::xmm(),
-            nodes: *n,
-            file_pages,
-            dir: ScanDir::Write,
-        });
-        let ar = file_scan(FileScanSpec {
-            kind: ManagerKind::asvm(),
-            nodes: *n,
-            file_pages,
-            dir: ScanDir::Read,
-        });
-        let xr = file_scan(FileScanSpec {
-            kind: ManagerKind::xmm(),
-            nodes: *n,
-            file_pages,
-            dir: ScanDir::Read,
-        });
+        let aw = *cells.next().expect("asvm write");
+        let xw = *cells.next().expect("xmm write");
+        let ar = *cells.next().expect("asvm read");
+        let xr = *cells.next().expect("xmm read");
         println!(
             "{:>6}{:>18}{:>18}{:>18}{:>18}",
             n,
-            bench::pair(PAPER_ASVM_WRITE[i], aw.rate_mb_s),
-            bench::pair(PAPER_XMM_WRITE[i], xw.rate_mb_s),
-            bench::pair(PAPER_ASVM_READ[i], ar.rate_mb_s),
-            bench::pair(PAPER_XMM_READ[i], xr.rate_mb_s),
+            bench::pair(PAPER_ASVM_WRITE[i], aw),
+            bench::pair(PAPER_XMM_WRITE[i], xw),
+            bench::pair(PAPER_ASVM_READ[i], ar),
+            bench::pair(PAPER_XMM_READ[i], xr),
         );
     }
     println!();
     println!("Figure 12 is the read series, Figure 13 the write series, plotted");
     println!("per node; the table above contains both.");
+    report.finish();
 }

@@ -7,6 +7,7 @@
 //! combined memory of the nodes cannot hold the data set — the same
 //! footnotes as the paper.
 
+use bench::sweep::Sweep;
 use cluster::ManagerKind;
 use workloads::{em3d_run, Em3dSpec};
 
@@ -76,7 +77,7 @@ const PAPER: [PaperRow; 3] = [
     },
 ];
 
-fn run_cell(kind: ManagerKind, nodes: u16, cells: u64, paper: Option<f64>) -> String {
+fn run_cell(kind: ManagerKind, nodes: u16, cells: u64, paper: Option<f64>) -> (String, u64) {
     let spec = Em3dSpec::paper(kind, nodes, cells);
     if !spec.feasible() {
         // `*` = needs a 32 MB node (only possible sequentially);
@@ -88,35 +89,55 @@ fn run_cell(kind: ManagerKind, nodes: u16, cells: u64, paper: Option<f64>) -> St
             };
             if spec32.feasible() {
                 let out = em3d_run(spec32);
-                return format!("{:>7.1}/{:<7.1}*", paper.unwrap_or(0.0), out.elapsed_secs);
+                return (
+                    format!("{:>7.1}/{:<7.1}*", paper.unwrap_or(0.0), out.elapsed_secs),
+                    out.events,
+                );
             }
         }
-        return format!("{:>8}{:<8}", "", "**");
+        return (format!("{:>8}{:<8}", "", "**"), 0);
     }
     let out = em3d_run(spec);
-    match paper {
+    let text = match paper {
         Some(p) => format!("{:>7.1}/{:<8.1}", p, out.elapsed_secs),
         None => format!("{:>7}/{:<8.1}", "-", out.elapsed_secs),
-    }
+    };
+    (text, out.events)
 }
 
 fn main() {
     // Sequential baselines run with 32 MB nodes, as in the paper.
-    println!("Table 3: EM3D Timings (seconds) — paper/measured");
-    println!("(* sequential baseline on a 32 MB node; ** does not fit in memory)");
+    let mut sweep = Sweep::from_env("table3");
     for row in &PAPER {
         for kind in [ManagerKind::asvm(), ManagerKind::xmm()] {
-            print!("{:<6}{:<8}", kind.label(), row.cells / 1000);
             let paper = match kind {
                 ManagerKind::Asvm(_) => &row.asvm,
                 ManagerKind::Xmm { .. } => &row.xmm,
             };
             for (i, n) in NODES.iter().enumerate() {
-                print!("{:>17}", run_cell(kind, *n, row.cells, paper[i]));
+                let (nodes, cells, paper_val) = (*n, row.cells, paper[i]);
+                sweep.cell(
+                    format!("{} {}k {}n", kind.label(), cells / 1000, nodes),
+                    move || run_cell(kind, nodes, cells, paper_val),
+                );
+            }
+        }
+    }
+    let report = sweep.run();
+
+    println!("Table 3: EM3D Timings (seconds) — paper/measured");
+    println!("(* sequential baseline on a 32 MB node; ** does not fit in memory)");
+    let mut cells = report.values();
+    for row in &PAPER {
+        for kind in [ManagerKind::asvm(), ManagerKind::xmm()] {
+            print!("{:<6}{:<8}", kind.label(), row.cells / 1000);
+            for _ in NODES {
+                print!("{:>17}", cells.next().expect("one result per cell"));
             }
             println!();
         }
     }
     println!();
     println!("columns: 1, 2, 4, 8, 16, 32, 64 nodes; problem size in kilo-cells");
+    report.finish();
 }

@@ -18,6 +18,13 @@
 //! Absolute match is not the goal — the machine is a simulator — but the
 //! *shape* (who wins, by what factor, where crossovers fall) must hold.
 //! `EXPERIMENTS.md` records a full run.
+//!
+//! All binaries run their cells through the [`sweep`] harness: parallel
+//! across worker threads by default, `--serial` / `ASVM_BENCH_THREADS=1`
+//! for one thread, `--json` for a `BENCH_<name>.json` trajectory file.
+//! Stdout is byte-identical regardless of thread count.
+
+pub mod sweep;
 
 /// Formats a paper-vs-measured pair.
 pub fn pair(paper: f64, measured: f64) -> String {

@@ -1,0 +1,177 @@
+//! Vendored, dependency-free stand-in for the parts of `criterion` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! carries its own benchmark harness: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with [`BenchmarkGroup::sample_size`]),
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed for
+//! `sample_size` samples; a sample runs the closure enough times to last
+//! roughly a millisecond (or once, for slow closures). Mean, min and max
+//! per-iteration times are printed to stdout. No statistics beyond that —
+//! the numbers seed `BENCH_*.json` trajectories, they are not a
+//! publication-grade harness.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 50;
+const TARGET_SAMPLE: Duration = Duration::from_millis(1);
+
+/// Drives closure timing for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max per-iteration durations, filled by [`Bencher::iter`].
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, recording per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: how many iterations fill the target
+        // sample duration?
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            let d = t.elapsed() / per_sample;
+            min = min.min(d);
+            max = max.max(d);
+            total += d;
+        }
+        self.result = Some((total / self.samples as u32, min, max));
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, min, max)) => println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_dur(min),
+            fmt_dur(mean),
+            fmt_dur(max)
+        ),
+        None => println!("{id:<40} (no measurement)"),
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).fold(0u64, |a, x| a.wrapping_add(x)))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_dur(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_dur(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_dur(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_dur(Duration::from_secs(50)).ends_with(" s"));
+    }
+}

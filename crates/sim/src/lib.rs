@@ -54,6 +54,6 @@ pub use disk::{Disk, DiskOp};
 pub use machine::{CostModel, Machine, MachineConfig, NodeKind};
 pub use mesh::{Mesh, NodeId};
 pub use queue::EventQueue;
-pub use stats::{Stats, Tally};
+pub use stats::{StatId, Stats, Tally, TallyId};
 pub use time::{Dur, Time};
 pub use world::{CpuState, Ctx, EventBudgetExceeded, MsgCosts, NodeBehavior, World};

@@ -4,6 +4,12 @@
 //! scheduled for the same instant fire in the order they were scheduled.
 //! This makes every run of the simulator bit-for-bit reproducible for a
 //! given seed and workload, which the test suite relies on.
+//!
+//! Hot-path representation: the `(time, seq)` pair is packed into a single
+//! `u128` key (`time << 64 | seq`), so every heap sift compares one
+//! integer instead of a two-field tuple. Unsigned packing preserves the
+//! lexicographic order exactly: times differ in the high 64 bits, ties
+//! fall through to the sequence number in the low 64 bits.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -12,14 +18,20 @@ use crate::time::Time;
 
 /// A scheduled event carrying a payload of type `E`.
 struct Scheduled<E> {
-    time: Time,
-    seq: u64,
+    /// `(time << 64) | seq` — see the module docs.
+    key: u128,
     payload: E,
+}
+
+impl<E> Scheduled<E> {
+    fn time(&self) -> Time {
+        Time::from_nanos((self.key >> 64) as u64)
+    }
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 
@@ -34,7 +46,7 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap but we want the earliest event.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -59,21 +71,31 @@ impl<E> EventQueue<E> {
         Self::default()
     }
 
+    /// Creates an empty queue with room for `capacity` pending events, so
+    /// steady-state scheduling never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
     /// Schedules `payload` to fire at `time`.
     pub fn push(&mut self, time: Time, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, payload });
+        let key = ((time.as_nanos() as u128) << 64) | seq as u128;
+        self.heap.push(Scheduled { key, payload });
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|s| (s.time, s.payload))
+        self.heap.pop().map(|s| (s.time(), s.payload))
     }
 
     /// The firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|s| s.time)
+        self.heap.peek().map(|s| s.time())
     }
 
     /// Number of pending events.
@@ -135,5 +157,26 @@ mod tests {
         q.push(Time::from_nanos(7), 2);
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 1);
+    }
+
+    #[test]
+    fn packed_key_round_trips_extreme_times() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(u64::MAX), "max");
+        q.push(Time::ZERO, "zero");
+        assert_eq!(q.pop(), Some((Time::ZERO, "zero")));
+        assert_eq!(q.pop(), Some((Time::from_nanos(u64::MAX), "max")));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(512);
+        assert!(q.is_empty());
+        for i in (0..100u64).rev() {
+            q.push(Time::from_nanos(i), i);
+        }
+        for i in 0..100u64 {
+            assert_eq!(q.pop(), Some((Time::from_nanos(i), i)));
+        }
     }
 }

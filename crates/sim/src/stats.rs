@@ -1,9 +1,18 @@
 //! Simulation statistics: counters and latency tallies.
 //!
-//! Keys are static strings; storage is a `BTreeMap` so that reports iterate
-//! in a stable order (the simulator is deterministic end to end).
+//! Keys are static strings, but the hot path never compares them: a key is
+//! *interned* once into a dense [`StatId`] / [`TallyId`] index, and every
+//! subsequent bump is a direct `Vec` slot update. The string-keyed API
+//! ([`Stats::bump`], [`Stats::add`], [`Stats::sample`]) remains for cold
+//! call sites and interns on first use with a pointer-equality fast path
+//! (same `&'static str` literal ⇒ same pointer, no byte compare).
+//! Sorted-by-key iteration — which the deterministic reports rely on —
+//! happens only at report time ([`Stats::counters`], [`Stats::tallies`]).
+//!
+//! Interned ids survive [`Stats::reset`]: harnesses reset between
+//! benchmark phases, and cached ids held by the event loop must stay
+//! valid across phases.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::time::Dur;
@@ -58,11 +67,34 @@ impl fmt::Display for Tally {
     }
 }
 
+/// Interned handle for a counter; `Vec`-indexed, no string compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatId(u32);
+
+/// Interned handle for a duration tally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TallyId(u32);
+
+fn intern(names: &mut Vec<&'static str>, key: &'static str) -> u32 {
+    for (i, n) in names.iter().enumerate() {
+        // Pointer equality first: the same literal resolves without ever
+        // touching the bytes. Content equality keeps duplicated literals
+        // (e.g. across codegen units) mapped to one id.
+        if std::ptr::eq(*n, key) || *n == key {
+            return i as u32;
+        }
+    }
+    names.push(key);
+    (names.len() - 1) as u32
+}
+
 /// All statistics gathered during a simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
-    counters: BTreeMap<&'static str, u64>,
-    tallies: BTreeMap<&'static str, Tally>,
+    counter_names: Vec<&'static str>,
+    counters: Vec<u64>,
+    tally_names: Vec<&'static str>,
+    tallies: Vec<Tally>,
 }
 
 impl Stats {
@@ -71,9 +103,53 @@ impl Stats {
         Stats::default()
     }
 
-    /// Adds `n` to counter `key`.
+    /// Interns `key` as a counter, returning its stable id. Idempotent;
+    /// the id stays valid across [`Stats::reset`].
+    pub fn counter_id(&mut self, key: &'static str) -> StatId {
+        let id = intern(&mut self.counter_names, key);
+        if self.counters.len() <= id as usize {
+            self.counters.resize(id as usize + 1, 0);
+        }
+        StatId(id)
+    }
+
+    /// Interns `key` as a tally, returning its stable id.
+    pub fn tally_id(&mut self, key: &'static str) -> TallyId {
+        let id = intern(&mut self.tally_names, key);
+        if self.tallies.len() <= id as usize {
+            self.tallies.resize(id as usize + 1, Tally::default());
+        }
+        TallyId(id)
+    }
+
+    /// Adds `n` to the counter `id` — the hot path, one indexed add.
+    #[inline]
+    pub fn add_id(&mut self, id: StatId, n: u64) {
+        self.counters[id.0 as usize] += n;
+    }
+
+    /// Increments the counter `id` by one.
+    #[inline]
+    pub fn bump_id(&mut self, id: StatId) {
+        self.add_id(id, 1);
+    }
+
+    /// Current value of the counter `id`.
+    #[inline]
+    pub fn counter_value(&self, id: StatId) -> u64 {
+        self.counters[id.0 as usize]
+    }
+
+    /// Records a duration sample under the tally `id` — the hot path.
+    #[inline]
+    pub fn sample_id(&mut self, id: TallyId, d: Dur) {
+        self.tallies[id.0 as usize].record(d);
+    }
+
+    /// Adds `n` to counter `key` (cold path: interns on first use).
     pub fn add(&mut self, key: &'static str, n: u64) {
-        *self.counters.entry(key).or_insert(0) += n;
+        let id = self.counter_id(key);
+        self.add_id(id, n);
     }
 
     /// Increments counter `key` by one.
@@ -83,34 +159,61 @@ impl Stats {
 
     /// Current value of counter `key` (zero if never touched).
     pub fn counter(&self, key: &'static str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.counter_names
+            .iter()
+            .position(|n| std::ptr::eq(*n, key) || *n == key)
+            .map_or(0, |i| self.counters[i])
     }
 
     /// Records a duration sample under `key`.
     pub fn sample(&mut self, key: &'static str, d: Dur) {
-        self.tallies.entry(key).or_default().record(d);
+        let id = self.tally_id(key);
+        self.sample_id(id, d);
     }
 
     /// The tally for `key`, if any samples were recorded.
     pub fn tally(&self, key: &'static str) -> Option<&Tally> {
-        self.tallies.get(key)
+        self.tally_names
+            .iter()
+            .position(|n| std::ptr::eq(*n, key) || *n == key)
+            .map(|i| &self.tallies[i])
+            .filter(|t| t.count > 0)
     }
 
-    /// Iterates over all counters in key order.
+    /// Iterates over all touched counters in key order (report time only;
+    /// this sorts). Counters that are zero — interned but never bumped
+    /// since the last reset — are skipped.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        let mut out: Vec<(&'static str, u64)> = self
+            .counter_names
+            .iter()
+            .zip(&self.counters)
+            .filter(|(_, v)| **v > 0)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out.into_iter()
     }
 
-    /// Iterates over all tallies in key order.
+    /// Iterates over all non-empty tallies in key order (report time only).
     pub fn tallies(&self) -> impl Iterator<Item = (&'static str, &Tally)> + '_ {
-        self.tallies.iter().map(|(k, v)| (*k, v))
+        let mut out: Vec<(&'static str, &Tally)> = self
+            .tally_names
+            .iter()
+            .zip(&self.tallies)
+            .filter(|(_, t)| t.count > 0)
+            .map(|(k, t)| (*k, t))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out.into_iter()
     }
 
     /// Clears all recorded data (used between benchmark phases so warm-up
-    /// traffic does not pollute the measurement).
+    /// traffic does not pollute the measurement). Interned ids remain
+    /// valid — only the values are zeroed.
     pub fn reset(&mut self) {
-        self.counters.clear();
-        self.tallies.clear();
+        self.counters.fill(0);
+        self.tallies.fill(Tally::default());
     }
 }
 
@@ -161,5 +264,40 @@ mod tests {
         s.bump("aa");
         let keys: Vec<_> = s.counters().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["aa", "zz"]);
+    }
+
+    #[test]
+    fn interned_ids_survive_reset() {
+        let mut s = Stats::new();
+        let c = s.counter_id("net.messages");
+        let t = s.tally_id("fault.ms");
+        s.add_id(c, 3);
+        s.sample_id(t, Dur::from_micros(5));
+        s.reset();
+        assert_eq!(s.counter_value(c), 0);
+        s.bump_id(c);
+        s.sample_id(t, Dur::from_micros(7));
+        assert_eq!(s.counter("net.messages"), 1);
+        assert_eq!(s.tally("fault.ms").unwrap().mean(), Dur::from_micros(7));
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut s = Stats::new();
+        let a = s.counter_id("k");
+        let b = s.counter_id("k");
+        assert_eq!(a, b);
+        s.bump_id(a);
+        s.bump_id(b);
+        assert_eq!(s.counter("k"), 2);
+    }
+
+    #[test]
+    fn zero_counters_are_not_reported() {
+        let mut s = Stats::new();
+        let _ = s.counter_id("interned.but.untouched");
+        s.bump("touched");
+        let keys: Vec<_> = s.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["touched"]);
     }
 }

@@ -20,8 +20,29 @@ use crate::disk::{Disk, DiskOp};
 use crate::machine::Machine;
 use crate::mesh::NodeId;
 use crate::queue::EventQueue;
-use crate::stats::Stats;
+use crate::stats::{StatId, Stats};
 use crate::time::{Dur, Time};
+
+/// Pre-interned ids for the counters bumped on every message / disk access,
+/// so the hot path never does a string lookup (see `stats` module docs).
+#[derive(Clone, Copy, Debug)]
+struct HotIds {
+    net_messages: StatId,
+    net_bytes: StatId,
+    disk_reads: StatId,
+    disk_writes: StatId,
+}
+
+impl HotIds {
+    fn intern(stats: &mut Stats) -> HotIds {
+        HotIds {
+            net_messages: stats.counter_id("net.messages"),
+            net_bytes: stats.counter_id("net.bytes"),
+            disk_reads: stats.counter_id("disk.reads"),
+            disk_writes: stats.counter_id("disk.writes"),
+        }
+    }
+}
 
 /// How a node reacts to delivered messages.
 pub trait NodeBehavior<M> {
@@ -80,8 +101,10 @@ pub struct World<N, M> {
     disks: Vec<Disk>,
     queue: EventQueue<Envelope<M>>,
     stats: Stats,
+    hot: HotIds,
     rng: SmallRng,
     events_processed: u64,
+    wall_busy: std::time::Duration,
 }
 
 impl<N: NodeBehavior<M>, M> World<N, M> {
@@ -97,16 +120,22 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
             .node_ids()
             .map(|id| factory(id, &machine))
             .collect();
+        let mut stats = Stats::new();
+        let hot = HotIds::intern(&mut stats);
         World {
             now: Time::ZERO,
             nodes,
             cpus: vec![CpuState::default(); n],
             disks: (0..n).map(|_| Disk::new()).collect(),
-            queue: EventQueue::new(),
-            stats: Stats::new(),
+            // Pending events scale with node count (in-flight messages plus
+            // timers); pre-reserve so steady state never reallocates.
+            queue: EventQueue::with_capacity((n * 32).max(1024)),
+            stats,
+            hot,
             rng: SmallRng::seed_from_u64(seed),
             machine,
             events_processed: 0,
+            wall_busy: std::time::Duration::ZERO,
         }
     }
 
@@ -148,6 +177,24 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Wall-clock time spent inside [`World::run_to_quiescence`] and
+    /// [`World::run_until`] so far (accumulated across calls).
+    pub fn wall_time(&self) -> std::time::Duration {
+        self.wall_busy
+    }
+
+    /// Events processed per wall-clock second of event-loop execution —
+    /// the simulator's throughput, surfaced in the benchmark trajectory
+    /// output. Zero until the loop has run.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall_busy.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
     }
 
     /// Schedules `msg` for delivery to `dst` at absolute time `at` with no
@@ -193,6 +240,7 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
             disks: &mut self.disks,
             queue: &mut self.queue,
             stats: &mut self.stats,
+            hot: self.hot,
             rng: &mut self.rng,
         };
         node.on_message(&mut ctx, env.msg);
@@ -204,23 +252,30 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
     /// The budget is a livelock guard: protocol bugs that ping-pong messages
     /// forever fail fast instead of hanging the test suite.
     pub fn run_to_quiescence(&mut self, budget: u64) -> Result<Time, EventBudgetExceeded> {
+        let started = std::time::Instant::now();
         let limit = self.events_processed + budget;
-        while self.step() {
-            if self.events_processed > limit {
-                return Err(EventBudgetExceeded { budget });
+        let result = loop {
+            if !self.step() {
+                break Ok(self.now);
             }
-        }
-        Ok(self.now)
+            if self.events_processed > limit {
+                break Err(EventBudgetExceeded { budget });
+            }
+        };
+        self.wall_busy += started.elapsed();
+        result
     }
 
     /// Runs until simulated time reaches `until` or the queue drains.
     pub fn run_until(&mut self, until: Time) -> Time {
+        let started = std::time::Instant::now();
         while let Some(t) = self.queue.peek_time() {
             if t > until {
                 break;
             }
             self.step();
         }
+        self.wall_busy += started.elapsed();
         self.now = self.now.max(until);
         self.now
     }
@@ -241,6 +296,7 @@ pub struct Ctx<'a, M> {
     disks: &'a mut [Disk],
     queue: &'a mut EventQueue<Envelope<M>>,
     stats: &'a mut Stats,
+    hot: HotIds,
     rng: &'a mut SmallRng,
 }
 
@@ -306,8 +362,8 @@ impl<'a, M> Ctx<'a, M> {
         let departure = cpu.msg_free.max(self.now) + costs.send_cpu;
         cpu.msg_free = departure;
         let arrival = departure + self.machine.wire_time(self.me, dst, costs.bytes);
-        self.stats.bump("net.messages");
-        self.stats.add("net.bytes", costs.bytes as u64);
+        self.stats.bump_id(self.hot.net_messages);
+        self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
         self.queue.push(
             arrival,
             Envelope {
@@ -329,8 +385,8 @@ impl<'a, M> Ctx<'a, M> {
         let departure = cpu.msg_free.max(self.now) + costs.send_cpu;
         cpu.msg_free = departure;
         let arrival = departure.max(earliest) + self.machine.wire_time(self.me, dst, costs.bytes);
-        self.stats.bump("net.messages");
-        self.stats.add("net.bytes", costs.bytes as u64);
+        self.stats.bump_id(self.hot.net_messages);
+        self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
         self.queue.push(
             arrival,
             Envelope {
@@ -379,11 +435,11 @@ impl<'a, M> Ctx<'a, M> {
             "disk access on non-I/O node {}",
             self.me
         );
-        let key = match op {
-            DiskOp::Read => "disk.reads",
-            DiskOp::Write => "disk.writes",
+        let id = match op {
+            DiskOp::Read => self.hot.disk_reads,
+            DiskOp::Write => self.hot.disk_writes,
         };
-        self.stats.bump(key);
+        self.stats.bump_id(id);
         self.disks[self.me.index()].access(&self.machine.config.cost, self.now, op, pos, len)
     }
 }

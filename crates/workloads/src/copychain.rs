@@ -33,6 +33,8 @@ pub struct CopyChainResult {
     /// Internal-pager requests that stalled waiting for a thread (XMM
     /// deadlock indicator; zero for ASVM).
     pub stalled: u64,
+    /// Simulator events processed by the run (parallel-sweep accounting).
+    pub events: u64,
 }
 
 /// The chain program: intermediate tasks fork the next link; the last task
@@ -192,6 +194,7 @@ pub fn copy_chain_probe(spec: CopyChainSpec) -> CopyChainResult {
         mean_fault: tally.mean(),
         faults: tally.count,
         stalled,
+        events: ssi.world.events_processed(),
     }
 }
 

@@ -103,6 +103,8 @@ pub struct Em3dOutcome {
     pub faults: u64,
     /// Internode page transfers (ASVM internode paging activity).
     pub pageouts: u64,
+    /// Simulator events processed by the run (parallel-sweep accounting).
+    pub events: u64,
 }
 
 /// Per-node access pattern derived from the generated graph.
@@ -319,6 +321,7 @@ pub fn em3d_run(spec: Em3dSpec) -> Em3dOutcome {
         elapsed_secs: elapsed.as_secs_f64(),
         faults: ssi.stats().counter("faults.completed"),
         pageouts: ssi.stats().counter("pageouts"),
+        events: ssi.world.events_processed(),
     }
 }
 

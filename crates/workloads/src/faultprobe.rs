@@ -53,6 +53,8 @@ pub struct FaultProbeResult {
     pub protocol_messages: u64,
     /// Messages carrying page contents during the measured fault.
     pub page_messages: u64,
+    /// Simulator events processed by the run (parallel-sweep accounting).
+    pub events: u64,
 }
 
 /// Runs one fault-latency probe.
@@ -157,6 +159,7 @@ pub fn fault_probe(spec: FaultProbeSpec) -> FaultProbeResult {
         latency: tally.mean(),
         protocol_messages: stats.counter("sts.messages") + stats.counter("norma.messages"),
         page_messages: stats.counter("sts.page_messages") + stats.counter("norma.page_messages"),
+        events: ssi.world.events_processed(),
     }
 }
 

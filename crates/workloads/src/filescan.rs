@@ -43,6 +43,8 @@ pub struct FileScanResult {
     pub elapsed: Dur,
     /// Total pager-supplied pages.
     pub pages_supplied: u64,
+    /// Simulator events processed by the run (parallel-sweep accounting).
+    pub events: u64,
 }
 
 struct Scanner {
@@ -153,6 +155,7 @@ pub fn file_scan(spec: FileScanSpec) -> FileScanResult {
         rate_mb_s,
         elapsed: slowest,
         pages_supplied: ssi.stats().counter("disk.reads"),
+        events: ssi.world.events_processed(),
     }
 }
 

@@ -58,6 +58,8 @@ pub struct PatternOutcome {
     pub messages: u64,
     /// Simulated wall-clock of the run, seconds.
     pub elapsed_s: f64,
+    /// Simulator events processed by the run (parallel-sweep accounting).
+    pub events: u64,
 }
 
 struct PatternProgram {
@@ -232,6 +234,7 @@ pub fn run_pattern(kind: ManagerKind, nodes: u16, pages: u32, pattern: Pattern) 
         faults: faults.map(|t| t.count).unwrap_or(0),
         messages: s.counter("sts.messages") + s.counter("norma.messages"),
         elapsed_s: ssi.world.now().as_secs_f64(),
+        events: ssi.world.events_processed(),
     }
 }
 
