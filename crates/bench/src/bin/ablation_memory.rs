@@ -9,7 +9,7 @@
 //! *resident set*, not with `address space × nodes`.
 
 use bench::sweep::Sweep;
-use cluster::{Manager, ManagerKind, ScriptProgram, Ssi, Step};
+use cluster::{ManagerKind, ScriptProgram, Ssi, Step};
 use machvm::{Access, Inherit};
 use svmsim::NodeId;
 
@@ -60,9 +60,10 @@ fn measure(
     let mut total = 0usize;
     for n in 0..nodes {
         let node = ssi.node(NodeId(n));
-        let bytes = match &node.mgr {
-            Manager::Asvm(a) => a.objects().map(|o| o.state_bytes()).sum::<usize>(),
-            Manager::Xmm(x) => x.manager_table_bytes(),
+        let bytes = match (node.asvm(), node.xmm()) {
+            (Some(a), _) => a.objects().map(|o| o.state_bytes()).sum::<usize>(),
+            (_, Some(x)) => x.manager_table_bytes(),
+            _ => 0,
         };
         max = max.max(bytes);
         total += bytes;

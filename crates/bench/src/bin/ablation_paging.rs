@@ -69,6 +69,7 @@ fn experiment() -> (String, u64) {
         let node = ssi.node(NodeId(n));
         let owned = node
             .asvm()
+            .expect("paging ablation runs ASVM")
             .object(mobj)
             .pages
             .values()

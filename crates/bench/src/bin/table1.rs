@@ -85,9 +85,14 @@ fn main() {
                 faulter_has_copy: row.faulter_has_copy,
                 access: row.access,
             };
-            sweep.cell(format!("{} {}", kind.label(), row.label), move || {
+            sweep.cell_with_counters(format!("{} {}", kind.label(), row.label), move || {
                 let out = fault_probe(spec);
-                (out.latency.as_millis_f64(), out.events)
+                let counters = out
+                    .msg_counts
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect();
+                (out.latency.as_millis_f64(), out.events, counters)
             });
         }
     }

@@ -73,7 +73,14 @@ impl SweepConfig {
     }
 }
 
-type Job<T> = Box<dyn FnOnce() -> (T, u64) + Send>;
+/// Named counters a cell reports alongside its value (per-message-kind
+/// statistics in the benchmark binaries).
+pub type CellCounters = Vec<(String, u64)>;
+
+type Job<T> = Box<dyn FnOnce() -> (T, u64, CellCounters) + Send>;
+
+/// One finished cell before labelling: value, events, counters, wall time.
+type TimedCell<T> = (T, u64, CellCounters, Duration);
 
 /// A sweep under construction: named, configured, accumulating cells.
 pub struct Sweep<T> {
@@ -92,6 +99,9 @@ pub struct CellResult<T> {
     pub value: T,
     /// Simulator events the job reported processing.
     pub events: u64,
+    /// Named counters the job reported (empty unless the cell was added
+    /// with [`Sweep::cell_with_counters`]).
+    pub counters: CellCounters,
     /// Wall-clock time the job took on its worker thread.
     pub wall: Duration,
 }
@@ -133,6 +143,19 @@ impl<T: Send> Sweep<T> {
         label: impl Into<String>,
         job: impl FnOnce() -> (T, u64) + Send + 'static,
     ) {
+        self.cell_with_counters(label, move || {
+            let (value, events) = job();
+            (value, events, Vec::new())
+        });
+    }
+
+    /// Adds one cell whose job also reports named counters (e.g. protocol
+    /// messages broken down by kind); they land in the cell's JSON record.
+    pub fn cell_with_counters(
+        &mut self,
+        label: impl Into<String>,
+        job: impl FnOnce() -> (T, u64, CellCounters) + Send + 'static,
+    ) {
         self.labels.push(label.into());
         self.jobs.push(Box::new(job));
     }
@@ -150,12 +173,12 @@ impl<T: Send> Sweep<T> {
         let threads = config.threads.min(n.max(1));
         let started = Instant::now();
 
-        let timed: Vec<(T, u64, Duration)> = if threads <= 1 {
+        let timed: Vec<TimedCell<T>> = if threads <= 1 {
             jobs.into_iter()
                 .map(|job| {
                     let t0 = Instant::now();
-                    let (value, events) = job();
-                    (value, events, t0.elapsed())
+                    let (value, events, counters) = job();
+                    (value, events, counters, t0.elapsed())
                 })
                 .collect()
         } else {
@@ -164,7 +187,7 @@ impl<T: Send> Sweep<T> {
             // in that cell's slot. Slot order — not completion order —
             // determines the report, which is what keeps parallel output
             // byte-identical to serial.
-            let slots: Vec<Mutex<Option<(T, u64, Duration)>>> =
+            let slots: Vec<Mutex<Option<TimedCell<T>>>> =
                 (0..n).map(|_| Mutex::new(None)).collect();
             let pending: Vec<Mutex<Option<Job<T>>>> =
                 jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
@@ -178,8 +201,8 @@ impl<T: Send> Sweep<T> {
                         }
                         let job = pending[i].lock().unwrap().take().unwrap();
                         let t0 = Instant::now();
-                        let (value, events) = job();
-                        *slots[i].lock().unwrap() = Some((value, events, t0.elapsed()));
+                        let (value, events, counters) = job();
+                        *slots[i].lock().unwrap() = Some((value, events, counters, t0.elapsed()));
                     });
                 }
             });
@@ -192,10 +215,11 @@ impl<T: Send> Sweep<T> {
         let cells = labels
             .into_iter()
             .zip(timed)
-            .map(|(label, (value, events, wall))| CellResult {
+            .map(|(label, (value, events, counters, wall))| CellResult {
                 label,
                 value,
                 events,
+                counters,
                 wall,
             })
             .collect();
@@ -273,12 +297,24 @@ impl<T> SweepReport<T> {
             } else {
                 0.0
             };
+            let mut counters = String::new();
+            if !c.counters.is_empty() {
+                counters.push_str(", \"counters\": {");
+                for (j, (k, v)) in c.counters.iter().enumerate() {
+                    if j > 0 {
+                        counters.push_str(", ");
+                    }
+                    counters.push_str(&format!("{}: {}", json_str(k), v));
+                }
+                counters.push('}');
+            }
             s.push_str(&format!(
-                "    {{\"label\": {}, \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.2}}}{}\n",
+                "    {{\"label\": {}, \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.2}{}}}{}\n",
                 json_str(&c.label),
                 secs,
                 c.events,
                 eps,
+                counters,
                 if i + 1 < self.cells.len() { "," } else { "" },
             ));
         }
@@ -341,6 +377,24 @@ mod tests {
         let report = sweep.run();
         assert_eq!(report.cells.len(), 1);
         assert_eq!(report.cells[0].value, 42);
+    }
+
+    #[test]
+    fn counters_appear_in_json() {
+        let mut sweep = Sweep::with_config("ctr", SweepConfig::with_threads(1));
+        sweep.cell_with_counters("probe", || {
+            (1u64, 5, vec![("asvm.msg.grant".to_string(), 3u64)])
+        });
+        sweep.cell("plain", || (2u64, 1));
+        let report = sweep.run();
+        assert_eq!(report.cells[0].counters.len(), 1);
+        assert!(report.cells[1].counters.is_empty());
+        let json = report.to_json();
+        assert!(
+            json.contains(r#""counters": {"asvm.msg.grant": 3}"#),
+            "{json}"
+        );
+        assert!(!json.contains(r#""plain", "wall_secs": 0.000000, "events": 1, "counters""#));
     }
 
     #[test]

@@ -4,7 +4,12 @@
 //!
 //! The crate provides:
 //!
-//! * [`ClusterNode`] — one multicomputer node: kernel VM, manager instance,
+//! * [`CoherenceEngine`] — the trait boundary every distributed memory
+//!   manager implements ([`asvm::AsvmNode`] and [`xmm::XmmNode`]); each
+//!   entry point returns an [`EngineFx`] consumed by the node's single
+//!   effect interpreter, which owns transport choice, pager routing,
+//!   per-message-kind statistics and the protocol trace ring;
+//! * [`ClusterNode`] — one multicomputer node: kernel VM, engine instance,
 //!   pager tasks (on I/O nodes), and the task driver that executes
 //!   [`Program`]s step by step, suspending on faults and barriers;
 //! * [`Msg`] — the unified message enum carried by the event loop, with
@@ -15,14 +20,16 @@
 //! * [`Ssi`] — the facade harnesses use to assemble clusters, create
 //!   memory objects and tasks, and run workloads to quiescence.
 
+pub mod engine;
 pub mod msg;
 pub mod node;
 pub mod program;
 pub mod ssi;
 pub mod validate;
 
+pub use engine::{CoherenceEngine, EngineEffect, EngineFx, ProtoEvent, ProtocolMsg, TraceDir};
 pub use msg::{ForkEntry, ForkMsg, Msg, ObjInfo};
-pub use node::{ClusterNode, Manager};
+pub use node::ClusterNode;
 pub use program::{FnProgram, Program, ScriptProgram, Step, TaskEnv};
 pub use ssi::{ManagerKind, Ssi};
 pub use validate::{check_asvm_invariants, check_xmm_invariants};

@@ -1,5 +1,11 @@
-//! The cluster node: kernel VM + memory manager + pagers + task driver,
+//! The cluster node: kernel VM + coherence engine + pagers + task driver,
 //! bound to the simulation event loop.
+//!
+//! Protocol work is delegated to the node's [`CoherenceEngine`]; everything
+//! the engine wants done comes back as [`EngineFx`] and flows through one
+//! interpreter (`ClusterNode::interpret`), which is the only place that
+//! chooses transports, routes pager traffic, counts per-message-kind
+//! statistics and records the protocol trace.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -9,20 +15,13 @@ use machvm::{
     VmSystem,
 };
 use pager::{DefaultPager, FilePager, PagerIn};
-use svmsim::{Ctx, NodeBehavior, NodeId, NodeKind, Time};
+use svmsim::{Ctx, NodeBehavior, NodeId, NodeKind, Time, TraceRing};
 use transport::Transport;
 use xmm::{XmmBacking, XmmNode};
 
+use crate::engine::{CoherenceEngine, EngineEffect, EngineFx, ProtoEvent, ProtocolMsg, TraceDir};
 use crate::msg::{ForkEntry, ForkMsg, Msg, ObjInfo};
 use crate::program::{Program, Step, TaskEnv};
-
-/// Which distributed memory manager the cluster runs.
-pub enum Manager {
-    /// The paper's contribution.
-    Asvm(AsvmNode),
-    /// The NMK13 baseline.
-    Xmm(XmmNode),
-}
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum TaskStatus {
@@ -58,8 +57,8 @@ pub struct ClusterNode {
     pub id: NodeId,
     /// The kernel VM system.
     pub vm: VmSystem,
-    /// The distributed memory manager.
-    pub mgr: Manager,
+    /// The coherence engine (ASVM or XMM behind one trait).
+    pub engine: Box<dyn CoherenceEngine>,
     /// File pager (I/O nodes only).
     pub file_pager: Option<FilePager>,
     /// Default pager (I/O nodes only).
@@ -79,11 +78,20 @@ pub struct ClusterNode {
     pub asvm_transport: Transport,
     /// Tasks that have finished on this node.
     pub tasks_done: u32,
+    /// Protocol event trace, recorded only when installed
+    /// ([`crate::Ssi::enable_trace`]).
+    pub trace: Option<TraceRing<ProtoEvent>>,
 }
 
 impl ClusterNode {
     /// Builds a node.
-    pub fn new(id: NodeId, vm: VmSystem, mgr: Manager, kind: NodeKind, page_size: u32) -> Self {
+    pub fn new(
+        id: NodeId,
+        vm: VmSystem,
+        engine: Box<dyn CoherenceEngine>,
+        kind: NodeKind,
+        page_size: u32,
+    ) -> Self {
         let (file_pager, default_pager) = match kind {
             NodeKind::Io => (
                 Some(FilePager::new(page_size)),
@@ -94,7 +102,7 @@ impl ClusterNode {
         ClusterNode {
             id,
             vm,
-            mgr,
+            engine,
             file_pager,
             default_pager,
             tasks: BTreeMap::new(),
@@ -107,39 +115,28 @@ impl ClusterNode {
             lock_waiters: BTreeMap::new(),
             asvm_transport: Transport::STS,
             tasks_done: 0,
+            trace: None,
         }
     }
 
-    /// The ASVM instance (panics if running XMM).
-    pub fn asvm(&self) -> &AsvmNode {
-        match &self.mgr {
-            Manager::Asvm(a) => a,
-            Manager::Xmm(_) => panic!("node runs XMM, not ASVM"),
-        }
+    /// The ASVM instance, if this node runs ASVM.
+    pub fn asvm(&self) -> Option<&AsvmNode> {
+        self.engine.as_asvm()
     }
 
-    /// Mutable ASVM instance.
-    pub fn asvm_mut(&mut self) -> &mut AsvmNode {
-        match &mut self.mgr {
-            Manager::Asvm(a) => a,
-            Manager::Xmm(_) => panic!("node runs XMM, not ASVM"),
-        }
+    /// Mutable ASVM instance, if this node runs ASVM.
+    pub fn asvm_mut(&mut self) -> Option<&mut AsvmNode> {
+        self.engine.as_asvm_mut()
     }
 
-    /// The XMM instance (panics if running ASVM).
-    pub fn xmm(&self) -> &XmmNode {
-        match &self.mgr {
-            Manager::Xmm(x) => x,
-            Manager::Asvm(_) => panic!("node runs ASVM, not XMM"),
-        }
+    /// The XMM instance, if this node runs XMM.
+    pub fn xmm(&self) -> Option<&XmmNode> {
+        self.engine.as_xmm()
     }
 
-    /// Mutable XMM instance.
-    pub fn xmm_mut(&mut self) -> &mut XmmNode {
-        match &mut self.mgr {
-            Manager::Xmm(x) => x,
-            Manager::Asvm(_) => panic!("node runs ASVM, not XMM"),
-        }
+    /// Mutable XMM instance, if this node runs XMM.
+    pub fn xmm_mut(&mut self) -> Option<&mut XmmNode> {
+        self.engine.as_xmm_mut()
     }
 
     /// Installs a task with its program (does not start it; post a
@@ -190,7 +187,111 @@ impl ClusterNode {
         t
     }
 
-    // --- Effect draining ---------------------------------------------------
+    // --- The effect interpreter --------------------------------------------
+
+    /// Records a protocol event if a trace ring is installed.
+    fn record_trace(&mut self, now: Time, dir: TraceDir, peer: NodeId, msg: &ProtocolMsg) {
+        if let Some(ring) = &mut self.trace {
+            ring.push(ProtoEvent {
+                time: now,
+                node: self.id,
+                peer,
+                dir,
+                kind: msg.stat_key(),
+                mobj: msg.mobj(),
+                page: msg.page(),
+            });
+        }
+    }
+
+    /// The single pager-request send site: every EMMI request to a real
+    /// pager — manager-issued or anonymous-memory — leaves through here,
+    /// tagged with its per-call-kind counter.
+    fn send_pager_req(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        pager_node: NodeId,
+        reply_to: NodeId,
+        mobj: MemObjId,
+        obj: VmObjId,
+        call: EmmiToPager,
+    ) {
+        let payload = pager_payload(&call, self.vm.page_size());
+        let kind = call.stat_key();
+        let pin = PagerIn {
+            from_node: reply_to,
+            obj,
+            mobj,
+            call,
+        };
+        Transport::NORMA.send_tagged(ctx, pager_node, payload, kind, Msg::PagerReq(pin));
+    }
+
+    /// Sends one protocol message, choosing the transport and counting the
+    /// per-message-kind statistic.
+    fn send_protocol(&mut self, ctx: &mut Ctx<'_, Msg>, dst: NodeId, msg: ProtocolMsg) {
+        self.record_trace(ctx.now(), TraceDir::Send, dst, &msg);
+        let ps = self.vm.page_size();
+        let payload = msg.payload_bytes(ps);
+        let kind = msg.stat_key();
+        match msg {
+            ProtocolMsg::Asvm { from, msg } => {
+                self.asvm_transport
+                    .send_tagged(ctx, dst, payload, kind, Msg::Asvm { from, msg });
+            }
+            ProtocolMsg::Xmm(m) => {
+                Transport::NORMA.send_tagged(ctx, dst, payload, kind, Msg::Xmm(m));
+            }
+        }
+    }
+
+    /// Interprets one engine effect batch: charges CPU, performs the sends
+    /// and completions in order, and queues the VM effects for draining.
+    fn interpret(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        fx: EngineFx,
+        q: &mut VecDeque<machvm::Effects>,
+    ) {
+        if !fx.cpu.is_zero() {
+            ctx.charge_msg_cpu(fx.cpu);
+        }
+        for eff in fx.out {
+            match eff {
+                EngineEffect::Pager {
+                    pager_node,
+                    reply_to,
+                    mobj,
+                    obj,
+                    call,
+                } => self.send_pager_req(ctx, pager_node, reply_to, mobj, obj, call),
+                EngineEffect::Protocol { dst, msg } => self.send_protocol(ctx, dst, msg),
+                EngineEffect::CopySettled(mobj) => self.copy_settled(ctx, mobj),
+                EngineEffect::LockGranted(mobj, range) => {
+                    let key = (mobj, range.first.0, range.count);
+                    if let Some(task) = self.lock_waiters.remove(&key) {
+                        if let Some(st) = self.tasks.get_mut(&task) {
+                            if st.status == TaskStatus::WaitingLock {
+                                st.status = TaskStatus::Running;
+                            }
+                        }
+                        let now = ctx.now();
+                        ctx.post_self(now, Msg::Resume(task));
+                    }
+                }
+            }
+        }
+        q.push_back(fx.vm);
+    }
+
+    /// Interprets an effect batch and drains everything it triggers.
+    fn run_fx(&mut self, ctx: &mut Ctx<'_, Msg>, fx: EngineFx) {
+        let mut q = VecDeque::new();
+        self.interpret(ctx, fx, &mut q);
+        while let Some(e) = q.pop_front() {
+            self.drain(ctx, e);
+        }
+    }
 
     /// Processes a batch of VM effects (and everything they trigger) to
     /// completion.
@@ -221,56 +322,38 @@ impl ClusterNode {
             } => {
                 let latency = ctx.now().since(started);
                 ctx.stats().sample("fault.ms", latency);
+                ctx.stats().record("fault.latency", latency);
                 ctx.stats().bump("faults.completed");
-                let is_ip = matches!(&self.mgr, Manager::Xmm(x) if x.is_ip_task(task));
-                if is_ip {
-                    let mut xfx = xmm::Fx::new();
-                    let Manager::Xmm(x) = &mut self.mgr else {
-                        unreachable!()
-                    };
-                    x.ip_fault_done(ctx.now(), &mut self.vm, task, fault, &mut xfx);
-                    self.emit_xmm(ctx, xfx, q);
-                } else {
-                    let now = ctx.now();
-                    ctx.post_self(now, Msg::Resume(task));
+                match self
+                    .engine
+                    .fault_completed(ctx.now(), &mut self.vm, task, fault)
+                {
+                    Some(fx) => self.interpret(ctx, fx, q),
+                    None => {
+                        let now = ctx.now();
+                        ctx.post_self(now, Msg::Resume(task));
+                    }
                 }
             }
             VmEffect::ToPager { obj, backing, call } => match backing {
-                machvm::Backing::External(mobj) => match &mut self.mgr {
-                    Manager::Asvm(a) if a.mobj_of(obj).is_some() => {
-                        let mut afx = asvm::Fx::new();
-                        a.handle_emmi(ctx.now(), &mut self.vm, obj, call, &mut afx);
-                        self.emit_asvm(ctx, afx, q);
+                machvm::Backing::External(mobj) => {
+                    if self.engine.mobj_of(obj).is_none() {
+                        panic!("EMMI for unmanaged external object {obj:?} ({mobj:?})");
                     }
-                    Manager::Xmm(x) if x.mobj_of(obj).is_some() => {
-                        let mut xfx = xmm::Fx::new();
-                        x.handle_emmi(ctx.now(), &mut self.vm, obj, call, &mut xfx);
-                        self.emit_xmm(ctx, xfx, q);
-                    }
-                    _ => panic!("EMMI for unmanaged external object {obj:?} ({mobj:?})"),
-                },
+                    let fx = self.engine.handle_emmi(ctx.now(), &mut self.vm, obj, call);
+                    self.interpret(ctx, fx, q);
+                }
                 machvm::Backing::Anonymous => {
                     // Node-private anonymous memory pages out to the default
                     // pager on this node's I/O node.
                     let io = ctx.machine().io_node_for(self.id);
-                    let payload = pager_payload(&call, self.vm.page_size());
-                    let pin = PagerIn {
-                        from_node: self.id,
-                        obj,
-                        mobj: MemObjId(0),
-                        call,
-                    };
-                    Transport::NORMA.send(ctx, io, payload, Msg::PagerReq(pin));
+                    let me = self.id;
+                    self.send_pager_req(ctx, io, me, MemObjId(0), obj, call);
                 }
             },
             VmEffect::CopyCreated { source, .. } => {
-                if let Manager::Asvm(a) = &mut self.mgr {
-                    if let Some(m) = a.mobj_of(source) {
-                        let mut afx = asvm::Fx::new();
-                        a.copy_made_local(ctx.now(), &mut self.vm, m, &mut afx);
-                        self.emit_asvm(ctx, afx, q);
-                    }
-                }
+                let fx = self.engine.copy_created(ctx.now(), &mut self.vm, source);
+                self.interpret(ctx, fx, q);
             }
             VmEffect::EvictExternal {
                 obj,
@@ -278,74 +361,13 @@ impl ClusterNode {
                 data,
                 dirty,
                 ..
-            } => match &mut self.mgr {
-                Manager::Asvm(a) => {
-                    let mut afx = asvm::Fx::new();
-                    a.evict_external(ctx.now(), &mut self.vm, obj, page, data, dirty, &mut afx);
-                    self.emit_asvm(ctx, afx, q);
-                }
-                Manager::Xmm(x) => {
-                    let mut xfx = xmm::Fx::new();
-                    x.evict_external(ctx.now(), &mut self.vm, obj, page, data, dirty, &mut xfx);
-                    self.emit_xmm(ctx, xfx, q);
-                }
-            },
-        }
-    }
-
-    fn emit_asvm(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        fx: asvm::Fx,
-        q: &mut VecDeque<machvm::Effects>,
-    ) {
-        if !fx.cpu.is_zero() {
-            ctx.charge_msg_cpu(fx.cpu);
-        }
-        let ps = self.vm.page_size();
-        // Pager traffic (data returns) departs before protocol traffic:
-        // acknowledgements must never causally overtake the writebacks they
-        // follow, or a forwarded request could reach the pager first and be
-        // answered with stale contents.
-        for p in fx.pager {
-            let payload = pager_payload(&p.call, ps);
-            let pin = PagerIn {
-                from_node: p.reply_to,
-                obj: p.obj,
-                mobj: p.mobj,
-                call: p.call,
-            };
-            Transport::NORMA.send(ctx, p.pager_node, payload, Msg::PagerReq(pin));
-        }
-        for ns in fx.net {
-            let payload = ns.msg.payload_bytes(ps);
-            let me = self.id;
-            self.asvm_transport.send(
-                ctx,
-                ns.dst,
-                payload,
-                Msg::Asvm {
-                    from: me,
-                    msg: ns.msg,
-                },
-            );
-        }
-        for mobj in fx.settled {
-            self.copy_settled(ctx, mobj);
-        }
-        for (mobj, range) in fx.lock_granted {
-            let key = (mobj, range.first.0, range.count);
-            if let Some(task) = self.lock_waiters.remove(&key) {
-                if let Some(st) = self.tasks.get_mut(&task) {
-                    if st.status == TaskStatus::WaitingLock {
-                        st.status = TaskStatus::Running;
-                    }
-                }
-                let now = ctx.now();
-                ctx.post_self(now, Msg::Resume(task));
+            } => {
+                let fx = self
+                    .engine
+                    .handle_evict(ctx.now(), &mut self.vm, obj, page, data, dirty);
+                self.interpret(ctx, fx, q);
             }
         }
-        q.push_back(fx.vm);
     }
 
     /// A copy notification settled: release any fork waiting on it.
@@ -388,29 +410,6 @@ impl ClusterNode {
                 parent_task: df.parent_task,
             },
         );
-    }
-
-    fn emit_xmm(&mut self, ctx: &mut Ctx<'_, Msg>, fx: xmm::Fx, q: &mut VecDeque<machvm::Effects>) {
-        if !fx.cpu.is_zero() {
-            ctx.charge_msg_cpu(fx.cpu);
-        }
-        let ps = self.vm.page_size();
-        // Writebacks before acknowledgements — see `emit_asvm`.
-        for p in fx.pager {
-            let payload = pager_payload(&p.call, ps);
-            let pin = PagerIn {
-                from_node: p.reply_to,
-                obj: p.obj,
-                mobj: p.mobj,
-                call: p.call,
-            };
-            Transport::NORMA.send(ctx, p.pager_node, payload, Msg::PagerReq(pin));
-        }
-        for xs in fx.net {
-            let payload = xs.msg.payload_bytes(ps);
-            Transport::NORMA.send(ctx, xs.dst, payload, Msg::Xmm(xs.msg));
-        }
-        q.push_back(fx.vm);
     }
 
     // --- Task driver ----------------------------------------------------------
@@ -475,8 +474,12 @@ impl ClusterNode {
                 }
                 Step::LockRange { va_page, pages } => {
                     let (mobj, range) = self.resolve_range(task, va_page, pages);
+                    let me = self.id;
                     let mut afx = asvm::Fx::new();
-                    self.asvm_mut().lock_range(mobj, range, &mut afx);
+                    self.engine
+                        .as_asvm_mut()
+                        .expect("range locks require an ASVM cluster")
+                        .lock_range(mobj, range, &mut afx);
                     let granted = afx
                         .lock_granted
                         .iter()
@@ -487,24 +490,20 @@ impl ClusterNode {
                         let st = self.tasks.get_mut(&task).unwrap();
                         st.status = TaskStatus::WaitingLock;
                     }
-                    let mut q = VecDeque::new();
-                    self.emit_asvm(ctx, afx, &mut q);
-                    while let Some(fx) = q.pop_front() {
-                        self.drain(ctx, fx);
-                    }
+                    self.run_fx(ctx, EngineFx::from_asvm(me, afx));
                     if !granted {
                         return;
                     }
                 }
                 Step::UnlockRange { va_page, pages } => {
                     let (mobj, range) = self.resolve_range(task, va_page, pages);
+                    let me = self.id;
                     let mut afx = asvm::Fx::new();
-                    self.asvm_mut().unlock_range(mobj, range, &mut afx);
-                    let mut q = VecDeque::new();
-                    self.emit_asvm(ctx, afx, &mut q);
-                    while let Some(fx) = q.pop_front() {
-                        self.drain(ctx, fx);
-                    }
+                    self.engine
+                        .as_asvm_mut()
+                        .expect("range locks require an ASVM cluster")
+                        .unlock_range(mobj, range, &mut afx);
+                    self.run_fx(ctx, EngineFx::from_asvm(me, afx));
                 }
                 Step::Barrier(id) => {
                     let st = self.tasks.get_mut(&task).unwrap();
@@ -548,9 +547,9 @@ impl ClusterNode {
             .expect("lock range outside mappings");
         let first = entry.object_page(va_page);
         let mobj = self
-            .asvm()
+            .engine
             .mobj_of(entry.object)
-            .expect("range locks need an ASVM-managed region");
+            .expect("range locks need a managed region");
         (
             mobj,
             asvm::PageRange {
@@ -603,108 +602,11 @@ impl ClusterNode {
     ) {
         ctx.stats().bump("forks");
         let entries: Vec<machvm::MapEntry> = self.vm.address_map(parent).entries().to_vec();
-        let mut fes: Vec<ForkEntry> = Vec::new();
-        match &self.mgr {
-            Manager::Asvm(_) => {
-                for e in &entries {
-                    match e.inherit {
-                        Inherit::None => {}
-                        Inherit::Share => {
-                            let a = self.asvm();
-                            let mobj = a
-                                .mobj_of(e.object)
-                                .expect("Share-inherited region must be ASVM-managed");
-                            let info = self.obj_info_asvm(mobj);
-                            fes.push(ForkEntry::Share {
-                                va_page: e.va_page,
-                                pages: e.pages,
-                                prot: e.prot,
-                                inherit: e.inherit,
-                                mobj,
-                                info,
-                            });
-                        }
-                        Inherit::Copy => {
-                            let mobj = self.asvmize(ctx, e.object);
-                            let info = self.obj_info_asvm(mobj);
-                            fes.push(ForkEntry::CopyAsvm {
-                                va_page: e.va_page,
-                                pages: e.pages,
-                                prot: e.prot,
-                                source_mobj: mobj,
-                                info,
-                            });
-                        }
-                    }
-                }
-            }
-            Manager::Xmm(_) => {
-                // Snapshot the parent's address space into a pseudo task;
-                // internal pagers serve the copies (paper §2.3.3).
-                let pseudo = self.alloc_pseudo_task();
-                let mut fx = machvm::Effects::new();
-                self.vm.fork_local(ctx.now(), parent, pseudo, &mut fx);
-                self.drain(ctx, fx);
-                for e in &entries {
-                    match e.inherit {
-                        Inherit::None => {}
-                        Inherit::Share => {
-                            let x = self.xmm();
-                            let mobj = x
-                                .mobj_of(e.object)
-                                .expect("Share-inherited region must be XMM-managed");
-                            let xo = x.object(mobj);
-                            let XmmBacking::RealPager { node: pn } = xo.backing else {
-                                panic!("shared mapping of internal-pager object")
-                            };
-                            let info = ObjInfo {
-                                size_pages: xo.size_pages,
-                                home: xo.manager,
-                                pager_node: pn,
-                                cfg: asvm::AsvmConfig::default(),
-                                peer: None,
-                                source: None,
-                            };
-                            fes.push(ForkEntry::Share {
-                                va_page: e.va_page,
-                                pages: e.pages,
-                                prot: e.prot,
-                                inherit: e.inherit,
-                                mobj,
-                                info,
-                            });
-                        }
-                        Inherit::Copy => {
-                            if let Some(m) = self.xmm().mobj_of(e.object) {
-                                // Inherited-memory *chains* are fine (the
-                                // object is backed by an internal pager);
-                                // combining truly shared (real-pager)
-                                // memory with inheritance is NMK13's
-                                // semantic gap and unsupported.
-                                assert!(
-                                    matches!(
-                                        self.xmm().object(m).backing,
-                                        XmmBacking::InternalPager { .. }
-                                    ),
-                                    "NMK13 XMM cannot combine shared and inherited memory \
-                                     (the semantic gap the paper notes)"
-                                );
-                            }
-                            let mobj = self.alloc_mobj();
-                            self.xmm_mut()
-                                .register_internal_pager(mobj, pseudo, e.va_page);
-                            fes.push(ForkEntry::CopyXmm {
-                                va_page: e.va_page,
-                                pages: e.pages,
-                                prot: e.prot,
-                                mobj,
-                                ip_node: self.id,
-                            });
-                        }
-                    }
-                }
-            }
-        }
+        let fes = if self.engine.as_asvm().is_some() {
+            self.fork_entries_asvm(ctx, &entries)
+        } else {
+            self.fork_entries_xmm(ctx, parent, &entries)
+        };
         Transport::NORMA.send(
             ctx,
             node,
@@ -719,8 +621,122 @@ impl ClusterNode {
         );
     }
 
+    fn fork_entries_asvm(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        entries: &[machvm::MapEntry],
+    ) -> Vec<ForkEntry> {
+        let mut fes = Vec::new();
+        for e in entries {
+            match e.inherit {
+                Inherit::None => {}
+                Inherit::Share => {
+                    let mobj = self
+                        .engine
+                        .mobj_of(e.object)
+                        .expect("Share-inherited region must be ASVM-managed");
+                    let info = self.obj_info_asvm(mobj);
+                    fes.push(ForkEntry::Share {
+                        va_page: e.va_page,
+                        pages: e.pages,
+                        prot: e.prot,
+                        inherit: e.inherit,
+                        mobj,
+                        info,
+                    });
+                }
+                Inherit::Copy => {
+                    let mobj = self.asvmize(ctx, e.object);
+                    let info = self.obj_info_asvm(mobj);
+                    fes.push(ForkEntry::CopyAsvm {
+                        va_page: e.va_page,
+                        pages: e.pages,
+                        prot: e.prot,
+                        source_mobj: mobj,
+                        info,
+                    });
+                }
+            }
+        }
+        fes
+    }
+
+    fn fork_entries_xmm(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        parent: TaskId,
+        entries: &[machvm::MapEntry],
+    ) -> Vec<ForkEntry> {
+        // Snapshot the parent's address space into a pseudo task;
+        // internal pagers serve the copies (paper §2.3.3).
+        let pseudo = self.alloc_pseudo_task();
+        let mut fx = machvm::Effects::new();
+        self.vm.fork_local(ctx.now(), parent, pseudo, &mut fx);
+        self.drain(ctx, fx);
+        let mut fes = Vec::new();
+        for e in entries {
+            match e.inherit {
+                Inherit::None => {}
+                Inherit::Share => {
+                    let x = self.engine.as_xmm().expect("XMM fork path");
+                    let mobj = x
+                        .mobj_of(e.object)
+                        .expect("Share-inherited region must be XMM-managed");
+                    let xo = x.object(mobj);
+                    let XmmBacking::RealPager { node: pn } = xo.backing else {
+                        panic!("shared mapping of internal-pager object")
+                    };
+                    let info = ObjInfo {
+                        size_pages: xo.size_pages,
+                        home: xo.manager,
+                        pager_node: pn,
+                        cfg: asvm::AsvmConfig::default(),
+                        peer: None,
+                        source: None,
+                    };
+                    fes.push(ForkEntry::Share {
+                        va_page: e.va_page,
+                        pages: e.pages,
+                        prot: e.prot,
+                        inherit: e.inherit,
+                        mobj,
+                        info,
+                    });
+                }
+                Inherit::Copy => {
+                    let x = self.engine.as_xmm().expect("XMM fork path");
+                    if let Some(m) = x.mobj_of(e.object) {
+                        // Inherited-memory *chains* are fine (the
+                        // object is backed by an internal pager);
+                        // combining truly shared (real-pager)
+                        // memory with inheritance is NMK13's
+                        // semantic gap and unsupported.
+                        assert!(
+                            matches!(x.object(m).backing, XmmBacking::InternalPager { .. }),
+                            "NMK13 XMM cannot combine shared and inherited memory \
+                             (the semantic gap the paper notes)"
+                        );
+                    }
+                    let mobj = self.alloc_mobj();
+                    self.engine
+                        .as_xmm_mut()
+                        .expect("XMM fork path")
+                        .register_internal_pager(mobj, pseudo, e.va_page);
+                    fes.push(ForkEntry::CopyXmm {
+                        va_page: e.va_page,
+                        pages: e.pages,
+                        prot: e.prot,
+                        mobj,
+                        ip_node: self.id,
+                    });
+                }
+            }
+        }
+        fes
+    }
+
     fn obj_info_asvm(&self, mobj: MemObjId) -> ObjInfo {
-        let o = self.asvm().object(mobj);
+        let o = self.asvm().expect("ASVM fork path").object(mobj);
         ObjInfo {
             size_pages: o.size_pages,
             home: o.home,
@@ -734,7 +750,7 @@ impl ClusterNode {
     /// Ensures a VM object is ASVM-managed, assigning it a memory object id
     /// and adopting its resident pages as owned here.
     fn asvmize(&mut self, ctx: &mut Ctx<'_, Msg>, obj: VmObjId) -> MemObjId {
-        if let Some(m) = self.asvm().mobj_of(obj) {
+        if let Some(m) = self.engine.mobj_of(obj) {
             return m;
         }
         let mobj = self.alloc_mobj();
@@ -744,11 +760,12 @@ impl ClusterNode {
             .vm
             .object(obj)
             .shadow
-            .and_then(|s| self.asvm().mobj_of(s));
+            .and_then(|s| self.engine.mobj_of(s));
         let pager_node = ctx.machine().io_node_for(me);
         self.vm.associate(obj, mobj);
         let mut afx = asvm::Fx::new();
-        self.asvm_mut().register_object(
+        let a = self.engine.as_asvm_mut().expect("asvmize on ASVM cluster");
+        a.register_object(
             mobj,
             obj,
             size,
@@ -766,7 +783,7 @@ impl ClusterNode {
             .map(|(p, rp)| (*p, rp.prot))
             .collect();
         {
-            let a = self.asvm_mut();
+            let a = self.engine.as_asvm_mut().expect("asvmize on ASVM cluster");
             asvm::declare_copy_link(a, mobj, source_mobj, source_mobj.map(|_| me));
             let o = a.object_mut(mobj);
             for (p, prot) in resident {
@@ -776,17 +793,13 @@ impl ClusterNode {
             }
         }
         if let Some(sm) = source_mobj {
-            let a = self.asvm_mut();
+            let a = self.engine.as_asvm_mut().expect("asvmize on ASVM cluster");
             let src = a.object_mut(sm);
             if !src.copies.contains(&mobj) {
                 src.copies.push(mobj);
             }
         }
-        let mut q = VecDeque::new();
-        self.emit_asvm(ctx, afx, &mut q);
-        while let Some(fx) = q.pop_front() {
-            self.drain(ctx, fx);
-        }
+        self.run_fx(ctx, EngineFx::from_asvm(me, afx));
         mobj
     }
 
@@ -838,13 +851,16 @@ impl ClusterNode {
                     let vo = self
                         .vm
                         .create_object(pages, machvm::Backing::External(mobj));
-                    self.xmm_mut().register_object(
-                        mobj,
-                        vo,
-                        pages,
-                        ip_node,
-                        XmmBacking::InternalPager { node: ip_node },
-                    );
+                    self.engine
+                        .as_xmm_mut()
+                        .expect("CopyXmm entry on XMM cluster")
+                        .register_object(
+                            mobj,
+                            vo,
+                            pages,
+                            ip_node,
+                            XmmBacking::InternalPager { node: ip_node },
+                        );
                     self.vm
                         .map_object(child, va_page, pages, vo, 0, prot, Inherit::Copy);
                 }
@@ -867,46 +883,43 @@ impl ClusterNode {
     /// Ensures the local representation of `mobj` exists; returns its VM
     /// object.
     fn ensure_object(&mut self, ctx: &mut Ctx<'_, Msg>, mobj: MemObjId, info: &ObjInfo) -> VmObjId {
-        match &mut self.mgr {
-            Manager::Asvm(a) => {
-                if let Some(o) = a.objects().find(|o| o.mobj == mobj) {
-                    return o.vm_obj;
-                }
-                let vo = self
-                    .vm
-                    .create_object(info.size_pages, machvm::Backing::External(mobj));
-                let mut afx = asvm::Fx::new();
-                let Manager::Asvm(a) = &mut self.mgr else {
-                    unreachable!()
-                };
-                a.register_object(
-                    mobj,
-                    vo,
-                    info.size_pages,
-                    info.home,
-                    info.pager_node,
-                    info.cfg,
-                    &mut afx,
-                );
-                asvm::declare_copy_link(a, mobj, info.source, info.peer);
-                let mut q = VecDeque::new();
-                self.emit_asvm(ctx, afx, &mut q);
-                while let Some(fx) = q.pop_front() {
-                    self.drain(ctx, fx);
-                }
-                vo
+        if self.engine.as_asvm().is_some() {
+            if let Some(o) = self
+                .asvm()
+                .and_then(|a| a.objects().find(|o| o.mobj == mobj))
+            {
+                return o.vm_obj;
             }
-            Manager::Xmm(x) => {
-                if let Some(m) = x.has_object(mobj).then(|| x.object(mobj).vm_obj) {
-                    return m;
-                }
-                let vo = self
-                    .vm
-                    .create_object(info.size_pages, machvm::Backing::External(mobj));
-                let Manager::Xmm(x) = &mut self.mgr else {
-                    unreachable!()
-                };
-                x.register_object(
+            let vo = self
+                .vm
+                .create_object(info.size_pages, machvm::Backing::External(mobj));
+            let me = self.id;
+            let mut afx = asvm::Fx::new();
+            let a = self.engine.as_asvm_mut().expect("ASVM ensure_object");
+            a.register_object(
+                mobj,
+                vo,
+                info.size_pages,
+                info.home,
+                info.pager_node,
+                info.cfg,
+                &mut afx,
+            );
+            asvm::declare_copy_link(a, mobj, info.source, info.peer);
+            self.run_fx(ctx, EngineFx::from_asvm(me, afx));
+            vo
+        } else {
+            let x = self.engine.as_xmm().expect("XMM ensure_object");
+            if x.has_object(mobj) {
+                return x.object(mobj).vm_obj;
+            }
+            let vo = self
+                .vm
+                .create_object(info.size_pages, machvm::Backing::External(mobj));
+            self.engine
+                .as_xmm_mut()
+                .expect("XMM ensure_object")
+                .register_object(
                     mobj,
                     vo,
                     info.size_pages,
@@ -915,8 +928,7 @@ impl ClusterNode {
                         node: info.pager_node,
                     },
                 );
-                vo
-            }
+            vo
         }
     }
 
@@ -952,28 +964,18 @@ impl NodeBehavior<Msg> for ClusterNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
         match msg {
             Msg::Asvm { from, msg } => {
-                let mut afx = asvm::Fx::new();
-                let Manager::Asvm(a) = &mut self.mgr else {
-                    panic!("ASVM message on XMM cluster")
-                };
-                a.handle_msg(ctx.now(), &mut self.vm, from, msg, &mut afx);
-                let mut q = VecDeque::new();
-                self.emit_asvm(ctx, afx, &mut q);
-                while let Some(fx) = q.pop_front() {
-                    self.drain(ctx, fx);
-                }
+                let pm = ProtocolMsg::Asvm { from, msg };
+                self.record_trace(ctx.now(), TraceDir::Recv, from, &pm);
+                let fx = self.engine.handle_protocol(ctx.now(), &mut self.vm, pm);
+                self.run_fx(ctx, fx);
             }
             Msg::Xmm(m) => {
-                let mut xfx = xmm::Fx::new();
-                let Manager::Xmm(x) = &mut self.mgr else {
-                    panic!("XMM message on ASVM cluster")
-                };
-                x.handle_msg(ctx.now(), &mut self.vm, m, &mut xfx);
-                let mut q = VecDeque::new();
-                self.emit_xmm(ctx, xfx, &mut q);
-                while let Some(fx) = q.pop_front() {
-                    self.drain(ctx, fx);
-                }
+                let pm = ProtocolMsg::Xmm(m);
+                // XMMI messages carry no sender; record the node itself.
+                let me = self.id;
+                self.record_trace(ctx.now(), TraceDir::Recv, me, &pm);
+                let fx = self.engine.handle_protocol(ctx.now(), &mut self.vm, pm);
+                self.run_fx(ctx, fx);
             }
             Msg::PagerReq(pin) => {
                 let cost = ctx.machine().config.cost.pager_handle;
@@ -1005,6 +1007,7 @@ impl NodeBehavior<Msg> for ClusterNode {
                     };
                     let costs = Transport::NORMA.costs(&ctx.machine().config.cost, payload);
                     ctx.stats().bump(Transport::NORMA.stat_key());
+                    ctx.stats().bump(out.reply.stat_key());
                     if payload > 0 {
                         ctx.stats().bump("norma.page_messages");
                     }
@@ -1020,31 +1023,11 @@ impl NodeBehavior<Msg> for ClusterNode {
                 }
             }
             Msg::PagerReply { obj, reply } => {
-                let managed_asvm =
-                    matches!(&self.mgr, Manager::Asvm(a) if a.mobj_of(obj).is_some());
-                let managed_xmm = matches!(&self.mgr, Manager::Xmm(x) if x.mobj_of(obj).is_some());
-                if managed_asvm {
-                    let mut afx = asvm::Fx::new();
-                    let Manager::Asvm(a) = &mut self.mgr else {
-                        unreachable!()
-                    };
-                    a.on_pager_reply(ctx.now(), &mut self.vm, obj, reply, &mut afx);
-                    let mut q = VecDeque::new();
-                    self.emit_asvm(ctx, afx, &mut q);
-                    while let Some(fx) = q.pop_front() {
-                        self.drain(ctx, fx);
-                    }
-                } else if managed_xmm {
-                    let mut xfx = xmm::Fx::new();
-                    let Manager::Xmm(x) = &mut self.mgr else {
-                        unreachable!()
-                    };
-                    x.on_pager_reply(ctx.now(), &mut self.vm, obj, reply, &mut xfx);
-                    let mut q = VecDeque::new();
-                    self.emit_xmm(ctx, xfx, &mut q);
-                    while let Some(fx) = q.pop_front() {
-                        self.drain(ctx, fx);
-                    }
+                if self.engine.mobj_of(obj).is_some() {
+                    let fx = self
+                        .engine
+                        .handle_pager_reply(ctx.now(), &mut self.vm, obj, reply);
+                    self.run_fx(ctx, fx);
                 } else {
                     // Plain anonymous memory refetched from the default pager.
                     let mut fx = machvm::Effects::new();

@@ -6,8 +6,9 @@ use machvm::{Access, Inherit, MemObjId, TaskId, VmObjId, VmSystem};
 use svmsim::{EventBudgetExceeded, Machine, MachineConfig, NodeId, Stats, Time, World};
 use xmm::{XmmBacking, XmmNode};
 
+use crate::engine::ProtoEvent;
 use crate::msg::Msg;
-use crate::node::{ClusterNode, Manager};
+use crate::node::ClusterNode;
 use crate::program::Program;
 
 /// Which distributed memory manager the cluster runs.
@@ -100,16 +101,14 @@ impl Ssi {
             let cost = m.config.cost.clone();
             let capacity = m.config.user_pages_per_node();
             let vm = VmSystem::new(m.config.page_size, capacity, cost.clone());
-            let mgr = match kind {
+            let engine: Box<dyn crate::engine::CoherenceEngine> = match kind {
                 ManagerKind::Asvm(acfg) => {
                     let _ = acfg;
-                    Manager::Asvm(AsvmNode::new(id, cost))
+                    Box::new(AsvmNode::new(id, cost))
                 }
-                ManagerKind::Xmm { copy_threads } => {
-                    Manager::Xmm(XmmNode::new(id, cost, copy_threads))
-                }
+                ManagerKind::Xmm { copy_threads } => Box::new(XmmNode::new(id, cost, copy_threads)),
             };
-            ClusterNode::new(id, vm, mgr, m.kind(id), m.config.page_size)
+            ClusterNode::new(id, vm, engine, m.kind(id), m.config.page_size)
         });
         Ssi {
             world,
@@ -213,7 +212,7 @@ impl Ssi {
             n.vm.create_task(task);
         }
         let vo = Self::ensure_setup_object(n, kind, mobj, home, pager_node, size_pages);
-        if let (Some(set), Manager::Asvm(a)) = (stripe, &mut n.mgr) {
+        if let (Some(set), Some(a)) = (stripe, n.asvm_mut()) {
             a.object_mut(mobj).stripe = set;
         }
         n.vm.map_object(task, va_page, size_pages, vo, 0, prot, inherit);
@@ -227,8 +226,9 @@ impl Ssi {
         pager_node: NodeId,
         size_pages: u32,
     ) -> VmObjId {
-        match (&mut n.mgr, kind) {
-            (Manager::Asvm(a), ManagerKind::Asvm(cfg)) => {
+        match kind {
+            ManagerKind::Asvm(cfg) => {
+                let a = n.asvm_mut().expect("ASVM setup on XMM node");
                 if let Some(o) = a.objects().find(|o| o.mobj == mobj) {
                     return o.vm_obj;
                 }
@@ -237,25 +237,28 @@ impl Ssi {
                 // Setup-time registration: membership is fixed by finalize,
                 // so the MapNotify effect is dropped.
                 let mut afx = asvm::Fx::new();
+                let a = n.asvm_mut().expect("ASVM setup on XMM node");
                 a.register_object(mobj, vo, size_pages, home, pager_node, cfg, &mut afx);
                 vo
             }
-            (Manager::Xmm(x), ManagerKind::Xmm { .. }) => {
+            ManagerKind::Xmm { .. } => {
+                let x = n.xmm().expect("XMM setup on ASVM node");
                 if x.has_object(mobj) {
                     return x.object(mobj).vm_obj;
                 }
                 let vo =
                     n.vm.create_object(size_pages, machvm::Backing::External(mobj));
-                x.register_object(
-                    mobj,
-                    vo,
-                    size_pages,
-                    home,
-                    XmmBacking::RealPager { node: pager_node },
-                );
+                n.xmm_mut()
+                    .expect("XMM setup on ASVM node")
+                    .register_object(
+                        mobj,
+                        vo,
+                        size_pages,
+                        home,
+                        XmmBacking::RealPager { node: pager_node },
+                    );
                 vo
             }
-            _ => unreachable!("manager kind mismatch"),
         }
     }
 
@@ -270,7 +273,7 @@ impl Ssi {
             std::collections::BTreeMap::new();
         for id in self.world.machine().mesh.node_ids().collect::<Vec<_>>() {
             let n = self.world.node(id);
-            if let Manager::Asvm(a) = &n.mgr {
+            if let Some(a) = n.asvm() {
                 for o in a.objects() {
                     members.entry(o.mobj).or_default().push(id);
                 }
@@ -278,7 +281,7 @@ impl Ssi {
         }
         for id in self.world.machine().mesh.node_ids().collect::<Vec<_>>() {
             let n = self.world.node_mut(id);
-            if let Manager::Asvm(a) = &mut n.mgr {
+            if let Some(a) = n.asvm_mut() {
                 let objs: Vec<MemObjId> = a.objects().map(|o| o.mobj).collect();
                 for m in objs {
                     if let Some(list) = members.get(&m) {
@@ -287,6 +290,30 @@ impl Ssi {
                 }
             }
         }
+    }
+
+    /// Installs a protocol trace ring of `cap` events on every node.
+    /// Recording costs one slot write per message; dump the merged view
+    /// with [`Ssi::trace_dump`] when a run fails.
+    pub fn enable_trace(&mut self, cap: usize) {
+        for id in self.world.machine().mesh.node_ids().collect::<Vec<_>>() {
+            self.world.node_mut(id).trace = Some(svmsim::TraceRing::new(cap));
+        }
+    }
+
+    /// All retained trace events across the cluster, merged into
+    /// chronological order, plus the count of events evicted from the rings.
+    pub fn trace_dump(&self) -> (Vec<ProtoEvent>, u64) {
+        let mut evs: Vec<ProtoEvent> = Vec::new();
+        let mut dropped = 0u64;
+        for id in self.world.machine().mesh.node_ids().collect::<Vec<_>>() {
+            if let Some(ring) = &self.world.node(id).trace {
+                evs.extend(ring.iter().cloned());
+                dropped += ring.dropped();
+            }
+        }
+        evs.sort_by_key(|e| (e.time, e.node.0));
+        (evs, dropped)
     }
 
     /// Switches the transport carrying ASVM protocol traffic (the

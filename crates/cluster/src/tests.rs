@@ -166,7 +166,10 @@ fn asvm_many_readers_one_writer() {
     let mut readers = 0;
     for i in 0..n {
         let node = ssi.node(NodeId(i));
-        if let Some(pi) = node.asvm().page_info(mobj, machvm::PageIdx(1)) {
+        if let Some(pi) = node
+            .asvm()
+            .and_then(|a| a.page_info(mobj, machvm::PageIdx(1)))
+        {
             if pi.owner {
                 owners += 1;
                 readers = pi.readers.len();
@@ -221,7 +224,7 @@ fn asvm_write_invalidates_readers() {
         .filter_map(|i| {
             ssi.node(NodeId(i))
                 .asvm()
-                .page_info(mobj, machvm::PageIdx(0))
+                .and_then(|a| a.page_info(mobj, machvm::PageIdx(0)))
                 .filter(|pi| pi.owner)
                 .map(|pi| (i, pi.access))
         })

@@ -11,7 +11,6 @@
 
 use machvm::MemObjId;
 
-use crate::node::Manager;
 use crate::ssi::Ssi;
 
 /// Checks every ASVM invariant on a quiescent cluster, for every object.
@@ -24,7 +23,7 @@ pub fn check_asvm_invariants(ssi: &Ssi) {
     // Collect object ids from every node.
     let mut objects: Vec<MemObjId> = Vec::new();
     for id in &nodes {
-        if let Manager::Asvm(a) = &ssi.world.node(*id).mgr {
+        if let Some(a) = ssi.world.node(*id).asvm() {
             for o in a.objects() {
                 if !objects.contains(&o.mobj) {
                     objects.push(o.mobj);
@@ -36,7 +35,7 @@ pub fn check_asvm_invariants(ssi: &Ssi) {
         let mut owners: Vec<(svmsim::NodeId, machvm::PageIdx)> = Vec::new();
         for id in &nodes {
             let node = ssi.world.node(*id);
-            let Manager::Asvm(a) = &node.mgr else {
+            let Some(a) = node.asvm() else {
                 continue;
             };
             if !a.has_object(mobj) {
@@ -100,7 +99,7 @@ pub fn check_asvm_invariants(ssi: &Ssi) {
         // access, nobody else holds the page.
         for id in &nodes {
             let node = ssi.world.node(*id);
-            let Manager::Asvm(a) = &node.mgr else {
+            let Some(a) = node.asvm() else {
                 continue;
             };
             if !a.has_object(mobj) {
@@ -114,7 +113,7 @@ pub fn check_asvm_invariants(ssi: &Ssi) {
                             continue;
                         }
                         let onode = ssi.world.node(*other);
-                        let Manager::Asvm(oa) = &onode.mgr else {
+                        let Some(oa) = onode.asvm() else {
                             continue;
                         };
                         if let Some(opi) = oa.page_info(mobj, *page) {
@@ -140,7 +139,7 @@ pub fn check_asvm_invariants(ssi: &Ssi) {
 pub fn check_xmm_invariants(ssi: &Ssi) {
     for id in ssi.world.machine().mesh.node_ids().collect::<Vec<_>>() {
         let node = ssi.world.node(id);
-        let Manager::Xmm(x) = &node.mgr else { continue };
+        let Some(x) = node.xmm() else { continue };
         assert_eq!(
             x.thread_queue_len(),
             0,

@@ -354,6 +354,74 @@ impl AsvmMsg {
         }
     }
 
+    /// Statistics key counting sends of this message kind
+    /// (`asvm.msg.<kind>`). One interned counter per protocol message
+    /// variant; the effect interpreter bumps it on every send.
+    pub fn stat_key(&self) -> &'static str {
+        match self {
+            AsvmMsg::MapNotify { .. } => "asvm.msg.map_notify",
+            AsvmMsg::Membership { .. } => "asvm.msg.membership",
+            AsvmMsg::PageReq { .. } => "asvm.msg.page_req",
+            AsvmMsg::Grant { .. } => "asvm.msg.grant",
+            AsvmMsg::Invalidate { .. } => "asvm.msg.invalidate",
+            AsvmMsg::InvalidateAck { .. } => "asvm.msg.invalidate_ack",
+            AsvmMsg::ReadCheck { .. } => "asvm.msg.read_check",
+            AsvmMsg::ReadCheckReply { .. } => "asvm.msg.read_check_reply",
+            AsvmMsg::OwnershipTransfer { .. } => "asvm.msg.ownership_transfer",
+            AsvmMsg::AcceptAsk { .. } => "asvm.msg.accept_ask",
+            AsvmMsg::AcceptReply { .. } => "asvm.msg.accept_reply",
+            AsvmMsg::PageTransfer { .. } => "asvm.msg.page_transfer",
+            AsvmMsg::OwnerHint { .. } => "asvm.msg.owner_hint",
+            AsvmMsg::PagedHint { .. } => "asvm.msg.paged_hint",
+            AsvmMsg::PushReq { .. } => "asvm.msg.push_req",
+            AsvmMsg::PushAck { .. } => "asvm.msg.push_ack",
+            AsvmMsg::PushData { .. } => "asvm.msg.push_data",
+            AsvmMsg::PushDone { .. } => "asvm.msg.push_done",
+            AsvmMsg::CopyMade { .. } => "asvm.msg.copy_made",
+            AsvmMsg::CopyMadeAck { .. } => "asvm.msg.copy_made_ack",
+            AsvmMsg::CopySettled { .. } => "asvm.msg.copy_settled",
+            AsvmMsg::PullHop { .. } => "asvm.msg.pull_hop",
+            AsvmMsg::RangeLockReq { .. } => "asvm.msg.range_lock_req",
+            AsvmMsg::RangeLockGrant { .. } => "asvm.msg.range_lock_grant",
+            AsvmMsg::RangeLockRelease { .. } => "asvm.msg.range_lock_release",
+            AsvmMsg::Retry { .. } => "asvm.msg.retry",
+        }
+    }
+
+    /// The page this message concerns, if it addresses a single page
+    /// (object-level messages — membership, copy notifications — have
+    /// none).
+    pub fn page(&self) -> Option<PageIdx> {
+        match self {
+            AsvmMsg::PageReq { page, .. }
+            | AsvmMsg::Grant { page, .. }
+            | AsvmMsg::Invalidate { page, .. }
+            | AsvmMsg::InvalidateAck { page, .. }
+            | AsvmMsg::ReadCheck { page, .. }
+            | AsvmMsg::ReadCheckReply { page, .. }
+            | AsvmMsg::OwnershipTransfer { page, .. }
+            | AsvmMsg::AcceptAsk { page, .. }
+            | AsvmMsg::AcceptReply { page, .. }
+            | AsvmMsg::PageTransfer { page, .. }
+            | AsvmMsg::OwnerHint { page, .. }
+            | AsvmMsg::PagedHint { page, .. }
+            | AsvmMsg::PushReq { page, .. }
+            | AsvmMsg::PushAck { page, .. }
+            | AsvmMsg::PushData { page, .. }
+            | AsvmMsg::PushDone { page, .. }
+            | AsvmMsg::PullHop { page, .. }
+            | AsvmMsg::Retry { page, .. } => Some(*page),
+            AsvmMsg::RangeLockReq { first, .. }
+            | AsvmMsg::RangeLockGrant { first, .. }
+            | AsvmMsg::RangeLockRelease { first, .. } => Some(*first),
+            AsvmMsg::MapNotify { .. }
+            | AsvmMsg::Membership { .. }
+            | AsvmMsg::CopyMade { .. }
+            | AsvmMsg::CopyMadeAck { .. }
+            | AsvmMsg::CopySettled { .. } => None,
+        }
+    }
+
     /// The memory object this message concerns.
     pub fn mobj(&self) -> MemObjId {
         match self {

@@ -75,6 +75,30 @@ pub enum EmmiToPager {
     },
 }
 
+impl EmmiToPager {
+    /// Statistics key counting sends of this call kind (`emmi.req.*`).
+    pub fn stat_key(&self) -> &'static str {
+        match self {
+            EmmiToPager::DataRequest { .. } => "emmi.req.data_request",
+            EmmiToPager::DataUnlock { .. } => "emmi.req.data_unlock",
+            EmmiToPager::DataReturn { .. } => "emmi.req.data_return",
+            EmmiToPager::LockCompleted { .. } => "emmi.req.lock_completed",
+            EmmiToPager::PullCompleted { .. } => "emmi.req.pull_completed",
+        }
+    }
+
+    /// The page this call concerns.
+    pub fn page(&self) -> PageIdx {
+        match self {
+            EmmiToPager::DataRequest { page, .. }
+            | EmmiToPager::DataUnlock { page, .. }
+            | EmmiToPager::DataReturn { page, .. }
+            | EmmiToPager::LockCompleted { page, .. }
+            | EmmiToPager::PullCompleted { page, .. } => *page,
+        }
+    }
+}
+
 /// Calls from a memory manager into the kernel's VM system, addressed by
 /// VM object (the "memory object control port" direction).
 #[derive(Clone, Debug)]
@@ -113,6 +137,28 @@ pub enum EmmiToKernel {
         /// Page within the object.
         page: PageIdx,
     },
+}
+
+impl EmmiToKernel {
+    /// Statistics key counting sends of this call kind (`emmi.reply.*`).
+    pub fn stat_key(&self) -> &'static str {
+        match self {
+            EmmiToKernel::DataSupply { .. } => "emmi.reply.data_supply",
+            EmmiToKernel::LockRequest { .. } => "emmi.reply.lock_request",
+            EmmiToKernel::PullRequest { .. } => "emmi.reply.pull_request",
+            EmmiToKernel::DataError { .. } => "emmi.reply.data_error",
+        }
+    }
+
+    /// The page this call concerns.
+    pub fn page(&self) -> PageIdx {
+        match self {
+            EmmiToKernel::DataSupply { page, .. }
+            | EmmiToKernel::LockRequest { page, .. }
+            | EmmiToKernel::PullRequest { page }
+            | EmmiToKernel::DataError { page } => *page,
+        }
+    }
 }
 
 /// Cache-state change requested by a lock request.

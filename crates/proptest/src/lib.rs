@@ -197,7 +197,7 @@ pub mod collection {
         size: Range<usize>,
     }
 
-    /// Length specifications accepted by [`vec`]: a half-open range or an
+    /// Length specifications accepted by [`vec()`]: a half-open range or an
     /// exact length (mirroring proptest's `SizeRange` conversions).
     pub trait IntoSizeRange {
         /// The half-open range of permitted lengths.

@@ -48,12 +48,14 @@ pub mod mesh;
 pub mod queue;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod world;
 
 pub use disk::{Disk, DiskOp};
 pub use machine::{CostModel, Machine, MachineConfig, NodeKind};
 pub use mesh::{Mesh, NodeId};
 pub use queue::EventQueue;
-pub use stats::{StatId, Stats, Tally, TallyId};
+pub use stats::{HistId, Histogram, StatId, Stats, Tally, TallyId};
 pub use time::{Dur, Time};
+pub use trace::TraceRing;
 pub use world::{CpuState, Ctx, EventBudgetExceeded, MsgCosts, NodeBehavior, World};

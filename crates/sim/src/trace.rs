@@ -1,0 +1,99 @@
+//! Bounded ring buffer for structured event traces.
+//!
+//! Protocol debugging wants the *last N* events leading up to a failure,
+//! not an unbounded log: coherence property tests run hundreds of thousands
+//! of events, and only the tail around the violation matters. A
+//! [`TraceRing`] keeps a fixed-capacity window, counts what it dropped, and
+//! costs one `Vec` slot write per recorded event — cheap enough to leave
+//! compiled in and gate at runtime (the cluster layer only records when a
+//! ring was installed).
+
+/// Fixed-capacity ring buffer of trace events.
+#[derive(Clone, Debug)]
+pub struct TraceRing<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the oldest retained event within `buf`.
+    head: usize,
+    /// Events pushed but no longer retained.
+    dropped: u64,
+}
+
+impl<T> TraceRing<T> {
+    /// A ring retaining the most recent `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> TraceRing<T> {
+        let cap = cap.max(1);
+        TraceRing {
+            buf: Vec::with_capacity(cap.min(1024)),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, ev: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted to make room (total pushes = `len() + dropped()`).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_most_recent_events() {
+        let mut r = TraceRing::new(3);
+        for i in 0..7 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<i32>>(), vec![4, 5, 6]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4);
+    }
+
+    #[test]
+    fn partial_fill_preserves_order() {
+        let mut r = TraceRing::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.iter().copied().collect::<Vec<&str>>(), vec!["a", "b"]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = TraceRing::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.iter().copied().collect::<Vec<i32>>(), vec![2]);
+    }
+}

@@ -117,6 +117,23 @@ impl Transport {
         }
         ctx.send(dst, costs, msg);
     }
+
+    /// [`Transport::send`] with an additional per-message-kind counter:
+    /// `kind` is an interned statistics key (e.g. `asvm.msg.grant`,
+    /// `emmi.req.data_request`) bumped alongside the per-transport totals.
+    /// The effect interpreter in the cluster layer tags every protocol and
+    /// pager send so reports can break traffic down by message kind.
+    pub fn send_tagged<M>(
+        &self,
+        ctx: &mut Ctx<'_, M>,
+        dst: NodeId,
+        payload_bytes: u32,
+        kind: &'static str,
+        msg: M,
+    ) {
+        ctx.stats().bump(kind);
+        self.send(ctx, dst, payload_bytes, msg);
+    }
 }
 
 #[cfg(test)]

@@ -181,10 +181,7 @@ pub fn copy_chain_probe(spec: CopyChainSpec) -> CopyChainResult {
 
     let tally = ssi.stats().tally("fault.ms").expect("faults happened");
     let stalled = (0..nodes)
-        .map(|n| match &ssi.node(NodeId(n)).mgr {
-            cluster::Manager::Xmm(x) => x.stalled,
-            cluster::Manager::Asvm(_) => 0,
-        })
+        .map(|n| ssi.node(NodeId(n)).xmm().map_or(0, |x| x.stalled))
         .sum();
     // Only the last task faults remotely; the tally may also contain the
     // internal pagers' local snapshot faults (XMM) — those are cheap local

@@ -45,7 +45,7 @@ pub struct FaultProbeSpec {
 }
 
 /// Result of a probe run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FaultProbeResult {
     /// Latency of the measured fault.
     pub latency: Dur,
@@ -53,6 +53,9 @@ pub struct FaultProbeResult {
     pub protocol_messages: u64,
     /// Messages carrying page contents during the measured fault.
     pub page_messages: u64,
+    /// Per-message-kind counters during the measured fault (the interned
+    /// `asvm.msg.*` / `xmm.msg.*` / `emmi.*` keys), sorted by key.
+    pub msg_counts: Vec<(&'static str, u64)>,
     /// Simulator events processed by the run (parallel-sweep accounting).
     pub events: u64,
 }
@@ -155,10 +158,20 @@ pub fn fault_probe(spec: FaultProbeSpec) -> FaultProbeResult {
         .expect("the measured access must fault");
     assert_eq!(tally.count, 1, "exactly one measured fault expected");
     let stats = ssi.stats();
+    let msg_counts: Vec<(&'static str, u64)> = stats
+        .counters()
+        .filter(|(k, v)| {
+            *v > 0
+                && (k.starts_with("asvm.msg.")
+                    || k.starts_with("xmm.msg.")
+                    || k.starts_with("emmi."))
+        })
+        .collect();
     FaultProbeResult {
         latency: tally.mean(),
         protocol_messages: stats.counter("sts.messages") + stats.counter("norma.messages"),
         page_messages: stats.counter("sts.page_messages") + stats.counter("norma.page_messages"),
+        msg_counts,
         events: ssi.world.events_processed(),
     }
 }

@@ -118,6 +118,35 @@ impl XmmMsg {
         }
     }
 
+    /// Statistics key counting sends of this message kind
+    /// (`xmm.msg.<kind>`), bumped by the effect interpreter on every send.
+    pub fn stat_key(&self) -> &'static str {
+        match self {
+            XmmMsg::Request { .. } => "xmm.msg.request",
+            XmmMsg::LockReq { .. } => "xmm.msg.lock_req",
+            XmmMsg::LockAck { .. } => "xmm.msg.lock_ack",
+            XmmMsg::GrantUp { .. } => "xmm.msg.grant_up",
+            XmmMsg::Complete { .. } => "xmm.msg.complete",
+            XmmMsg::Evicted { .. } => "xmm.msg.evicted",
+            XmmMsg::IpRequest { .. } => "xmm.msg.ip_request",
+            XmmMsg::IpSupply { .. } => "xmm.msg.ip_supply",
+        }
+    }
+
+    /// The page this message concerns (every XMMI message is page-level).
+    pub fn page(&self) -> Option<PageIdx> {
+        match self {
+            XmmMsg::Request { page, .. }
+            | XmmMsg::LockReq { page, .. }
+            | XmmMsg::LockAck { page, .. }
+            | XmmMsg::GrantUp { page, .. }
+            | XmmMsg::Complete { page, .. }
+            | XmmMsg::Evicted { page, .. }
+            | XmmMsg::IpRequest { page, .. }
+            | XmmMsg::IpSupply { page, .. } => Some(*page),
+        }
+    }
+
     /// The memory object this message concerns.
     pub fn mobj(&self) -> MemObjId {
         match self {

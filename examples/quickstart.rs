@@ -98,7 +98,11 @@ fn main() {
     println!("\npage ownership after the run:");
     for p in 0..4u32 {
         for n in 0..nodes {
-            if let Some(pi) = ssi.node(NodeId(n)).asvm().page_info(mobj, PageIdx(p)) {
+            if let Some(pi) = ssi
+                .node(NodeId(n))
+                .asvm()
+                .and_then(|a| a.page_info(mobj, PageIdx(p)))
+            {
                 if pi.owner {
                     println!(
                         "  page {p}: owner {} with {} reader(s)",

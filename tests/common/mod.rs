@@ -156,6 +156,9 @@ pub fn run_trace(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) {
         .collect();
     ssi.finalize();
     ssi.set_barrier_parties(nodes as u32);
+    // Keep the last protocol messages around: on failure the ring is dumped
+    // so the interleaving that broke coherence is visible in the test log.
+    ssi.enable_trace(96);
     for n in 0..nodes {
         ssi.spawn(
             NodeId(n),
@@ -173,11 +176,26 @@ pub fn run_trace(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) {
             }),
         );
     }
-    ssi.run(200_000_000).expect("trace quiesces");
-    assert!(ssi.all_done(), "{}: all trace runners finish", kind.label());
-    match kind {
-        ManagerKind::Asvm(_) => cluster::check_asvm_invariants(&ssi),
-        ManagerKind::Xmm { .. } => cluster::check_xmm_invariants(&ssi),
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ssi.run(200_000_000).expect("trace quiesces");
+        assert!(ssi.all_done(), "{}: all trace runners finish", kind.label());
+        match kind {
+            ManagerKind::Asvm(_) => cluster::check_asvm_invariants(&ssi),
+            ManagerKind::Xmm { .. } => cluster::check_xmm_invariants(&ssi),
+        }
+    }));
+    if let Err(panic) = outcome {
+        let (events, dropped) = ssi.trace_dump();
+        eprintln!(
+            "--- protocol trace ({} events retained, {} dropped) ---",
+            events.len(),
+            dropped
+        );
+        for ev in &events {
+            eprintln!("{ev}");
+        }
+        eprintln!("--- end protocol trace ---");
+        std::panic::resume_unwind(panic);
     }
 }
 
@@ -236,7 +254,7 @@ pub fn run_trace_debug(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp
     ssi.run(200_000_000).expect("trace quiesces");
     for n in 0..nodes {
         let node = ssi.node(NodeId(n));
-        let o = node.asvm().object(mobj);
+        let o = node.asvm().expect("trace rig runs ASVM").object(mobj);
         println!(
             "node {n}: done={} pages={:?} pending={:?} filling={:?} sw={:?} fw={:?} vmf={}",
             node.all_tasks_done(),

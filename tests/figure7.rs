@@ -4,7 +4,7 @@
 //! access level plus an owner flag; the listed transitions keep it
 //! coherent under the single-writer-or-multiple-readers invariant.
 
-use cluster::{Manager, ManagerKind, ScriptProgram, Ssi, Step};
+use cluster::{ManagerKind, ScriptProgram, Ssi, Step};
 use machvm::{Access, Inherit, PageIdx, TaskId};
 use svmsim::NodeId;
 
@@ -56,9 +56,7 @@ impl Rig {
 
     fn state(&self, node: u16) -> Option<(Access, bool, usize)> {
         let n = self.ssi.node(NodeId(node));
-        let Manager::Asvm(a) = &n.mgr else {
-            unreachable!()
-        };
+        let a = n.asvm().expect("figure 7 rig runs ASVM");
         a.page_info(self.mobj, PageIdx(0))
             .map(|pi| (pi.access, pi.owner, pi.readers.len()))
     }

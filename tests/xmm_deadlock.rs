@@ -12,7 +12,7 @@
 //! pool and the simulation quiesces with work permanently stuck. ASVM on
 //! the same workload completes — nothing in it ever blocks a thread.
 
-use cluster::{Manager, ManagerKind, Program, Ssi, Step, TaskEnv};
+use cluster::{ManagerKind, Program, Ssi, Step, TaskEnv};
 use machvm::{Access, Inherit, TaskId};
 use svmsim::NodeId;
 
@@ -128,9 +128,10 @@ fn xmm_single_thread_pool_deadlocks_on_chains() {
         .map(|n| ssi.node(NodeId(n)).vm.pending_faults())
         .sum();
     let queued: usize = (0..2u16)
-        .map(|n| match &ssi.node(NodeId(n)).mgr {
-            Manager::Xmm(x) => x.thread_queue_len(),
-            Manager::Asvm(_) => 0,
+        .map(|n| {
+            ssi.node(NodeId(n))
+                .xmm()
+                .map_or(0, |x| x.thread_queue_len())
         })
         .sum();
     assert!(
