@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repo's documentation
+# resolves to an existing file or directory. External links (http/https/
+# mailto) and pure intra-page anchors (#...) are skipped; an anchor suffix
+# on a file link is stripped before the existence check.
+#
+# Usage: ci/check_links.sh [file.md ...]
+# With no arguments, checks README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md
+# and every markdown file under docs/.
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md)
+    for f in docs/*.md; do
+        [ -e "$f" ] && files+=("$f")
+    done
+fi
+
+fail=0
+for f in "${files[@]}"; do
+    if [ ! -f "$f" ]; then
+        echo "MISSING FILE: $f (listed for link checking)"
+        fail=1
+        continue
+    fi
+    # Inline links: [text](target). Targets with spaces are not used in
+    # this repo; titles ("...") are stripped.
+    while IFS=: read -r lineno target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Strip any anchor and optional title.
+        path="${target%%#*}"
+        path="${path%% *}"
+        [ -z "$path" ] && continue
+        # Resolve relative to the linking file's directory.
+        base="$(dirname "$f")"
+        if [ ! -e "$base/$path" ] && [ ! -e "$path" ]; then
+            echo "$f:$lineno: broken link -> $target"
+            fail=1
+        fi
+    done < <(grep -no -E '\[[^]]*\]\([^)]+\)' "$f" \
+             | sed -E 's/^([0-9]+):.*\(([^)]+)\)$/\1:\2/')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "Link check FAILED."
+    exit 1
+fi
+echo "Link check OK (${#files[@]} files)."

@@ -1,0 +1,87 @@
+//! Fault sweep: completion time and retry traffic of a fixed ASVM
+//! workload as per-message loss ramps from 0 to 10 percent, with a
+//! duplication/delay mix riding along.
+//!
+//! Every cell runs the same migratory-ownership pattern (the most
+//! retry-sensitive shape in the suite: every page changes owner every
+//! round) on 8 nodes under a seeded [`svmsim::FaultPlan`]; the retry
+//! channel (`asvm::retry`) must absorb the injected faults for the run to
+//! complete. Each cell reports its slowdown relative to the loss-free
+//! cell plus the `transport.fault.*` / `asvm.retry.*` counters, which land
+//! in `BENCH_faultsweep.json` under `--json` (schema in EXPERIMENTS.md,
+//! reliability model in docs/RELIABILITY.md).
+//!
+//! Determinism: the plan seed is fixed per cell, so two invocations with
+//! the same flags produce byte-identical JSON.
+
+use bench::sweep::Sweep;
+use cluster::ManagerKind;
+use svmsim::{Dur, FaultPlan};
+use workloads::{run_pattern_faulted, Pattern};
+
+/// Per-message loss rates swept, in parts per million.
+const LOSS_PPM: [u32; 6] = [0, 1_000, 5_000, 10_000, 50_000, 100_000];
+
+const NODES: u16 = 8;
+const PAGES: u32 = 16;
+const ROUNDS: u32 = 4;
+const PLAN_SEED: u64 = 1996;
+
+fn run_cell(loss_ppm: u32) -> (f64, u64, Vec<(String, u64)>) {
+    let plan = if loss_ppm == 0 {
+        FaultPlan::none()
+    } else {
+        // A loss-dominated mix: duplication at a fifth of the loss rate,
+        // mild extra delay at a tenth, inside a 2 ms window.
+        FaultPlan::seeded(PLAN_SEED ^ loss_ppm as u64)
+            .with_drop_ppm(loss_ppm)
+            .with_dup_ppm(loss_ppm / 5)
+            .with_delay(loss_ppm / 10, Dur::from_millis(2))
+    };
+    let out = run_pattern_faulted(
+        ManagerKind::asvm(),
+        NODES,
+        PAGES,
+        Pattern::Migratory { rounds: ROUNDS },
+        plan,
+    );
+    assert!(
+        out.completed,
+        "sweep cell at {loss_ppm} ppm must complete (exhausted={})",
+        out.exhausted
+    );
+    let counters = vec![
+        ("fault.dropped".to_string(), out.dropped),
+        ("fault.duplicated".to_string(), out.duplicated),
+        ("fault.delayed".to_string(), out.delayed),
+        ("retry.resent".to_string(), out.resent),
+        ("retry.exhausted".to_string(), out.exhausted),
+        ("page.faults".to_string(), out.outcome.faults),
+        ("protocol.messages".to_string(), out.outcome.messages),
+    ];
+    (out.outcome.elapsed_s, out.outcome.events, counters)
+}
+
+fn main() {
+    let mut sweep = Sweep::from_env("faultsweep");
+    for ppm in LOSS_PPM {
+        sweep.cell_with_counters(format!("loss {:.1}%", ppm as f64 / 10_000.0), move || {
+            run_cell(ppm)
+        });
+    }
+    let report = sweep.run();
+
+    println!("Fault sweep: migratory pattern, {NODES} nodes x {PAGES} pages x {ROUNDS} rounds");
+    let elapsed: Vec<f64> = report.values().copied().collect();
+    let base = elapsed[0];
+    println!("{:>8} {:>12} {:>10}", "loss", "elapsed s", "slowdown");
+    for (ppm, e) in LOSS_PPM.iter().zip(&elapsed) {
+        println!(
+            "{:>7.1}% {:>12.4} {:>9.2}x",
+            *ppm as f64 / 10_000.0,
+            e,
+            e / base
+        );
+    }
+    report.finish();
+}

@@ -27,6 +27,11 @@ pub struct SweepConfig {
     pub threads: usize,
     /// Write a `BENCH_<name>.json` trajectory file after the sweep.
     pub json: bool,
+    /// Zero out host wall-clock fields in the JSON so two runs of a
+    /// deterministic sweep produce byte-identical files (`--stable-json`
+    /// or `ASVM_BENCH_STABLE_JSON=1`; used by the fault-sweep determinism
+    /// check).
+    pub stable_json: bool,
 }
 
 impl SweepConfig {
@@ -37,6 +42,7 @@ impl SweepConfig {
             .ok()
             .and_then(|v| v.parse().ok());
         let mut json = false;
+        let mut stable_json = std::env::var("ASVM_BENCH_STABLE_JSON").is_ok_and(|v| v == "1");
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -49,8 +55,13 @@ impl SweepConfig {
                     threads = Some(n)
                 }
                 "--json" => json = true,
+                "--stable-json" => {
+                    json = true;
+                    stable_json = true;
+                }
                 other => panic!(
-                    "unknown benchmark flag: {other} (expected --serial | --threads N | --json)"
+                    "unknown benchmark flag: {other} \
+                     (expected --serial | --threads N | --json | --stable-json)"
                 ),
             }
         }
@@ -61,7 +72,11 @@ impl SweepConfig {
                     .unwrap_or(1)
             })
             .max(1);
-        SweepConfig { threads, json }
+        SweepConfig {
+            threads,
+            json,
+            stable_json,
+        }
     }
 
     /// A fixed-thread-count configuration (used by the determinism tests).
@@ -69,6 +84,7 @@ impl SweepConfig {
         SweepConfig {
             threads: threads.max(1),
             json: false,
+            stable_json: false,
         }
     }
 }
@@ -274,24 +290,31 @@ impl<T> SweepReport<T> {
     }
 
     /// The JSON trajectory document (hand-rolled; the workspace has no
-    /// serde).
+    /// serde). With `stable_json`, host wall-clock fields are written as
+    /// zero so a deterministic sweep serializes byte-identically on every
+    /// run.
     pub fn to_json(&self) -> String {
+        let stable = self.config.stable_json;
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"name\": {},\n", json_str(self.name)));
         s.push_str(&format!("  \"threads\": {},\n", self.config.threads));
         s.push_str(&format!(
             "  \"total_wall_secs\": {:.6},\n",
-            self.total_wall.as_secs_f64()
+            if stable {
+                0.0
+            } else {
+                self.total_wall.as_secs_f64()
+            }
         ));
         s.push_str(&format!("  \"total_events\": {},\n", self.total_events()));
         s.push_str(&format!(
             "  \"events_per_sec\": {:.2},\n",
-            self.events_per_sec()
+            if stable { 0.0 } else { self.events_per_sec() }
         ));
         s.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
-            let secs = c.wall.as_secs_f64();
+            let secs = if stable { 0.0 } else { c.wall.as_secs_f64() };
             let eps = if secs > 0.0 {
                 c.events as f64 / secs
             } else {

@@ -23,6 +23,32 @@
 //! first and be answered with stale contents. The conversions from the
 //! managers' native effect structs preserve exactly the order the old
 //! hand-rolled emitters used (pager → net → settled → lock grants → VM).
+//!
+//! # Delivery guarantees
+//!
+//! Engines emit protocol sends assuming reliable, but not ordered,
+//! delivery; the interpreter chooses how to honor that contract. On a
+//! fault-free machine every [`EngineEffect::Protocol`] send goes straight
+//! to the wire. When the machine's fault plan
+//! ([`svmsim::MachineConfig::faults`]) is active, ASVM sends instead ride
+//! a per-link retry channel (`asvm::retry`) — sequence numbers, acks,
+//! bounded exponential backoff, duplicate suppression — so the engines
+//! themselves never see a dropped, duplicated or reordered message. XMMI
+//! and pager traffic stay on NORMA-IPC, which models Mach's reliable
+//! kernel-to-kernel IPC. The full model lives in `docs/RELIABILITY.md`.
+//!
+//! Retry pacing comes from [`asvm::RetryConfig`] (set cluster-wide with
+//! [`crate::Ssi::set_retry_config`]):
+//!
+//! ```
+//! use asvm::RetryConfig;
+//! use svmsim::Dur;
+//!
+//! let cfg = RetryConfig::default();
+//! // Bounded exponential backoff: 2, 4, 8, ... capped at 50 ms.
+//! assert_eq!(cfg.timeout_for(0), Dur::from_millis(2));
+//! assert!(cfg.timeout_for(10) <= Dur::from_millis(50));
+//! ```
 
 use asvm::{AsvmNode, PageRange};
 use machvm::{EmmiToKernel, EmmiToPager, MemObjId, PageData, PageIdx, TaskId, VmObjId, VmSystem};

@@ -29,7 +29,7 @@ pub mod validate;
 
 pub use engine::{CoherenceEngine, EngineEffect, EngineFx, ProtoEvent, ProtocolMsg, TraceDir};
 pub use msg::{ForkEntry, ForkMsg, Msg, ObjInfo};
-pub use node::ClusterNode;
+pub use node::{ClusterNode, LinkFailure};
 pub use program::{FnProgram, Program, ScriptProgram, Step, TaskEnv};
 pub use ssi::{ManagerKind, Ssi};
 pub use validate::{check_asvm_invariants, check_xmm_invariants};

@@ -98,6 +98,32 @@ pub enum Msg {
         /// The message.
         msg: AsvmMsg,
     },
+    /// ASVM protocol traffic framed on the per-link retry channel — used
+    /// instead of [`Msg::Asvm`] whenever the machine's fault plan is
+    /// active (see `asvm::retry` and `docs/RELIABILITY.md`).
+    AsvmFrame {
+        /// Sending node.
+        from: NodeId,
+        /// Per-`(from, dst)` sequence number.
+        seq: u64,
+        /// The framed protocol message.
+        msg: AsvmMsg,
+    },
+    /// Acknowledgement of an [`Msg::AsvmFrame`] (STS, header-only).
+    AsvmAck {
+        /// The acknowledging node (the frame's receiver).
+        from: NodeId,
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+    /// Sender-side retry timer for the frame `seq` on the link to `dst`
+    /// (self-posted; stale ticks are ignored).
+    RetryTick {
+        /// The link's destination node.
+        dst: NodeId,
+        /// The in-flight frame the timer covers.
+        seq: u64,
+    },
     /// XMMI traffic (NORMA-IPC).
     Xmm(XmmMsg),
     /// EMMI request to a pager task on this I/O node (NORMA-IPC).

@@ -9,13 +9,13 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use asvm::AsvmNode;
+use asvm::{AsvmMsg, AsvmNode, LinkReceiver, LinkSender, RetryConfig, TimeoutVerdict};
 use machvm::{
     Access, EmmiToKernel, EmmiToPager, Inherit, MemObjId, PageData, TaskId, VmEffect, VmObjId,
     VmSystem,
 };
 use pager::{DefaultPager, FilePager, PagerIn};
-use svmsim::{Ctx, NodeBehavior, NodeId, NodeKind, Time, TraceRing};
+use svmsim::{Ctx, Dur, NodeBehavior, NodeId, NodeKind, Time, TraceRing};
 use transport::Transport;
 use xmm::{XmmBacking, XmmNode};
 
@@ -40,6 +40,29 @@ struct DeferredFork {
     waiting: std::collections::BTreeSet<MemObjId>,
     parent_node: NodeId,
     parent_task: TaskId,
+}
+
+/// One (re)transmission of an ASVM frame on the retry channel.
+struct FrameTx {
+    seq: u64,
+    msg: AsvmMsg,
+    payload: u32,
+    kind: &'static str,
+    timeout: Dur,
+}
+
+/// One ASVM frame that exhausted its retries: the link is considered
+/// dead and the failure is surfaced instead of hanging the protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFailure {
+    /// The unreachable peer.
+    pub peer: NodeId,
+    /// Sequence number of the abandoned frame.
+    pub seq: u64,
+    /// Statistics key of the abandoned protocol message.
+    pub kind: &'static str,
+    /// When the sender gave up.
+    pub at: Time,
 }
 
 struct TaskState {
@@ -81,6 +104,15 @@ pub struct ClusterNode {
     /// Protocol event trace, recorded only when installed
     /// ([`crate::Ssi::enable_trace`]).
     pub trace: Option<TraceRing<ProtoEvent>>,
+    /// Retry/timeout policy of the ASVM frame channel (used only while
+    /// the machine's fault plan is active).
+    pub retry_cfg: RetryConfig,
+    /// Sender halves of the per-peer ASVM retry channels.
+    link_tx: BTreeMap<NodeId, LinkSender<AsvmMsg>>,
+    /// Receiver halves of the per-peer ASVM retry channels.
+    link_rx: BTreeMap<NodeId, LinkReceiver<AsvmMsg>>,
+    /// Frames abandoned after retry exhaustion, in order of occurrence.
+    pub link_failures: Vec<LinkFailure>,
 }
 
 impl ClusterNode {
@@ -116,6 +148,10 @@ impl ClusterNode {
             asvm_transport: Transport::STS,
             tasks_done: 0,
             trace: None,
+            retry_cfg: RetryConfig::default(),
+            link_tx: BTreeMap::new(),
+            link_rx: BTreeMap::new(),
+            link_failures: Vec::new(),
         }
     }
 
@@ -236,11 +272,105 @@ impl ClusterNode {
         let kind = msg.stat_key();
         match msg {
             ProtocolMsg::Asvm { from, msg } => {
-                self.asvm_transport
-                    .send_tagged(ctx, dst, payload, kind, Msg::Asvm { from, msg });
+                // With an active fault plan, protocol traffic rides the
+                // per-link retry channel; otherwise the classic direct
+                // path, byte-identical to pre-fault builds. NORMA (XMMI,
+                // EMMI, fork) stays on the reliable path in both cases —
+                // it models Mach's guaranteed kernel-to-kernel IPC.
+                if dst != self.id && ctx.machine().config.faults.is_active() {
+                    let seq =
+                        self.link_tx
+                            .entry(dst)
+                            .or_default()
+                            .enqueue(msg.clone(), payload, kind);
+                    let timeout = self.retry_cfg.timeout_for(0);
+                    self.transmit_frame(
+                        ctx,
+                        dst,
+                        FrameTx {
+                            seq,
+                            msg,
+                            payload,
+                            kind,
+                            timeout,
+                        },
+                    );
+                } else {
+                    self.asvm_transport.send_tagged(
+                        ctx,
+                        dst,
+                        payload,
+                        kind,
+                        Msg::Asvm { from, msg },
+                    );
+                }
             }
             ProtocolMsg::Xmm(m) => {
                 Transport::NORMA.send_tagged(ctx, dst, payload, kind, Msg::Xmm(m));
+            }
+        }
+    }
+
+    /// Puts one (re)transmission of frame `seq` on the lossy wire and arms
+    /// its retry timer.
+    fn transmit_frame(&mut self, ctx: &mut Ctx<'_, Msg>, dst: NodeId, frame: FrameTx) {
+        let from = self.id;
+        let FrameTx {
+            seq,
+            msg,
+            payload,
+            kind,
+            timeout,
+        } = frame;
+        self.asvm_transport
+            .send_lossy(ctx, dst, payload, kind, || Msg::AsvmFrame {
+                from,
+                seq,
+                msg: msg.clone(),
+            });
+        let at = ctx.now() + timeout;
+        ctx.post_self(at, Msg::RetryTick { dst, seq });
+    }
+
+    /// Handles a sender-side retry timer firing for frame `seq` to `dst`.
+    fn on_retry_tick(&mut self, ctx: &mut Ctx<'_, Msg>, dst: NodeId, seq: u64) {
+        let cfg = self.retry_cfg;
+        let verdict = self.link_tx.entry(dst).or_default().on_timeout(seq, &cfg);
+        match verdict {
+            TimeoutVerdict::Stale => {}
+            TimeoutVerdict::Resend {
+                msg,
+                payload,
+                kind,
+                next_timeout,
+            } => {
+                ctx.stats().bump("asvm.retry.timeout");
+                ctx.stats().bump("asvm.retry.resent");
+                let pm = ProtocolMsg::Asvm { from: self.id, msg };
+                self.record_trace(ctx.now(), TraceDir::Send, dst, &pm);
+                let ProtocolMsg::Asvm { msg, .. } = pm else {
+                    unreachable!()
+                };
+                self.transmit_frame(
+                    ctx,
+                    dst,
+                    FrameTx {
+                        seq,
+                        msg,
+                        payload,
+                        kind,
+                        timeout: next_timeout,
+                    },
+                );
+            }
+            TimeoutVerdict::Exhausted { kind } => {
+                ctx.stats().bump("asvm.retry.exhausted");
+                self.link_failures.push(LinkFailure {
+                    peer: dst,
+                    seq,
+                    kind,
+                    at: ctx.now(),
+                });
             }
         }
     }
@@ -968,6 +1098,37 @@ impl NodeBehavior<Msg> for ClusterNode {
                 self.record_trace(ctx.now(), TraceDir::Recv, from, &pm);
                 let fx = self.engine.handle_protocol(ctx.now(), &mut self.vm, pm);
                 self.run_fx(ctx, fx);
+            }
+            Msg::AsvmFrame { from, seq, msg } => {
+                // Ack every arrival — including duplicates, whose original
+                // ack may itself have been lost. The ack travels the same
+                // lossy wire; a lost ack simply provokes a retransmission.
+                let me = self.id;
+                self.asvm_transport
+                    .send_lossy(ctx, from, 0, "asvm.retry.ack", || Msg::AsvmAck {
+                        from: me,
+                        seq,
+                    });
+                let accepted = self.link_rx.entry(from).or_default().accept(seq, msg);
+                if accepted.duplicate {
+                    ctx.stats().bump("asvm.retry.dup_drop");
+                } else if accepted.deliver.is_empty() {
+                    ctx.stats().bump("asvm.retry.buffered");
+                }
+                for m in accepted.deliver {
+                    let pm = ProtocolMsg::Asvm { from, msg: m };
+                    self.record_trace(ctx.now(), TraceDir::Recv, from, &pm);
+                    let fx = self.engine.handle_protocol(ctx.now(), &mut self.vm, pm);
+                    self.run_fx(ctx, fx);
+                }
+            }
+            Msg::AsvmAck { from, seq } => {
+                if self.link_tx.entry(from).or_default().ack(seq) {
+                    ctx.stats().bump("asvm.retry.acked");
+                }
+            }
+            Msg::RetryTick { dst, seq } => {
+                self.on_retry_tick(ctx, dst, seq);
             }
             Msg::Xmm(m) => {
                 let pm = ProtocolMsg::Xmm(m);

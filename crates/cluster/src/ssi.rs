@@ -324,6 +324,25 @@ impl Ssi {
         }
     }
 
+    /// Sets the retry/timeout policy of the ASVM frame channel on every
+    /// node (only consulted while the machine's fault plan is active).
+    pub fn set_retry_config(&mut self, cfg: asvm::RetryConfig) {
+        for id in self.world.machine().mesh.node_ids().collect::<Vec<_>>() {
+            self.world.node_mut(id).retry_cfg = cfg;
+        }
+    }
+
+    /// ASVM frames abandoned after retry exhaustion, across all nodes,
+    /// in `(time, node)` order. Empty in a healthy run.
+    pub fn link_failures(&self) -> Vec<crate::node::LinkFailure> {
+        let mut fs: Vec<crate::node::LinkFailure> = Vec::new();
+        for id in self.world.machine().mesh.node_ids().collect::<Vec<_>>() {
+            fs.extend(self.world.node(id).link_failures.iter().copied());
+        }
+        fs.sort_by_key(|f| (f.at, f.peer.0, f.seq));
+        fs
+    }
+
     /// Sets how many tasks participate in each barrier.
     pub fn set_barrier_parties(&mut self, parties: u32) {
         self.world.node_mut(NodeId(0)).barrier_parties = parties;

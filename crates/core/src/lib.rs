@@ -39,6 +39,7 @@ pub mod lru;
 pub mod node;
 pub mod object;
 pub mod protocol;
+pub mod retry;
 
 #[cfg(test)]
 mod node_tests;
@@ -49,6 +50,7 @@ pub use lru::Lru;
 pub use node::{AsvmNode, Fx};
 pub use object::{AsvmObject, Busy, EvictStage, PageInfo, PendingLocal, QueuedReq, StaticHint};
 pub use protocol::{AsvmMsg, NetSend, PagerSend, ReqKind, ReqPath};
+pub use retry::{Accepted, LinkReceiver, LinkSender, RetryConfig, TimeoutVerdict};
 
 use machvm::MemObjId;
 use svmsim::NodeId;

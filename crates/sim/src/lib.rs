@@ -43,6 +43,7 @@
 //! ```
 
 pub mod disk;
+pub mod faults;
 pub mod machine;
 pub mod mesh;
 pub mod queue;
@@ -52,6 +53,7 @@ pub mod trace;
 pub mod world;
 
 pub use disk::{Disk, DiskOp};
+pub use faults::{Blackout, FaultCause, FaultDecision, FaultPlan, LinkFaults};
 pub use machine::{CostModel, Machine, MachineConfig, NodeKind};
 pub use mesh::{Mesh, NodeId};
 pub use queue::EventQueue;

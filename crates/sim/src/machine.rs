@@ -11,6 +11,7 @@
 //! (Table 1 and the intercepts/slopes of Figures 10 and 11); the macro
 //! experiments (Tables 2 and 3) are then *emergent* — see `EXPERIMENTS.md`.
 
+use crate::faults::FaultPlan;
 use crate::mesh::{Mesh, NodeId};
 use crate::time::Dur;
 
@@ -41,6 +42,10 @@ pub struct MachineConfig {
     pub page_size: u32,
     /// All timing constants.
     pub cost: CostModel,
+    /// Interconnect fault injection (defaults to [`FaultPlan::none`]:
+    /// perfectly reliable, zero overhead, byte-identical to a machine
+    /// without the fault layer).
+    pub faults: FaultPlan,
 }
 
 impl MachineConfig {
@@ -55,6 +60,7 @@ impl MachineConfig {
             user_mem_bytes_per_node: 9 << 20,
             page_size: 8192,
             cost: CostModel::default(),
+            faults: FaultPlan::none(),
         }
     }
 

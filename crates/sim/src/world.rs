@@ -17,6 +17,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::disk::{Disk, DiskOp};
+use crate::faults::FaultDecision;
 use crate::machine::Machine;
 use crate::mesh::NodeId;
 use crate::queue::EventQueue;
@@ -103,6 +104,10 @@ pub struct World<N, M> {
     stats: Stats,
     hot: HotIds,
     rng: SmallRng,
+    /// Dedicated generator for fault-injection decisions, seeded only by
+    /// the [`crate::FaultPlan`]. Kept apart from `rng` so enabling the
+    /// fault layer with an inactive plan perturbs nothing.
+    fault_rng: SmallRng,
     events_processed: u64,
     wall_busy: std::time::Duration,
 }
@@ -133,6 +138,7 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
             stats,
             hot,
             rng: SmallRng::seed_from_u64(seed),
+            fault_rng: SmallRng::seed_from_u64(machine.config.faults.seed),
             machine,
             events_processed: 0,
             wall_busy: std::time::Duration::ZERO,
@@ -242,6 +248,7 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
             stats: &mut self.stats,
             hot: self.hot,
             rng: &mut self.rng,
+            fault_rng: &mut self.fault_rng,
         };
         node.on_message(&mut ctx, env.msg);
         true
@@ -298,6 +305,7 @@ pub struct Ctx<'a, M> {
     stats: &'a mut Stats,
     hot: HotIds,
     rng: &'a mut SmallRng,
+    fault_rng: &'a mut SmallRng,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -362,6 +370,50 @@ impl<'a, M> Ctx<'a, M> {
         let departure = cpu.msg_free.max(self.now) + costs.send_cpu;
         cpu.msg_free = departure;
         let arrival = departure + self.machine.wire_time(self.me, dst, costs.bytes);
+        self.stats.bump_id(self.hot.net_messages);
+        self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
+        self.queue.push(
+            arrival,
+            Envelope {
+                dst,
+                recv_cpu: costs.recv_cpu,
+                msg,
+            },
+        );
+    }
+
+    /// Samples the fault layer's verdict for one message to `dst` at the
+    /// current instant, drawing from the dedicated fault RNG.
+    ///
+    /// Only the transport's exposed send path calls this, and only when the
+    /// machine's [`crate::FaultPlan`] is active — inactive plans never
+    /// consume fault randomness, keeping reliable runs byte-identical.
+    pub fn fault_decision(&mut self, dst: NodeId) -> FaultDecision {
+        self.machine
+            .config
+            .faults
+            .decide(self.now, self.me, dst, self.fault_rng)
+    }
+
+    /// Charges the sender side of `costs` and counts the wire statistics
+    /// without delivering anything — a message dropped in transit: it left
+    /// the NIC and consumed link bandwidth, but no one receives it.
+    pub fn charge_send_only(&mut self, costs: MsgCosts) {
+        let cpu = &mut self.cpus[self.me.index()];
+        cpu.msg_free = cpu.msg_free.max(self.now) + costs.send_cpu;
+        self.stats.bump_id(self.hot.net_messages);
+        self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
+    }
+
+    /// Like [`Ctx::send`], but the message arrives `extra` later than its
+    /// natural arrival time — injected delay (and the late copy of a
+    /// duplicated message). Within that window, younger messages on the
+    /// same link can overtake it.
+    pub fn send_delayed(&mut self, dst: NodeId, costs: MsgCosts, extra: Dur, msg: M) {
+        let cpu = &mut self.cpus[self.me.index()];
+        let departure = cpu.msg_free.max(self.now) + costs.send_cpu;
+        cpu.msg_free = departure;
+        let arrival = departure + self.machine.wire_time(self.me, dst, costs.bytes) + extra;
         self.stats.bump_id(self.hot.net_messages);
         self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
         self.queue.push(

@@ -19,8 +19,35 @@
 //! against the machine's [`CostModel`]. The protocol crates never hard-code
 //! costs; they pick a transport, which keeps the transport-swap ablation
 //! (`ablation_transport`) honest.
+//!
+//! # Fault injection
+//!
+//! [`Transport::send`] and [`Transport::send_tagged`] model a perfectly
+//! reliable interconnect. The *fault-exposed* path,
+//! [`Transport::send_lossy`], additionally consults the machine's
+//! [`FaultPlan`] (carried by `MachineConfig`, re-exported here): per-link
+//! drop/duplicate/delay sampling plus scripted node blackouts, each
+//! counted under `transport.fault.*`. The ASVM protocol opts into this
+//! path through its retry channel (see `docs/RELIABILITY.md`); NORMA-IPC
+//! traffic stays on the reliable path, modelling Mach's kernel-to-kernel
+//! IPC guarantees.
+//!
+//! Constructing a plan is pure configuration — no cluster required:
+//!
+//! ```
+//! use transport::FaultPlan;
+//! use svmsim::{Dur, MachineConfig};
+//!
+//! let mut cfg = MachineConfig::paragon(4);
+//! cfg.faults = FaultPlan::seeded(1996)
+//!     .with_drop_ppm(10_000) // 1 % loss
+//!     .with_delay(5_000, Dur::from_millis(2));
+//! assert!(cfg.faults.is_active());
+//! ```
 
-use svmsim::{CostModel, Ctx, Dur, MsgCosts, NodeId};
+use svmsim::{CostModel, Ctx, Dur, FaultCause, FaultDecision, MsgCosts, NodeId};
+
+pub use svmsim::{Blackout, FaultPlan, LinkFaults};
 
 /// Which transport carries a message.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -133,6 +160,64 @@ impl Transport {
     ) {
         ctx.stats().bump(kind);
         self.send(ctx, dst, payload_bytes, msg);
+    }
+
+    /// [`Transport::send_tagged`] through the fault-injection layer: the
+    /// machine's [`FaultPlan`] decides whether this message is delivered,
+    /// dropped, duplicated or delayed, bumping the matching
+    /// `transport.fault.*` counter.
+    ///
+    /// `make` builds the message — a builder rather than a value because
+    /// duplication needs a second copy and the cluster's message enum is
+    /// not `Clone`. It is called once for delivery, twice for duplication,
+    /// and not at all for drops.
+    ///
+    /// Node-local sends and inactive plans take the reliable path
+    /// unchanged (and consume no fault randomness), so a `FaultPlan::none`
+    /// run is byte-identical to one using [`Transport::send_tagged`].
+    pub fn send_lossy<M>(
+        &self,
+        ctx: &mut Ctx<'_, M>,
+        dst: NodeId,
+        payload_bytes: u32,
+        kind: &'static str,
+        mut make: impl FnMut() -> M,
+    ) {
+        if dst == ctx.me() || !ctx.machine().config.faults.is_active() {
+            self.send_tagged(ctx, dst, payload_bytes, kind, make());
+            return;
+        }
+        let decision = ctx.fault_decision(dst);
+        // The logical send happened regardless of its fate on the wire:
+        // count it exactly as send_tagged/send would.
+        ctx.stats().bump(kind);
+        ctx.stats().bump(self.stat_key());
+        if payload_bytes > 0 {
+            ctx.stats().bump(match self.kind {
+                TransportKind::NormaIpc => "norma.page_messages",
+                TransportKind::Sts => "sts.page_messages",
+            });
+        }
+        let costs = self.costs(&ctx.machine().config.cost, payload_bytes);
+        match decision {
+            FaultDecision::Deliver => ctx.send(dst, costs, make()),
+            FaultDecision::Drop(cause) => {
+                ctx.stats().bump(match cause {
+                    FaultCause::Loss => "transport.fault.dropped",
+                    FaultCause::Blackout => "transport.fault.blackout",
+                });
+                ctx.charge_send_only(costs);
+            }
+            FaultDecision::Duplicate { extra } => {
+                ctx.stats().bump("transport.fault.duplicated");
+                ctx.send(dst, costs, make());
+                ctx.send_delayed(dst, costs, extra, make());
+            }
+            FaultDecision::Delay { extra } => {
+                ctx.stats().bump("transport.fault.delayed");
+                ctx.send_delayed(dst, costs, extra, make());
+            }
+        }
     }
 }
 

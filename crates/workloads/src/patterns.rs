@@ -10,7 +10,7 @@ use cluster::{ManagerKind, Program, Ssi, Step, TaskEnv};
 use machvm::{Access, Inherit, TaskId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use svmsim::{Dur, NodeId};
+use svmsim::{Dur, FaultPlan, MachineConfig, NodeId};
 
 /// Which synthetic pattern to run.
 #[derive(Clone, Copy, Debug)]
@@ -181,13 +181,50 @@ impl Program for PatternProgram {
     }
 }
 
+/// Outcome of a pattern run under an active fault plan.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultedOutcome {
+    /// Whether every task finished (retry exhaustion can strand tasks).
+    pub completed: bool,
+    /// The usual pattern statistics.
+    pub outcome: PatternOutcome,
+    /// Messages the fault layer dropped (loss + blackout).
+    pub dropped: u64,
+    /// Messages the fault layer duplicated.
+    pub duplicated: u64,
+    /// Messages the fault layer delayed.
+    pub delayed: u64,
+    /// Frames retransmitted by the ASVM retry channel.
+    pub resent: u64,
+    /// Frames abandoned after retry exhaustion.
+    pub exhausted: u64,
+}
+
 /// Runs `pattern` on a fresh cluster and reports protocol statistics.
 pub fn run_pattern(kind: ManagerKind, nodes: u16, pages: u32, pattern: Pattern) -> PatternOutcome {
+    let out = run_pattern_faulted(kind, nodes, pages, pattern, FaultPlan::none());
+    assert!(out.completed, "pattern tasks finish");
+    out.outcome
+}
+
+/// [`run_pattern`] on a machine with `faults` armed. Unlike the reliable
+/// runner this tolerates stranded tasks (a retry-exhausted link legally
+/// leaves waiters suspended) and reports them through
+/// [`FaultedOutcome::completed`] instead of asserting.
+pub fn run_pattern_faulted(
+    kind: ManagerKind,
+    nodes: u16,
+    pages: u32,
+    pattern: Pattern,
+    faults: FaultPlan,
+) -> FaultedOutcome {
     let seed = match pattern {
         Pattern::Uniform { seed, .. } => seed,
         _ => 17,
     };
-    let mut ssi = Ssi::new(nodes, kind, seed);
+    let mut cfg = MachineConfig::paragon(nodes);
+    cfg.faults = faults;
+    let mut ssi = Ssi::with_machine(cfg, kind, seed);
     let home = NodeId(0);
     let mobj = ssi.create_object(home, pages, false);
     let tasks: Vec<TaskId> = (0..nodes)
@@ -226,15 +263,23 @@ pub fn run_pattern(kind: ManagerKind, nodes: u16, pages: u32, pattern: Pattern) 
         );
     }
     ssi.run(u64::MAX / 2).expect("pattern quiesces");
-    assert!(ssi.all_done(), "pattern tasks finish");
+    let completed = ssi.all_done();
     let s = ssi.stats();
     let faults = s.tally("fault.ms");
-    PatternOutcome {
-        mean_fault_ms: faults.map(|t| t.mean().as_millis_f64()).unwrap_or(0.0),
-        faults: faults.map(|t| t.count).unwrap_or(0),
-        messages: s.counter("sts.messages") + s.counter("norma.messages"),
-        elapsed_s: ssi.world.now().as_secs_f64(),
-        events: ssi.world.events_processed(),
+    FaultedOutcome {
+        completed,
+        outcome: PatternOutcome {
+            mean_fault_ms: faults.map(|t| t.mean().as_millis_f64()).unwrap_or(0.0),
+            faults: faults.map(|t| t.count).unwrap_or(0),
+            messages: s.counter("sts.messages") + s.counter("norma.messages"),
+            elapsed_s: ssi.world.now().as_secs_f64(),
+            events: ssi.world.events_processed(),
+        },
+        dropped: s.counter("transport.fault.dropped") + s.counter("transport.fault.blackout"),
+        duplicated: s.counter("transport.fault.duplicated"),
+        delayed: s.counter("transport.fault.delayed"),
+        resent: s.counter("asvm.retry.resent"),
+        exhausted: s.counter("asvm.retry.exhausted"),
     }
 }
 

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 
 use cluster::{ManagerKind, Program, Ssi, Step, TaskEnv};
 use machvm::{Access, Inherit, TaskId};
-use svmsim::NodeId;
+use svmsim::{FaultPlan, MachineConfig, NodeId};
 
 /// One operation of a coherence trace.
 #[derive(Clone, Copy, Debug)]
@@ -119,11 +119,44 @@ impl Program for TraceRunner {
     }
 }
 
-/// Runs `ops` on a `nodes`-node cluster under `kind`, checking strong
-/// coherence: every read (both in-trace and in a final all-pages pass on
-/// every node) observes the most recent write in barrier order.
+/// Runs `f` against the cluster and, if it panics, dumps the protocol
+/// trace ring before resuming the panic — so the interleaving that broke
+/// an assertion is visible in the test log. Call [`Ssi::enable_trace`]
+/// first; every trace-driven test should funnel its run through here.
 #[allow(dead_code)]
-pub fn run_trace(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) {
+pub fn with_trace_dump<R>(ssi: &mut Ssi, f: impl FnOnce(&mut Ssi) -> R) -> R {
+    let outcome = {
+        let inner = &mut *ssi;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f(inner)))
+    };
+    match outcome {
+        Ok(r) => r,
+        Err(panic) => {
+            let (events, dropped) = ssi.trace_dump();
+            eprintln!(
+                "--- protocol trace ({} events retained, {} dropped) ---",
+                events.len(),
+                dropped
+            );
+            for ev in &events {
+                eprintln!("{ev}");
+            }
+            eprintln!("--- end protocol trace ---");
+            std::panic::resume_unwind(panic)
+        }
+    }
+}
+
+/// Builds the trace-runner cluster: reference values, object mapping,
+/// barrier setup, trace ring, and one [`TraceRunner`] per node.
+#[allow(dead_code)]
+fn build_trace(
+    kind: ManagerKind,
+    nodes: u16,
+    pages: u32,
+    ops: &[TraceOp],
+    faults: FaultPlan,
+) -> Ssi {
     // Build the per-round and final reference values.
     let mut mem: BTreeMap<u32, u64> = BTreeMap::new();
     let mut expected_at = Vec::with_capacity(ops.len());
@@ -135,7 +168,9 @@ pub fn run_trace(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) {
     }
     let finals = mem;
 
-    let mut ssi = Ssi::new(nodes, kind, 99);
+    let mut cfg = MachineConfig::paragon(nodes);
+    cfg.faults = faults;
+    let mut ssi = Ssi::with_machine(cfg, kind, 99);
     let home = NodeId(0);
     let mobj = ssi.create_object(home, pages, false);
     let tasks: Vec<TaskId> = (0..nodes)
@@ -156,8 +191,7 @@ pub fn run_trace(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) {
         .collect();
     ssi.finalize();
     ssi.set_barrier_parties(nodes as u32);
-    // Keep the last protocol messages around: on failure the ring is dumped
-    // so the interleaving that broke coherence is visible in the test log.
+    // Keep the last protocol messages around for with_trace_dump.
     ssi.enable_trace(96);
     for n in 0..nodes {
         ssi.spawn(
@@ -176,81 +210,51 @@ pub fn run_trace(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) {
             }),
         );
     }
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    ssi
+}
+
+/// Runs `ops` on a `nodes`-node cluster under `kind`, checking strong
+/// coherence: every read (both in-trace and in a final all-pages pass on
+/// every node) observes the most recent write in barrier order.
+#[allow(dead_code)]
+pub fn run_trace(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) {
+    run_trace_faulted(kind, nodes, pages, ops, FaultPlan::none());
+}
+
+/// [`run_trace`] on a machine with `faults` armed: the same in-band
+/// coherence checks must hold while the fault layer drops, duplicates and
+/// delays protocol messages under the ASVM retry channel. Keep loss rates
+/// below retry exhaustion (~10 %) — this variant still requires the run to
+/// complete.
+#[allow(dead_code)]
+pub fn run_trace_faulted(
+    kind: ManagerKind,
+    nodes: u16,
+    pages: u32,
+    ops: &[TraceOp],
+    faults: FaultPlan,
+) {
+    let mut ssi = build_trace(kind, nodes, pages, ops, faults);
+    with_trace_dump(&mut ssi, |ssi| {
         ssi.run(200_000_000).expect("trace quiesces");
-        assert!(ssi.all_done(), "{}: all trace runners finish", kind.label());
-        match kind {
-            ManagerKind::Asvm(_) => cluster::check_asvm_invariants(&ssi),
-            ManagerKind::Xmm { .. } => cluster::check_xmm_invariants(&ssi),
-        }
-    }));
-    if let Err(panic) = outcome {
-        let (events, dropped) = ssi.trace_dump();
-        eprintln!(
-            "--- protocol trace ({} events retained, {} dropped) ---",
-            events.len(),
-            dropped
+        assert!(
+            ssi.all_done(),
+            "{}: all trace runners finish",
+            ssi.kind().label()
         );
-        for ev in &events {
-            eprintln!("{ev}");
+        match ssi.kind() {
+            ManagerKind::Asvm(_) => cluster::check_asvm_invariants(ssi),
+            ManagerKind::Xmm { .. } => cluster::check_xmm_invariants(ssi),
         }
-        eprintln!("--- end protocol trace ---");
-        std::panic::resume_unwind(panic);
-    }
+    });
 }
 
 /// Like [`run_trace`] but dumps per-node state instead of asserting
 /// completion (debugging aid).
 #[allow(dead_code)]
 pub fn run_trace_debug(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) {
-    let mut mem: BTreeMap<u32, u64> = BTreeMap::new();
-    let mut expected_at = Vec::with_capacity(ops.len());
-    for (r, op) in ops.iter().enumerate() {
-        expected_at.push(mem.get(&op.page).copied().unwrap_or(0));
-        if op.write {
-            mem.insert(op.page, round_value(r));
-        }
-    }
-    let finals = mem;
-    let mut ssi = Ssi::new(nodes, kind, 99);
-    let home = NodeId(0);
-    let mobj = ssi.create_object(home, pages, false);
-    let tasks: Vec<TaskId> = (0..nodes)
-        .map(|n| {
-            let t = ssi.alloc_task();
-            ssi.map_shared(
-                t,
-                NodeId(n),
-                0,
-                mobj,
-                home,
-                pages,
-                Access::Write,
-                Inherit::Share,
-            );
-            t
-        })
-        .collect();
-    let _ = &tasks;
-    ssi.finalize();
-    ssi.set_barrier_parties(nodes as u32);
-    for n in 0..nodes {
-        ssi.spawn(
-            NodeId(n),
-            tasks[n as usize],
-            Box::new(TraceRunner {
-                me: n,
-                label: kind.label(),
-                ops: ops.to_vec(),
-                expected_at: expected_at.clone(),
-                finals: finals.clone(),
-                pages,
-                round: 0,
-                phase: Phase::Op,
-                verify_page: 0,
-            }),
-        );
-    }
+    let mut ssi = build_trace(kind, nodes, pages, ops, FaultPlan::none());
+    let mobj = machvm::MemObjId(1); // First object created by the builder.
     ssi.run(200_000_000).expect("trace quiesces");
     for n in 0..nodes {
         let node = ssi.node(NodeId(n));

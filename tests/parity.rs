@@ -31,6 +31,7 @@ fn trace_strategy(nodes: u16, pages: u32, max_ops: usize) -> impl Strategy<Value
 /// every page (what its task observes after the final verification pass).
 fn final_memory(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) -> Vec<Option<u64>> {
     let mut ssi = Ssi::new(nodes, kind, 99);
+    ssi.enable_trace(96);
     let home = NodeId(0);
     let mobj = ssi.create_object(home, pages, false);
     let tasks: Vec<TaskId> = (0..nodes)
@@ -82,8 +83,10 @@ fn final_memory(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) -> V
             Box::new(cluster::ScriptProgram::new(steps)),
         );
     }
-    ssi.run(200_000_000).expect("parity trace quiesces");
-    assert!(ssi.all_done(), "{}: parity trace finishes", kind.label());
+    common::with_trace_dump(&mut ssi, |ssi| {
+        ssi.run(200_000_000).expect("parity trace quiesces");
+        assert!(ssi.all_done(), "{}: parity trace finishes", kind.label());
+    });
     let mut mem = Vec::new();
     for n in 0..nodes {
         for p in 0..pages {

@@ -12,7 +12,10 @@
 //! pool and the simulation quiesces with work permanently stuck. ASVM on
 //! the same workload completes — nothing in it ever blocks a thread.
 
+mod common;
+
 use cluster::{ManagerKind, Program, Ssi, Step, TaskEnv};
+use common::with_trace_dump;
 use machvm::{Access, Inherit, TaskId};
 use svmsim::NodeId;
 
@@ -67,6 +70,7 @@ fn build(kind: ManagerKind) -> (Ssi, TaskId) {
         n.vm.map_object(root, 0, REGION, obj, 0, Access::Write, Inherit::Copy);
     }
     ssi.finalize();
+    ssi.enable_trace(96);
     (ssi, root)
 }
 
@@ -120,33 +124,37 @@ fn spawn_root(ssi: &mut Ssi, root: TaskId, max_depth: u16) {
 fn xmm_single_thread_pool_deadlocks_on_chains() {
     let (mut ssi, root) = build(ManagerKind::Xmm { copy_threads: 1 });
     spawn_root(&mut ssi, root, 6);
-    ssi.run(u64::MAX / 2)
-        .expect("the simulation itself quiesces");
-    // The cluster went quiet with tasks still waiting: the classic
-    // blocked-thread deadlock.
-    let stuck: usize = (0..2u16)
-        .map(|n| ssi.node(NodeId(n)).vm.pending_faults())
-        .sum();
-    let queued: usize = (0..2u16)
-        .map(|n| {
-            ssi.node(NodeId(n))
-                .xmm()
-                .map_or(0, |x| x.thread_queue_len())
-        })
-        .sum();
-    assert!(
-        stuck > 0 && queued > 0,
-        "expected a thread-exhaustion deadlock (stuck={stuck}, queued={queued})"
-    );
-    assert!(!ssi.all_done(), "the chain must NOT have completed");
+    with_trace_dump(&mut ssi, |ssi| {
+        ssi.run(u64::MAX / 2)
+            .expect("the simulation itself quiesces");
+        // The cluster went quiet with tasks still waiting: the classic
+        // blocked-thread deadlock.
+        let stuck: usize = (0..2u16)
+            .map(|n| ssi.node(NodeId(n)).vm.pending_faults())
+            .sum();
+        let queued: usize = (0..2u16)
+            .map(|n| {
+                ssi.node(NodeId(n))
+                    .xmm()
+                    .map_or(0, |x| x.thread_queue_len())
+            })
+            .sum();
+        assert!(
+            stuck > 0 && queued > 0,
+            "expected a thread-exhaustion deadlock (stuck={stuck}, queued={queued})"
+        );
+        assert!(!ssi.all_done(), "the chain must NOT have completed");
+    });
 }
 
 #[test]
 fn xmm_with_enough_threads_completes() {
     let (mut ssi, root) = build(ManagerKind::Xmm { copy_threads: 16 });
     spawn_root(&mut ssi, root, 6);
-    ssi.run(u64::MAX / 2).expect("quiesces");
-    assert!(ssi.all_done(), "with a big pool the chain completes");
+    with_trace_dump(&mut ssi, |ssi| {
+        ssi.run(u64::MAX / 2).expect("quiesces");
+        assert!(ssi.all_done(), "with a big pool the chain completes");
+    });
 }
 
 #[test]
@@ -154,9 +162,11 @@ fn asvm_never_deadlocks_on_chains() {
     // ASVM has no thread pool at all: the same bouncing chain completes.
     let (mut ssi, root) = build(ManagerKind::asvm());
     spawn_root(&mut ssi, root, 6);
-    ssi.run(u64::MAX / 2).expect("quiesces");
-    assert!(
-        ssi.all_done(),
-        "asynchronous state transitions cannot deadlock"
-    );
+    with_trace_dump(&mut ssi, |ssi| {
+        ssi.run(u64::MAX / 2).expect("quiesces");
+        assert!(
+            ssi.all_done(),
+            "asynchronous state transitions cannot deadlock"
+        );
+    });
 }
