@@ -1,0 +1,103 @@
+//! Chaos sweep: every workload pattern run to completion while one node
+//! suffers a permanent mid-run blackout.
+//!
+//! Each cell runs one access pattern on 8 nodes; at 30 ms simulated time
+//! node 5 goes dark forever (`FaultPlan::with_blackout` to `Time::MAX`).
+//! The recovery layer has to carry the run from there: the failure
+//! detector suspects the victim, the request watchdog re-issues stalled
+//! requests down the fallback chain, and ownership reconstruction elects
+//! new owners for pages the victim held (docs/RELIABILITY.md). A cell
+//! that hangs or strands a pending request fails the whole sweep — the
+//! assertion, not the timing, is the point of this bench.
+//!
+//! Cells report elapsed time plus the `asvm.recover.*` /
+//! `cluster.suspect.*` counters, landing in `BENCH_chaossweep.json` under
+//! `--json` / `--stable-json` (schema in EXPERIMENTS.md).
+//!
+//! Determinism: the plan seed comes from `ASVM_FAULTS_SEED` (default
+//! 1996) and also seeds the uniform cell, so two invocations with the
+//! same seed and flags produce byte-identical JSON — CI's chaos-matrix
+//! job relies on this.
+
+use bench::sweep::Sweep;
+use cluster::ManagerKind;
+use svmsim::{FaultPlan, NodeId, Time};
+use workloads::{run_pattern_faulted, Pattern};
+
+const NODES: u16 = 8;
+const PAGES: u32 = 8;
+/// The node blacked out mid-run. Not node 0 (the barrier coordinator and
+/// object home) so the chaos hits an "ordinary" participant; its static
+/// manager roles still have to rehash onto survivors.
+const VICTIM: NodeId = NodeId(5);
+/// When the lights go out: late enough that every pattern is mid-flight,
+/// early enough that most of the run happens degraded.
+const BLACKOUT_AT: Time = Time::from_nanos(30_000_000);
+
+fn plan_seed() -> u64 {
+    std::env::var("ASVM_FAULTS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1996)
+}
+
+fn run_cell(pattern: Pattern) -> (f64, u64, Vec<(String, u64)>) {
+    let plan = FaultPlan::seeded(plan_seed()).with_blackout(VICTIM, BLACKOUT_AT, Time::MAX);
+    let out = run_pattern_faulted(ManagerKind::asvm(), NODES, PAGES, pattern, plan);
+    assert!(
+        out.completed,
+        "chaos cell {pattern:?} must complete despite the blackout \
+         (suspected={} reissued={} refetched={} elected={})",
+        out.suspected, out.reissued, out.refetched, out.elected
+    );
+    let counters = vec![
+        ("suspect.count".to_string(), out.suspected),
+        ("recover.reissue".to_string(), out.reissued),
+        ("recover.refetch".to_string(), out.refetched),
+        ("recover.elected".to_string(), out.elected),
+        ("retry.resent".to_string(), out.resent),
+        ("retry.exhausted".to_string(), out.exhausted),
+        ("fault.blackout".to_string(), out.dropped),
+        ("page.faults".to_string(), out.outcome.faults),
+    ];
+    (out.outcome.elapsed_s, out.outcome.events, counters)
+}
+
+fn main() {
+    let seed = plan_seed();
+    let cells: Vec<(&str, Pattern)> = vec![
+        ("migratory", Pattern::Migratory { rounds: 3 }),
+        ("producer-consumer", Pattern::ProducerConsumer { rounds: 3 }),
+        (
+            "hotspot",
+            Pattern::Hotspot {
+                rounds: 6,
+                write_every: 3,
+            },
+        ),
+        (
+            "uniform",
+            Pattern::Uniform {
+                ops: 40,
+                write_pct: 30,
+                seed,
+            },
+        ),
+    ];
+    let mut sweep = Sweep::from_env("chaossweep");
+    for (name, pattern) in cells {
+        sweep.cell_with_counters(format!("{name} +blackout"), move || run_cell(pattern));
+    }
+    let report = sweep.run();
+
+    println!(
+        "Chaos sweep: {NODES} nodes x {PAGES} pages, node {} dark from {:.0} ms (seed {seed})",
+        VICTIM.0,
+        BLACKOUT_AT.as_millis_f64()
+    );
+    println!("{:>28} {:>12}", "cell", "elapsed s");
+    for c in &report.cells {
+        println!("{:>28} {:>12.4}", c.label, c.value);
+    }
+    report.finish();
+}

@@ -144,6 +144,9 @@ pub struct EngineFx {
     pub out: Vec<EngineEffect>,
     /// Kernel VM effects to drain after the sends.
     pub vm: machvm::Effects,
+    /// Statistics counters to bump (the sans-IO engines have no stats
+    /// handle; the interpreter applies these).
+    pub bumps: Vec<&'static str>,
 }
 
 impl EngineFx {
@@ -185,6 +188,7 @@ impl EngineFx {
             cpu: fx.cpu,
             out,
             vm: fx.vm,
+            bumps: fx.bumps,
         }
     }
 
@@ -210,6 +214,7 @@ impl EngineFx {
             cpu: fx.cpu,
             out,
             vm: fx.vm,
+            bumps: Vec::new(),
         }
     }
 }
@@ -278,6 +283,25 @@ pub trait CoherenceEngine {
         _fault: machvm::FaultId,
     ) -> Option<EngineFx> {
         None
+    }
+
+    /// The failure detector suspects `peer` (see `docs/RELIABILITY.md`).
+    /// Engines without recovery machinery ignore it — XMM deliberately
+    /// stays the fragile baseline.
+    fn peer_suspected(&mut self, _now: Time, _vm: &mut VmSystem, _peer: NodeId) -> EngineFx {
+        EngineFx::new()
+    }
+
+    /// The failure detector heard from a previously suspected `peer`.
+    fn peer_cleared(&mut self, _now: Time, _vm: &mut VmSystem, _peer: NodeId) -> EngineFx {
+        EngineFx::new()
+    }
+
+    /// Periodic watchdog pass: re-issue requests stalled past their
+    /// deadline. Driven by the heartbeat tick, only under active fault
+    /// plans.
+    fn on_watchdog(&mut self, _now: Time, _vm: &mut VmSystem) -> EngineFx {
+        EngineFx::new()
     }
 
     /// Downcast: the ASVM instance, if this engine is ASVM.
@@ -373,6 +397,23 @@ impl CoherenceEngine for AsvmNode {
         };
         let mut fx = asvm::Fx::new();
         AsvmNode::copy_made_local(self, now, vm, mobj, &mut fx);
+        EngineFx::from_asvm(self.me(), fx)
+    }
+
+    fn peer_suspected(&mut self, now: Time, vm: &mut VmSystem, peer: NodeId) -> EngineFx {
+        let mut fx = asvm::Fx::new();
+        AsvmNode::peer_suspected(self, now, vm, peer, &mut fx);
+        EngineFx::from_asvm(self.me(), fx)
+    }
+
+    fn peer_cleared(&mut self, _now: Time, _vm: &mut VmSystem, peer: NodeId) -> EngineFx {
+        AsvmNode::peer_cleared(self, peer);
+        EngineFx::new()
+    }
+
+    fn on_watchdog(&mut self, now: Time, vm: &mut VmSystem) -> EngineFx {
+        let mut fx = asvm::Fx::new();
+        AsvmNode::watchdog(self, now, vm, &mut fx);
         EngineFx::from_asvm(self.me(), fx)
     }
 

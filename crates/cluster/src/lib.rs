@@ -32,7 +32,7 @@ pub use msg::{ForkEntry, ForkMsg, Msg, ObjInfo};
 pub use node::{ClusterNode, LinkFailure};
 pub use program::{FnProgram, Program, ScriptProgram, Step, TaskEnv};
 pub use ssi::{ManagerKind, Ssi};
-pub use validate::{check_asvm_invariants, check_xmm_invariants};
+pub use validate::{check_asvm_invariants, check_asvm_invariants_except, check_xmm_invariants};
 
 #[cfg(test)]
 mod tests;

@@ -124,6 +124,21 @@ pub enum Msg {
         /// The in-flight frame the timer covers.
         seq: u64,
     },
+    /// Failure-detector liveness beacon, sent on the lossy STS path so a
+    /// blacked-out link actually silences it (see `docs/RELIABILITY.md`).
+    Heartbeat {
+        /// The beaconing node.
+        from: NodeId,
+    },
+    /// Self-posted heartbeat/watchdog timer (active fault plans only).
+    HbTick,
+    /// Reliable "I finished my work" broadcast: receivers stop expecting
+    /// heartbeats from `from`, so a gracefully idle node is never falsely
+    /// suspected.
+    Farewell {
+        /// The node whose tasks all completed.
+        from: NodeId,
+    },
     /// XMMI traffic (NORMA-IPC).
     Xmm(XmmMsg),
     /// EMMI request to a pager task on this I/O node (NORMA-IPC).

@@ -7,7 +7,7 @@
 //! chooses transports, routes pager traffic, counts per-message-kind
 //! statistics and records the protocol trace.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use asvm::{AsvmMsg, AsvmNode, LinkReceiver, LinkSender, RetryConfig, TimeoutVerdict};
 use machvm::{
@@ -113,7 +113,22 @@ pub struct ClusterNode {
     link_rx: BTreeMap<NodeId, LinkReceiver<AsvmMsg>>,
     /// Frames abandoned after retry exhaustion, in order of occurrence.
     pub link_failures: Vec<LinkFailure>,
+    /// Failure detector: when each compute peer was last heard from
+    /// (heartbeat arrivals; lazily baselined at our first tick).
+    last_heard: BTreeMap<NodeId, Time>,
+    /// Compute peers this node currently suspects dead.
+    pub suspects: BTreeSet<NodeId>,
+    /// Peers that announced graceful completion — silence from them is
+    /// expected, not evidence.
+    farewelled: BTreeSet<NodeId>,
 }
+
+/// Failure-detector beacon period (active fault plans only).
+const HB_PERIOD: Dur = Dur::from_millis(5);
+/// Silence beyond this (8 missed beacons) turns into suspicion. Generous
+/// against 10% loss: eight consecutive independent drops have probability
+/// 1e-8 per peer-window.
+const HB_SUSPECT_AFTER: Dur = Dur::from_millis(40);
 
 impl ClusterNode {
     /// Builds a node.
@@ -152,6 +167,9 @@ impl ClusterNode {
             link_tx: BTreeMap::new(),
             link_rx: BTreeMap::new(),
             link_failures: Vec::new(),
+            last_heard: BTreeMap::new(),
+            suspects: BTreeSet::new(),
+            farewelled: BTreeSet::new(),
         }
     }
 
@@ -371,8 +389,72 @@ impl ClusterNode {
                     kind,
                     at: ctx.now(),
                 });
+                // Retry exhaustion is direct evidence the peer is gone —
+                // stronger and often earlier than heartbeat silence.
+                self.suspect_peer(ctx, dst);
             }
         }
+    }
+
+    // --- Failure detector (docs/RELIABILITY.md) -----------------------------
+
+    /// One heartbeat/watchdog period: beacon to every compute peer over
+    /// the lossy path, suspect peers silent too long, and let the engine
+    /// re-issue stalled requests. Self-rescheduling while work remains;
+    /// armed by the harness only when the fault plan is active.
+    fn on_hb_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        let me = self.id;
+        let peers: Vec<NodeId> = ctx.machine().compute_nodes().filter(|n| *n != me).collect();
+        for n in &peers {
+            self.asvm_transport
+                .send_lossy(ctx, *n, 0, "cluster.hb", || Msg::Heartbeat { from: me });
+        }
+        let mut newly = Vec::new();
+        for n in &peers {
+            if self.farewelled.contains(n) || self.suspects.contains(n) {
+                continue;
+            }
+            // Lazily baseline at our first tick, so suspicion always
+            // means "silent for the full window while we listened". Not
+            // `now.since(at)`: arrival stamps carry receive-side CPU
+            // charges, so they can sit slightly past this tick's delivery
+            // time.
+            let at = *self.last_heard.entry(*n).or_insert(now);
+            if now > at + HB_SUSPECT_AFTER {
+                newly.push(*n);
+            }
+        }
+        for n in newly {
+            self.suspect_peer(ctx, n);
+        }
+        let fx = self.engine.on_watchdog(now, &mut self.vm);
+        self.run_fx(ctx, fx);
+        if !self.all_tasks_done() {
+            ctx.post_self(now + HB_PERIOD, Msg::HbTick);
+        }
+    }
+
+    /// Marks `peer` suspected and lets the engine unwind everything that
+    /// waits on it. Idempotent.
+    fn suspect_peer(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId) {
+        if peer == self.id || !self.suspects.insert(peer) {
+            return;
+        }
+        ctx.stats().bump("cluster.suspect.count");
+        if let Some(ring) = &mut self.trace {
+            ring.push(ProtoEvent {
+                time: ctx.now(),
+                node: self.id,
+                peer,
+                dir: TraceDir::Recv,
+                kind: "cluster.suspect",
+                mobj: MemObjId(0),
+                page: None,
+            });
+        }
+        let fx = self.engine.peer_suspected(ctx.now(), &mut self.vm, peer);
+        self.run_fx(ctx, fx);
     }
 
     /// Interprets one engine effect batch: charges CPU, performs the sends
@@ -385,6 +467,9 @@ impl ClusterNode {
     ) {
         if !fx.cpu.is_zero() {
             ctx.charge_msg_cpu(fx.cpu);
+        }
+        for k in fx.bumps {
+            ctx.stats().bump(k);
         }
         for eff in fx.out {
             match eff {
@@ -662,6 +747,19 @@ impl ClusterNode {
                     st.finished = Some(ctx.now());
                     self.tasks_done += 1;
                     ctx.stats().bump("tasks.done");
+                    // Our heartbeats stop with the tick loop; a reliable
+                    // farewell keeps peers from reading that as death.
+                    if self.all_tasks_done()
+                        && ctx.machine().config.faults.is_active()
+                        && self.engine.as_asvm().is_some()
+                    {
+                        let me = self.id;
+                        for n in ctx.machine().compute_nodes().collect::<Vec<_>>() {
+                            if n != me {
+                                Transport::STS.send(ctx, n, 0, Msg::Farewell { from: me });
+                            }
+                        }
+                    }
                     return;
                 }
             }
@@ -1129,6 +1227,24 @@ impl NodeBehavior<Msg> for ClusterNode {
             }
             Msg::RetryTick { dst, seq } => {
                 self.on_retry_tick(ctx, dst, seq);
+            }
+            Msg::Heartbeat { from } => {
+                self.last_heard.insert(from, ctx.now());
+                if self.suspects.remove(&from) {
+                    ctx.stats().bump("cluster.suspect.cleared");
+                    let fx = self.engine.peer_cleared(ctx.now(), &mut self.vm, from);
+                    self.run_fx(ctx, fx);
+                }
+            }
+            Msg::HbTick => {
+                self.on_hb_tick(ctx);
+            }
+            Msg::Farewell { from } => {
+                // Graceful completion: stop expecting heartbeats. Existing
+                // suspicion (from retry exhaustion) deliberately stands —
+                // a farewell does not make the link reachable again.
+                self.farewelled.insert(from);
+                self.last_heard.remove(&from);
             }
             Msg::Xmm(m) => {
                 let pm = ProtocolMsg::Xmm(m);

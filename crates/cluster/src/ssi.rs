@@ -86,6 +86,8 @@ pub struct Ssi {
     next_task: u32,
     /// Stripe sets for striped objects (§6 future work).
     striped: std::collections::BTreeMap<MemObjId, Vec<NodeId>>,
+    /// Nodes whose failure-detector heartbeat is already armed.
+    hb_armed: std::collections::BTreeSet<NodeId>,
 }
 
 impl Ssi {
@@ -116,6 +118,7 @@ impl Ssi {
             next_mobj: 1,
             next_task: 1,
             striped: std::collections::BTreeMap::new(),
+            hb_armed: std::collections::BTreeSet::new(),
         }
     }
 
@@ -333,11 +336,15 @@ impl Ssi {
     }
 
     /// ASVM frames abandoned after retry exhaustion, across all nodes,
-    /// in `(time, node)` order. Empty in a healthy run.
-    pub fn link_failures(&self) -> Vec<crate::node::LinkFailure> {
+    /// in `(time, node, seq)` order. Empty in a healthy run.
+    ///
+    /// **Draining**: each call removes the failures it returns from the
+    /// per-node buffers, so a second poll reports only failures that
+    /// happened after the first — repeated polls never duplicate.
+    pub fn link_failures(&mut self) -> Vec<crate::node::LinkFailure> {
         let mut fs: Vec<crate::node::LinkFailure> = Vec::new();
         for id in self.world.machine().mesh.node_ids().collect::<Vec<_>>() {
-            fs.extend(self.world.node(id).link_failures.iter().copied());
+            fs.extend(std::mem::take(&mut self.world.node_mut(id).link_failures));
         }
         fs.sort_by_key(|f| (f.at, f.peer.0, f.seq));
         fs
@@ -354,6 +361,17 @@ impl Ssi {
         let now = self.world.now();
         self.world.node_mut(node).install_task(task, program, now);
         self.world.post(at.max(now), node, Msg::Resume(task));
+        // Arm the failure detector on the first spawn per node. Heartbeats
+        // run only under an active fault plan (healthy runs stay
+        // byte-identical to a build without them), and only on nodes that
+        // actually host work — a task-less node beacons nothing and is
+        // never falsely suspected for going silent.
+        if matches!(self.kind, ManagerKind::Asvm(_))
+            && self.world.machine().config.faults.is_active()
+            && self.hb_armed.insert(node)
+        {
+            self.world.post(now, node, Msg::HbTick);
+        }
     }
 
     /// Installs and starts `program` immediately.

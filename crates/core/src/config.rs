@@ -1,5 +1,43 @@
 //! Per-object ASVM configuration.
 
+use svmsim::Dur;
+
+/// Bounds on the forwarding machinery and the request watchdog.
+///
+/// Forwarding chases ownership hints that can be stale; these knobs keep a
+/// request from orbiting a hint cycle forever and, together with the
+/// failure detector, drain requests whose target died (see
+/// `docs/RELIABILITY.md`).
+#[derive(Clone, Copy, Debug)]
+pub struct ForwardCfg {
+    /// Maximum number of dynamic-hint hops a request may take before the
+    /// hint chain is abandoned in favour of the static manager / global
+    /// walk. `None` selects the default bound of `2 * members + 4`: a hint
+    /// chain over `n` nodes can legitimately be `n` long, ownership may
+    /// move once more while the request is in flight (`2n`), and the slack
+    /// absorbs a transfer racing the request. Trips of this bound are
+    /// counted under `asvm.forward.loop_trip`.
+    pub hop_limit: Option<u16>,
+    /// Age after which the watchdog re-issues a pending request. Must stay
+    /// comfortably above the ARQ worst case (two chained full-backoff
+    /// frame deliveries ≈ 224 ms) so mere link loss never looks like a
+    /// dead peer.
+    pub watchdog_deadline: Dur,
+    /// Watchdog re-issues before a pending request gives up on its peers
+    /// and falls back to a terminal pager re-fetch.
+    pub retry_budget: u8,
+}
+
+impl Default for ForwardCfg {
+    fn default() -> ForwardCfg {
+        ForwardCfg {
+            hop_limit: None,
+            watchdog_deadline: Dur::from_millis(250),
+            retry_budget: 5,
+        }
+    }
+}
+
 /// Forwarding and cache configuration, settable per memory object.
 ///
 /// The paper: *"The ASVM system allows to disable either dynamic or static
@@ -25,6 +63,8 @@ pub struct AsvmConfig {
     /// many following pages so sequential scans stream instead of paying a
     /// round trip per page. Zero disables it (the paper's measured system).
     pub readahead: u32,
+    /// Forwarding hop bound and request-watchdog parameters.
+    pub forward: ForwardCfg,
 }
 
 impl Default for AsvmConfig {
@@ -35,6 +75,7 @@ impl Default for AsvmConfig {
             dynamic_cache_entries: 4096,
             static_cache_entries: 4096,
             readahead: 0,
+            forward: ForwardCfg::default(),
         }
     }
 }
@@ -86,5 +127,13 @@ mod tests {
         assert!(!f.dynamic_forwarding && f.static_forwarding);
         let g = AsvmConfig::global_only();
         assert!(!g.dynamic_forwarding && !g.static_forwarding);
+    }
+
+    #[test]
+    fn forward_defaults_are_documented_values() {
+        let f = ForwardCfg::default();
+        assert_eq!(f.hop_limit, None, "default bound derives from members");
+        assert_eq!(f.watchdog_deadline, Dur::from_millis(250));
+        assert_eq!(f.retry_budget, 5);
     }
 }

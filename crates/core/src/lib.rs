@@ -44,11 +44,13 @@ pub mod retry;
 #[cfg(test)]
 mod node_tests;
 
-pub use config::AsvmConfig;
+pub use config::{AsvmConfig, ForwardCfg};
 pub use locks::{HeldLock, PageRange, RangeLockMgr};
 pub use lru::Lru;
 pub use node::{AsvmNode, Fx};
-pub use object::{AsvmObject, Busy, EvictStage, PageInfo, PendingLocal, QueuedReq, StaticHint};
+pub use object::{
+    AsvmObject, Busy, EvictStage, PageInfo, PendingLocal, QueuedReq, RecoverState, StaticHint,
+};
 pub use protocol::{AsvmMsg, NetSend, PagerSend, ReqKind, ReqPath};
 pub use retry::{Accepted, LinkReceiver, LinkSender, RetryConfig, TimeoutVerdict};
 

@@ -46,6 +46,11 @@ impl<K: Ord + Copy, V> Lru<K, V> {
         self.map.get(k).map(|(_, v)| v)
     }
 
+    /// Iterates over all entries in key order without touching recency.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, (_, v))| (k, v))
+    }
+
     /// Inserts or updates `k`, evicting the LRU entry if over capacity.
     pub fn insert(&mut self, k: K, v: V) {
         if self.cap == 0 {

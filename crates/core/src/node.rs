@@ -24,7 +24,9 @@ use std::collections::BTreeMap;
 use svmsim::{CostModel, Dur, NodeId, Time};
 
 use crate::config::AsvmConfig;
-use crate::object::{AsvmObject, Busy, EvictStage, PageInfo, PendingLocal, QueuedReq, StaticHint};
+use crate::object::{
+    AsvmObject, Busy, EvictStage, PageInfo, PendingLocal, QueuedReq, RecoverState, StaticHint,
+};
 use crate::protocol::{AsvmMsg, NetSend, PagerSend, ReqKind, ReqPath};
 
 /// Effects produced by ASVM handlers.
@@ -48,6 +50,9 @@ pub struct Fx {
     /// Range locks granted to this node (§6 future work); the cluster
     /// resumes the task waiting on each.
     pub lock_granted: Vec<(MemObjId, crate::locks::PageRange)>,
+    /// Statistics counters to bump, by interned key. The core crate has no
+    /// stats handle; the cluster-layer interpreter applies these.
+    pub bumps: Vec<&'static str>,
 }
 
 impl Fx {
@@ -58,6 +63,10 @@ impl Fx {
 
     pub(crate) fn send(&mut self, dst: NodeId, msg: AsvmMsg) {
         self.net.push(NetSend { dst, msg });
+    }
+
+    pub(crate) fn bump(&mut self, key: &'static str) {
+        self.bumps.push(key);
     }
 }
 
@@ -249,7 +258,15 @@ impl AsvmNode {
             }
         }
         let has_copy = o.pages.contains_key(&page);
-        o.pending.insert(page, PendingLocal { access, has_copy });
+        o.pending.insert(
+            page,
+            PendingLocal {
+                access,
+                has_copy,
+                issued: now,
+                retries: 0,
+            },
+        );
         let req = QueuedReq {
             access,
             origin: me,
@@ -484,7 +501,13 @@ impl AsvmNode {
                     .pages
                     .get_mut(&page)
                     .expect("ownership transfer to node without the page");
-                assert!(matches!(pi.busy, Some(Busy::AwaitingOwnership)));
+                // `busy == None` happens only when the watchdog broke an
+                // AwaitingOwnership limbo (suspected-dead transferor) and
+                // the transfer then arrived after all; accept it.
+                assert!(
+                    pi.busy.is_none() || matches!(pi.busy, Some(Busy::AwaitingOwnership)),
+                    "ownership transfer raced a busy page"
+                );
                 pi.busy = None;
                 vm.set_busy(o.vm_obj, page, false);
                 pi.owner = true;
@@ -699,6 +722,48 @@ impl AsvmNode {
                 o.pending.remove(&page);
                 Self::local_request(o, me, cost, now, vm, page, access, fx);
             }
+            AsvmMsg::RecoverQuery {
+                page, from: asker, ..
+            } => {
+                // Report our local view. A page mid-transition is not a
+                // usable copy — except AwaitingOwnership, which is exactly
+                // the dead-owner limbo reconstruction resolves.
+                let (has_copy, version, owner) = match o.pages.get(&page) {
+                    Some(pi)
+                        if pi.busy.is_none()
+                            || matches!(pi.busy, Some(Busy::AwaitingOwnership)) =>
+                    {
+                        (true, pi.version, pi.owner)
+                    }
+                    _ => (false, 0, false),
+                };
+                fx.send(
+                    asker,
+                    AsvmMsg::RecoverReply {
+                        mobj,
+                        page,
+                        from: me,
+                        has_copy,
+                        version,
+                        owner,
+                    },
+                );
+            }
+            AsvmMsg::RecoverReply {
+                page,
+                from: peer,
+                has_copy,
+                version,
+                owner,
+                ..
+            } => {
+                Self::recover_reply(
+                    o, me, cost, now, vm, page, peer, has_copy, version, owner, fx,
+                );
+            }
+            AsvmMsg::RecoverElect { page, readers, .. } => {
+                Self::recover_elect(o, me, cost, now, vm, page, readers, fx);
+            }
         }
         self.drain_escalations(now, vm, fx);
     }
@@ -723,6 +788,18 @@ impl AsvmNode {
         let o = self.objects.get_mut(&mobj).unwrap();
         match reply {
             EmmiToKernel::DataSupply { page, data, .. } => {
+                // A recovery re-fetch can race the regular protocol: a
+                // late grant may rebuild local page state (completing the
+                // pending request, possibly followed by a newer pending)
+                // after the fetch went out. A reply arriving into that
+                // state is stale — drop it rather than double-supplying
+                // the kernel. Healthy runs never take this branch
+                // (`docs/RELIABILITY.md`).
+                if o.pages.contains_key(&page) || !o.pending.contains_key(&page) {
+                    fx.bump("asvm.recover.stale_fill");
+                    self.drain_escalations(now, vm, fx);
+                    return;
+                }
                 let pend = o
                     .pending
                     .remove(&page)
@@ -863,15 +940,18 @@ impl AsvmNode {
         // nodes with their own grants pending — two pending nodes could
         // park each other's requests in a cycle; in-flight ownership is
         // instead tracked at the static manager, whose hint the granter
-        // updates eagerly.)
-        if o.incoming_transfer.contains(&page) {
+        // updates eagerly.) Watchdog re-issues skip the park: the transfer
+        // they are recovering from may never land.
+        if o.incoming_transfer.contains(&page) && !path.recovering {
             o.fill_waiters.entry(page).or_default().push(req);
             return;
         }
-        // 3. Global walk in progress: try the next member.
+        // 3. Global walk in progress: try the next (live) member.
         if let Some(pos) = path.global_pos {
             let mut next = pos as usize + 1;
-            while next < o.nodes.len() && o.nodes[next] == me {
+            while next < o.nodes.len()
+                && (o.nodes[next] == me || o.suspects.contains(&o.nodes[next]))
+            {
                 next += 1;
             }
             if next < o.nodes.len() {
@@ -883,7 +963,7 @@ impl AsvmNode {
                 // dispatches to the pager.
                 path.walk_done = true;
                 path.global_pos = None;
-                let sm = o.static_node(page);
+                let sm = o.static_node_live(page);
                 if sm == me {
                     Self::static_route(o, me, cost, now, vm, page, req, path, fx);
                 } else {
@@ -894,23 +974,43 @@ impl AsvmNode {
             return;
         }
         // 4. Dynamic hint.
-        let loop_limit = (o.nodes.len() as u16) * 2 + 4;
-        if o.cfg.dynamic_forwarding && path.hops < loop_limit && !path.walk_done {
-            if let Some(&hint) = o.dyn_cache.get(&page) {
-                if hint != me {
-                    if req.access == Access::Write && req.kind == ReqKind::Access {
-                        // Collapse the hint chain: the originator becomes
-                        // the next owner (Kai Li's optimization).
-                        o.dyn_cache.insert(page, req.origin);
+        let loop_limit = o
+            .cfg
+            .forward
+            .hop_limit
+            .unwrap_or((o.nodes.len() as u16) * 2 + 4);
+        if o.cfg.dynamic_forwarding && !path.walk_done {
+            if path.hops < loop_limit {
+                // A hint pointing at a suspected-dead node is useless; skip
+                // it (peek, not get — a dead-end consult must not refresh
+                // recency).
+                let live_hint = o
+                    .dyn_cache
+                    .peek(&page)
+                    .copied()
+                    .filter(|h| !o.suspects.contains(h));
+                if live_hint.is_some() {
+                    let hint = *o.dyn_cache.get(&page).expect("peeked above");
+                    if hint != me {
+                        if req.access == Access::Write && req.kind == ReqKind::Access {
+                            // Collapse the hint chain: the originator becomes
+                            // the next owner (Kai Li's optimization).
+                            o.dyn_cache.insert(page, req.origin);
+                        }
+                        path.hops += 1;
+                        Self::send_req(o, fx, hint, page, &req, path);
+                        return;
                     }
-                    path.hops += 1;
-                    Self::send_req(o, fx, hint, page, &req, path);
-                    return;
                 }
+            } else if o.dyn_cache.peek(&page).is_some() {
+                // The hop bound tripped with a hint still on offer: a hint
+                // cycle (or churn faster than forwarding) — abandon the
+                // chain for the static manager.
+                fx.bump("asvm.forward.loop_trip");
             }
         }
         // 5. The static ownership manager.
-        let sm = o.static_node(page);
+        let sm = o.static_node_live(page);
         if sm != me {
             path.hops += 1;
             Self::send_req(o, fx, sm, page, &req, path);
@@ -949,20 +1049,50 @@ impl AsvmNode {
             o.fill_waiters.entry(page).or_default().push(req);
             return;
         }
+        // A watchdog re-issue after a suspected failure: every cached
+        // shortcut (hints, fresh) may name the dead node, so resolve the
+        // page through ownership reconstruction instead.
+        if path.recovering
+            && !o.suspects.is_empty()
+            && req.kind == ReqKind::Access
+            && req.deliver.is_none()
+        {
+            Self::start_recovery(o, me, cost, now, vm, page, req, fx);
+            return;
+        }
         if path.walk_done {
             // The walk found no owner — but an ownership transfer may be
             // in flight. The granter updates our hint eagerly, so consult
             // it (in every configuration: this is the safety record, not
             // the forwarding optimization) before going to the pager.
             match o.static_cache.get(&page).copied() {
-                Some(StaticHint::Owner(n)) if n != me => {
+                Some(StaticHint::Owner(n)) if n != me && !o.suspects.contains(&n) => {
                     path.walk_done = false;
                     path.global_pos = None;
                     path.hops += 1;
                     Self::send_req(o, fx, n, page, &req, path);
                     return;
                 }
+                // The recorded owner died: reconstruct instead of minting
+                // a second owner from the pager.
+                Some(StaticHint::Owner(n))
+                    if o.suspects.contains(&n)
+                        && req.kind == ReqKind::Access
+                        && req.deliver.is_none() =>
+                {
+                    Self::start_recovery(o, me, cost, now, vm, page, req, fx);
+                    return;
+                }
                 _ => {}
+            }
+            // With suspects around, "the walk found no live owner" does not
+            // mean "no owner": the owner may be the dead node, with
+            // surviving read copies that a pager re-fetch would silently
+            // fork from. Reconstruct first; it falls back to the pager
+            // itself when no copy survives.
+            if !o.suspects.is_empty() && req.kind == ReqKind::Access && req.deliver.is_none() {
+                Self::start_recovery(o, me, cost, now, vm, page, req, fx);
+                return;
             }
             Self::pager_dispatch(o, me, cost, now, vm, page, req, fx);
             return;
@@ -971,6 +1101,16 @@ impl AsvmNode {
             path.tried_static = true;
             if o.cfg.static_forwarding {
                 match o.static_cache.get(&page).copied() {
+                    Some(StaticHint::Owner(n))
+                        if n != me
+                            && o.suspects.contains(&n)
+                            && req.kind == ReqKind::Access
+                            && req.deliver.is_none() =>
+                    {
+                        // Our own hint names a dead owner: reconstruct.
+                        Self::start_recovery(o, me, cost, now, vm, page, req, fx);
+                        return;
+                    }
                     Some(StaticHint::Owner(n)) if n != me => {
                         path.hops += 1;
                         Self::send_req(o, fx, n, page, &req, path);
@@ -998,9 +1138,12 @@ impl AsvmNode {
                 return;
             }
         }
-        // Hint missing or already tried: fall back to the global walk.
+        // Hint missing or already tried: fall back to the global walk
+        // (over live members only).
         let mut start = 0usize;
-        while start < o.nodes.len() && o.nodes[start] == me {
+        while start < o.nodes.len()
+            && (o.nodes[start] == me || o.suspects.contains(&o.nodes[start]))
+        {
             start += 1;
         }
         if start >= o.nodes.len() {
@@ -1312,7 +1455,7 @@ impl AsvmNode {
         // repeats this on receipt): a concurrent global walk that finds no
         // owner must see the in-flight transfer at the static manager
         // instead of minting a second owner at the pager.
-        let sm = o.static_node(page);
+        let sm = o.static_node_live(page);
         if sm == me {
             o.static_seen.insert(page);
             o.static_cache.insert(page, StaticHint::Owner(to));
@@ -1411,6 +1554,15 @@ impl AsvmNode {
         let needs_push = ownership && access == Access::Write && version != o.version;
         let lock = if needs_push { Access::Read } else { access };
         let pend = o.pending.get(&page).copied();
+        // A non-ownership grant with no pending request and the page
+        // already resident is a duplicate: the original and a watchdog
+        // re-issue both got answered. Applying it again is harmless for
+        // the data (same owner, same contents) but would clobber local
+        // bookkeeping; drop it.
+        if pend.is_none() && !ownership && o.pages.contains_key(&page) {
+            fx.bump("asvm.recover.stale_grant");
+            return;
+        }
         if !needs_push {
             if let Some(p) = pend {
                 if access.allows(p.access) {
@@ -1684,7 +1836,7 @@ impl AsvmNode {
                 },
             });
         }
-        let sm = o.static_node(page);
+        let sm = o.static_node_live(page);
         if sm == me {
             o.static_seen.insert(page);
             o.static_cache.insert(page, StaticHint::Paged);
@@ -1716,7 +1868,7 @@ impl AsvmNode {
         fx: &mut Fx,
     ) {
         let mobj = o.mobj;
-        let sm = o.static_node(page);
+        let sm = o.static_node_live(page);
         if sm == me {
             Self::owner_hint(o, me, cost, now, vm, page, me, fx);
         } else {
@@ -1752,8 +1904,7 @@ impl AsvmNode {
             let path = ReqPath {
                 tried_static: true,
                 hops: 1,
-                global_pos: None,
-                walk_done: false,
+                ..ReqPath::default()
             };
             if owner == me {
                 Self::route(o, me, cost, now, vm, page, q, path, fx);
@@ -1776,6 +1927,536 @@ impl AsvmNode {
         let parked = o.fill_waiters.remove(&page).unwrap_or_default();
         for q in parked {
             Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+        }
+    }
+
+    // --- Failure recovery (docs/RELIABILITY.md) ---------------------------------------
+    //
+    // Everything in this section is reachable only when the failure
+    // detector has produced suspects or the watchdog found a stalled
+    // request — i.e. only under an active fault plan. Fault-free runs
+    // never enter it, which is what keeps baseline traces byte-identical.
+
+    /// Begins ownership reconstruction for `page` at this node (the static
+    /// manager, or the live successor that inherited the role): query every
+    /// live member for its surviving copy, then elect a new owner.
+    #[allow(clippy::too_many_arguments)]
+    fn start_recovery(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        req: QueuedReq,
+        fx: &mut Fx,
+    ) {
+        if let Some(rs) = o.recover.get_mut(&page) {
+            // Reconstruction already in flight: serialize behind it.
+            rs.waiting.push(req);
+            fx.bump("asvm.recover.dup_req");
+            return;
+        }
+        fx.bump("asvm.recover.query");
+        let mobj = o.mobj;
+        let expect: std::collections::BTreeSet<NodeId> = o
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| *n != me && !o.suspects.contains(n))
+            .collect();
+        // Seed with our own view so the election sees the manager's copy
+        // without a message round.
+        let mut holders = std::collections::BTreeSet::new();
+        let mut best = None;
+        let mut owner = None;
+        if let Some(pi) = o.pages.get(&page) {
+            if pi.busy.is_none() || matches!(pi.busy, Some(Busy::AwaitingOwnership)) {
+                holders.insert(me);
+                best = Some((pi.version, me));
+                if pi.owner {
+                    owner = Some(me);
+                }
+            }
+        }
+        for n in &expect {
+            fx.send(
+                *n,
+                AsvmMsg::RecoverQuery {
+                    mobj,
+                    page,
+                    from: me,
+                },
+            );
+        }
+        let done = expect.is_empty();
+        o.recover.insert(
+            page,
+            RecoverState {
+                expect,
+                best,
+                holders,
+                owner,
+                waiting: vec![req],
+            },
+        );
+        if done {
+            Self::finish_recovery(o, me, cost, now, vm, page, fx);
+        }
+    }
+
+    /// A member's answer to a [`AsvmMsg::RecoverQuery`] arrived.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_reply(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        peer: NodeId,
+        has_copy: bool,
+        version: u64,
+        owner: bool,
+        fx: &mut Fx,
+    ) {
+        let Some(rs) = o.recover.get_mut(&page) else {
+            return; // Duplicate reply after reconstruction resolved.
+        };
+        if !rs.expect.remove(&peer) {
+            return;
+        }
+        if owner {
+            rs.owner = Some(peer);
+        }
+        if has_copy {
+            rs.holders.insert(peer);
+            let better = match rs.best {
+                None => true,
+                // Deterministic election: max version, ties to lowest id.
+                Some((v, b)) => version > v || (version == v && peer.0 < b.0),
+            };
+            if better {
+                rs.best = Some((version, peer));
+            }
+        }
+        if rs.expect.is_empty() {
+            Self::finish_recovery(o, me, cost, now, vm, page, fx);
+        }
+    }
+
+    /// All live members have answered: install the surviving owner, elect
+    /// one from the copyset, or fall back to a pager re-fetch.
+    fn finish_recovery(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        fx: &mut Fx,
+    ) {
+        let rs = o
+            .recover
+            .remove(&page)
+            .expect("finish_recovery without state");
+        let mobj = o.mobj;
+        let new_owner = if let Some(owner) = rs.owner {
+            // An owner survived after all (the suspicion was about a stale
+            // hint, not the owner itself); just repair the hint.
+            fx.bump("asvm.recover.owner_found");
+            owner
+        } else if let Some((_, winner)) = rs.best {
+            fx.bump("asvm.recover.elected");
+            let readers: Vec<NodeId> = rs
+                .holders
+                .iter()
+                .copied()
+                .filter(|h| *h != winner)
+                .collect();
+            if winner == me {
+                Self::recover_elect(o, me, cost, now, vm, page, readers, fx);
+            } else {
+                fx.send(
+                    winner,
+                    AsvmMsg::RecoverElect {
+                        mobj,
+                        page,
+                        readers,
+                    },
+                );
+            }
+            winner
+        } else {
+            // No copy survives anywhere: the pager's version is the best
+            // remaining one. Serialize the waiters behind a fresh fill
+            // (we are the acting manager, so recording the fill here is
+            // exactly the normal first-touch discipline).
+            fx.bump("asvm.recover.refetch");
+            let mut waiting = rs.waiting.into_iter();
+            if let Some(first) = waiting.next() {
+                for q in waiting {
+                    o.static_waiting.entry(page).or_default().push(q);
+                }
+                Self::pager_dispatch(o, me, cost, now, vm, page, first, fx);
+            }
+            return;
+        };
+        o.static_seen.insert(page);
+        o.static_cache.insert(page, StaticHint::Owner(new_owner));
+        o.static_filling.remove(&page);
+        for q in rs.waiting {
+            let path = ReqPath {
+                tried_static: true,
+                hops: 1,
+                ..ReqPath::default()
+            };
+            if new_owner == me {
+                Self::route(o, me, cost, now, vm, page, q, path, fx);
+            } else {
+                Self::send_req(o, fx, new_owner, page, &q, path);
+            }
+        }
+    }
+
+    /// This node won the election: promote the local copy to owner, adopt
+    /// the surviving copyset as readers, and drain everything parked.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_elect(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        readers: Vec<NodeId>,
+        fx: &mut Fx,
+    ) {
+        let suspects = o.suspects.clone();
+        let Some(pi) = o.pages.get_mut(&page) else {
+            // Our copy was evicted between the reply and the election; the
+            // stale Owner(me) hint self-heals through the manager's
+            // stale-self-hint path and the next watchdog pass.
+            fx.bump("asvm.recover.elect_lost");
+            return;
+        };
+        if matches!(pi.busy, Some(Busy::AwaitingOwnership)) {
+            // The transfer we were waiting for came from the dead owner;
+            // the election supersedes it.
+            pi.busy = None;
+            vm.set_busy(o.vm_obj, page, false);
+        }
+        if pi.busy.is_some() {
+            // Mid-transition (only reachable if we were already owner):
+            // the running operation completes on its own.
+            return;
+        }
+        pi.owner = true;
+        pi.readers.extend(
+            readers
+                .iter()
+                .copied()
+                .filter(|r| *r != me && !suspects.contains(r)),
+        );
+        let queued: Vec<QueuedReq> = pi.queued.drain(..).collect();
+        Self::notify_owner_hint(o, me, cost, now, vm, page, fx);
+        if let Some(p) = o.pending.get(&page).copied() {
+            // Our own stalled request resolves locally now that we own the
+            // page (serve handles read grants, upgrades and pushes).
+            let req = QueuedReq {
+                access: p.access,
+                origin: me,
+                origin_obj: o.vm_obj,
+                has_copy: true,
+                kind: ReqKind::Access,
+                deliver: None,
+            };
+            Self::serve(o, me, cost, now, vm, page, req, fx);
+        }
+        for q in queued {
+            Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+        }
+        Self::drain_parked(o, me, cost, now, vm, page, fx);
+    }
+
+    /// Re-issues pending requests stalled past the configured deadline
+    /// (down the fallback chain: invalidate the dynamic hint, retry via
+    /// the live static manager, finally re-fetch from the pager). Driven
+    /// by the cluster layer's heartbeat tick, only under active fault
+    /// plans.
+    pub fn watchdog(&mut self, now: Time, vm: &mut VmSystem, fx: &mut Fx) {
+        fx.cpu += self.cost.asvm_handle;
+        let me = self.me;
+        let cost = &self.cost;
+        for o in self.objects.values_mut() {
+            if o.peer.is_some() || o.source.is_some() {
+                // Distributed copy objects pull through their peer's shadow
+                // chain; recovery of those is out of scope (documented).
+                continue;
+            }
+            let deadline = o.cfg.forward.watchdog_deadline;
+            let budget = o.cfg.forward.retry_budget;
+            let stalled: Vec<(PageIdx, PendingLocal)> = o
+                .pending
+                .iter()
+                .filter(|(page, pl)| {
+                    // Not `now.since(issued)`: `issued` carries the node's
+                    // local clock, which can run ahead of this tick's
+                    // delivery time through same-instant CPU charges.
+                    if now < pl.issued + deadline {
+                        return false;
+                    }
+                    match o.pages.get(page) {
+                        // Busy pages resolve through their own transition —
+                        // except AwaitingOwnership from a possibly-dead
+                        // transferor, which only recovery can break.
+                        Some(pi) if pi.owner => false,
+                        Some(pi) => {
+                            pi.busy.is_none()
+                                || (matches!(pi.busy, Some(Busy::AwaitingOwnership))
+                                    && !o.suspects.is_empty())
+                        }
+                        None => true,
+                    }
+                })
+                .map(|(p, pl)| (*p, *pl))
+                .collect();
+            for (page, pl) in stalled {
+                // The hint that routed the stalled request is the prime
+                // suspect; drop it so the re-issue takes the next rung.
+                o.dyn_cache.remove(&page);
+                if let Some(pi) = o.pages.get_mut(&page) {
+                    if matches!(pi.busy, Some(Busy::AwaitingOwnership)) {
+                        pi.busy = None;
+                        vm.set_busy(o.vm_obj, page, false);
+                    }
+                }
+                let live_peers = o.nodes.iter().any(|n| *n != me && !o.suspects.contains(n));
+                if pl.retries >= budget || !live_peers {
+                    // Terminal rung: give up on peers, flush whatever copy
+                    // we hold and re-fetch from the pager (always
+                    // reachable; NORMA traffic is reliable).
+                    fx.bump("asvm.recover.refetch");
+                    let queued: Vec<QueuedReq> = if let Some(pi) = o.pages.get_mut(&page) {
+                        let queued = pi.queued.drain(..).collect();
+                        vm.set_busy(o.vm_obj, page, false);
+                        vm.kernel_call(
+                            now,
+                            o.vm_obj,
+                            EmmiToKernel::LockRequest {
+                                page,
+                                op: LockOp::Flush {
+                                    return_dirty: false,
+                                },
+                                mode: LockMode::Normal,
+                            },
+                            &mut fx.vm,
+                        );
+                        o.pages.remove(&page);
+                        queued
+                    } else {
+                        Vec::new()
+                    };
+                    o.pending.insert(
+                        page,
+                        PendingLocal {
+                            access: pl.access,
+                            has_copy: false,
+                            issued: now,
+                            retries: pl.retries.saturating_add(1),
+                        },
+                    );
+                    // Straight to the pager — deliberately NOT through
+                    // pager_dispatch, which would record a static fill at a
+                    // node that is not the page's manager.
+                    fx.pager.push(PagerSend {
+                        pager_node: o.pager_for(page),
+                        reply_to: me,
+                        mobj: o.mobj,
+                        obj: o.vm_obj,
+                        call: EmmiToPager::DataRequest {
+                            page,
+                            access: pl.access,
+                        },
+                    });
+                    for q in queued {
+                        Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+                    }
+                } else {
+                    fx.bump("asvm.recover.reissue");
+                    let has_copy = o.pages.contains_key(&page);
+                    o.pending.insert(
+                        page,
+                        PendingLocal {
+                            access: pl.access,
+                            has_copy,
+                            issued: now,
+                            retries: pl.retries + 1,
+                        },
+                    );
+                    let req = QueuedReq {
+                        access: pl.access,
+                        origin: me,
+                        origin_obj: o.vm_obj,
+                        has_copy,
+                        kind: ReqKind::Access,
+                        deliver: None,
+                    };
+                    let path = ReqPath {
+                        recovering: true,
+                        ..ReqPath::default()
+                    };
+                    Self::route(o, me, cost, now, vm, page, req, path, fx);
+                }
+            }
+        }
+        self.drain_escalations(now, vm, fx);
+    }
+
+    /// The failure detector now suspects `peer`: scrub hints naming it,
+    /// unwind every in-flight operation waiting on it, and reclaim pager
+    /// fills issued on its behalf.
+    pub fn peer_suspected(&mut self, now: Time, vm: &mut VmSystem, peer: NodeId, fx: &mut Fx) {
+        fx.cpu += self.cost.asvm_handle;
+        let me = self.me;
+        let cost = &self.cost;
+        for o in self.objects.values_mut() {
+            if !o.nodes.contains(&peer) || !o.suspects.insert(peer) {
+                continue;
+            }
+            // Static roles just rehashed onto successors that have never
+            // seen these pages: "never seen" no longer implies "fresh".
+            o.fresh_valid = false;
+            if o.last_accept == Some(peer) {
+                o.last_accept = None;
+            }
+            // Scrub dynamic hints naming the dead node (the static
+            // Owner(peer) hints stay: they are the tripwire that routes
+            // requests into reconstruction).
+            let stale: Vec<PageIdx> = o
+                .dyn_cache
+                .iter()
+                .filter(|(_, h)| **h == peer)
+                .map(|(p, _)| *p)
+                .collect();
+            for p in stale {
+                o.dyn_cache.remove(&p);
+                fx.bump("asvm.recover.hint_scrub");
+            }
+            // Unwind busy operations blocked on the dead node, reusing the
+            // normal completion paths with a synthesized negative reply.
+            let mut abort_transfers = Vec::new();
+            let mut dead_acks = Vec::new();
+            let mut push_dones = Vec::new();
+            let mut read_checks = Vec::new();
+            let mut accept_asks = Vec::new();
+            for (page, pi) in o.pages.iter() {
+                match &pi.busy {
+                    Some(Busy::WriteTransfer { to, .. }) if *to == peer => {
+                        abort_transfers.push(*page);
+                    }
+                    Some(Busy::WriteTransfer { pending_acks, .. })
+                        if pending_acks.contains(&peer) =>
+                    {
+                        dead_acks.push(*page);
+                    }
+                    Some(Busy::LocalUpgrade { pending_acks }) if pending_acks.contains(&peer) => {
+                        dead_acks.push(*page);
+                    }
+                    Some(Busy::Push { pending, .. }) if pending.contains(&peer) => {
+                        push_dones.push(*page);
+                    }
+                    Some(Busy::Evict {
+                        stage: EvictStage::CheckingReaders { current, .. },
+                        ..
+                    }) if *current == peer => {
+                        read_checks.push(*page);
+                    }
+                    Some(Busy::Evict {
+                        stage: EvictStage::Asking { candidate, .. },
+                        ..
+                    }) if *candidate == peer => {
+                        accept_asks.push(*page);
+                    }
+                    _ => {}
+                }
+            }
+            for page in abort_transfers {
+                // The grantee died before the transfer completed: keep
+                // ownership here and re-dispatch whatever queued behind it.
+                fx.bump("asvm.recover.abort_transfer");
+                let pi = o.pages.get_mut(&page).unwrap();
+                pi.busy = None;
+                vm.set_busy(o.vm_obj, page, false);
+                let queued: Vec<QueuedReq> = pi.queued.drain(..).collect();
+                for q in queued {
+                    Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
+                }
+            }
+            for page in dead_acks {
+                // The dead reader will never acknowledge its invalidation;
+                // its copy is unreachable, which is as good as invalidated.
+                Self::invalidate_ack(o, me, cost, now, vm, page, peer, fx);
+            }
+            for page in push_dones {
+                crate::copymgmt::on_push_done(o, me, cost, now, vm, page, peer, fx);
+            }
+            for page in read_checks {
+                Self::read_check_reply(o, me, cost, now, vm, page, peer, false, fx);
+            }
+            for page in accept_asks {
+                Self::accept_reply(o, me, cost, now, vm, page, peer, false, fx);
+            }
+            // Drop dead readers from owned pages so future invalidation
+            // rounds never wait on them.
+            for (_, pi) in o.pages.iter_mut() {
+                pi.readers.remove(&peer);
+            }
+            // Pager fills issued on behalf of the dead node complete on
+            // the dead node; release the requests serialized behind them.
+            let stale_fills: Vec<PageIdx> = o
+                .static_filling
+                .iter()
+                .filter(|(_, origin)| **origin == peer)
+                .map(|(p, _)| *p)
+                .collect();
+            for page in stale_fills {
+                o.static_filling.remove(&page);
+                fx.bump("asvm.recover.fill_reclaim");
+                let waiting = o.static_waiting.remove(&page).unwrap_or_default();
+                for q in waiting {
+                    let path = ReqPath {
+                        recovering: true,
+                        ..ReqPath::default()
+                    };
+                    Self::route(o, me, cost, now, vm, page, q, path, fx);
+                }
+            }
+            // Reconstructions waiting on a reply from the newly dead node
+            // complete without it.
+            let stuck: Vec<PageIdx> = o
+                .recover
+                .iter()
+                .filter(|(_, rs)| rs.expect.contains(&peer))
+                .map(|(p, _)| *p)
+                .collect();
+            for page in stuck {
+                let rs = o.recover.get_mut(&page).unwrap();
+                rs.expect.remove(&peer);
+                if rs.expect.is_empty() {
+                    Self::finish_recovery(o, me, cost, now, vm, page, fx);
+                }
+            }
+        }
+        self.drain_escalations(now, vm, fx);
+    }
+
+    /// The failure detector heard from `peer` again: drop the suspicion.
+    /// Reconstruction already performed stays valid (it elected a live
+    /// owner); only the routing bias reverts.
+    pub fn peer_cleared(&mut self, peer: NodeId) {
+        for o in self.objects.values_mut() {
+            o.suspects.remove(&peer);
         }
     }
 

@@ -9,7 +9,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use machvm::{Access, MemObjId, PageData, PageIdx, VmObjId};
-use svmsim::NodeId;
+use svmsim::{NodeId, Time};
 
 use crate::config::AsvmConfig;
 use crate::lru::Lru;
@@ -132,6 +132,28 @@ pub struct PendingLocal {
     pub access: Access,
     /// We held a read copy when the request left.
     pub has_copy: bool,
+    /// When the request (or its latest watchdog re-issue) left this node.
+    pub issued: Time,
+    /// Watchdog re-issues so far (bounded by `ForwardCfg::retry_budget`).
+    pub retries: u8,
+}
+
+/// Ownership reconstruction in progress at a static manager (or the node
+/// that inherited the role) for one page whose owner is suspected dead.
+#[derive(Debug)]
+pub struct RecoverState {
+    /// Members whose [`crate::protocol::AsvmMsg::RecoverReply`] is still
+    /// outstanding.
+    pub expect: BTreeSet<NodeId>,
+    /// Best surviving copy seen so far: `(version, holder)`, highest
+    /// version winning and ties going to the lowest node id.
+    pub best: Option<(u64, NodeId)>,
+    /// All members that reported a usable copy.
+    pub holders: BTreeSet<NodeId>,
+    /// A member that reported itself as the live owner.
+    pub owner: Option<NodeId>,
+    /// Requests parked until reconstruction resolves.
+    pub waiting: Vec<QueuedReq>,
 }
 
 /// Static-ownership-manager knowledge about a page.
@@ -215,6 +237,12 @@ pub struct AsvmObject {
     pub copy_settles: Vec<(NodeId, BTreeSet<NodeId>)>,
     /// Range-lock manager (home node only; §6 future work).
     pub range_locks: crate::locks::RangeLockMgr,
+    /// Members of this object suspected dead by the failure detector.
+    /// Persists across quiescence — suspicion is evidence, not state to
+    /// drain.
+    pub suspects: BTreeSet<NodeId>,
+    /// Ownership reconstructions in flight (must be empty at quiescence).
+    pub recover: BTreeMap<PageIdx, RecoverState>,
 }
 
 impl AsvmObject {
@@ -261,6 +289,8 @@ impl AsvmObject {
             pull_in_flight: BTreeMap::new(),
             copy_settles: Vec::new(),
             range_locks: crate::locks::RangeLockMgr::default(),
+            suspects: BTreeSet::new(),
+            recover: BTreeMap::new(),
         }
     }
 
@@ -282,6 +312,24 @@ impl AsvmObject {
     pub fn static_node(&self, page: PageIdx) -> NodeId {
         assert!(!self.nodes.is_empty(), "object with empty membership");
         self.nodes[page.0 as usize % self.nodes.len()]
+    }
+
+    /// [`AsvmObject::static_node`] with failover: when the hashed manager
+    /// is suspected dead, the role rehashes to the next live member in
+    /// membership order. With no suspects this is exactly `static_node`;
+    /// with every member suspected it degenerates to the original hash
+    /// (the caller falls back to the pager in that regime anyway).
+    pub fn static_node_live(&self, page: PageIdx) -> NodeId {
+        assert!(!self.nodes.is_empty(), "object with empty membership");
+        let n = self.nodes.len();
+        let start = page.0 as usize % n;
+        for i in 0..n {
+            let cand = self.nodes[(start + i) % n];
+            if !self.suspects.contains(&cand) {
+                return cand;
+            }
+        }
+        self.nodes[start]
     }
 
     /// The pager serving `page`: round-robin over the stripe set (§6
@@ -339,6 +387,23 @@ mod tests {
         assert_eq!(o.static_node(PageIdx(0)), NodeId(0));
         assert_eq!(o.static_node(PageIdx(5)), NodeId(1));
         assert_eq!(o.static_node(PageIdx(7)), NodeId(3));
+    }
+
+    #[test]
+    fn static_role_rehashes_past_suspects() {
+        let mut o = obj(0, 0);
+        o.nodes = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        // No suspects: identical to the plain hash.
+        assert_eq!(o.static_node_live(PageIdx(5)), o.static_node(PageIdx(5)));
+        // The hashed manager died: the role moves to its successor.
+        o.suspects.insert(NodeId(1));
+        assert_eq!(o.static_node_live(PageIdx(5)), NodeId(2));
+        // Successor also dead: keep walking.
+        o.suspects.insert(NodeId(2));
+        assert_eq!(o.static_node_live(PageIdx(5)), NodeId(3));
+        // Everyone suspected: fall back to the original hash.
+        o.suspects.extend([NodeId(0), NodeId(3)]);
+        assert_eq!(o.static_node_live(PageIdx(5)), NodeId(1));
     }
 
     #[test]

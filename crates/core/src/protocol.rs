@@ -23,6 +23,10 @@ pub struct ReqPath {
     /// A global walk completed without finding an owner; the static
     /// manager must dispatch to the pager.
     pub walk_done: bool,
+    /// Watchdog re-issue after a suspected node failure: hint shortcuts
+    /// are untrustworthy, so the static manager resolves this request
+    /// through ownership reconstruction instead of cached state.
+    pub recovering: bool,
 }
 
 /// What a [`AsvmMsg::PageReq`] is asking for.
@@ -330,6 +334,44 @@ pub enum AsvmMsg {
         /// Access originally requested.
         access: Access,
     },
+    /// Ownership reconstruction, step 1: the static manager (or the node
+    /// that inherited the role) asks a surviving member what it knows
+    /// about a page whose owner is suspected dead.
+    RecoverQuery {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The reconstructing manager (reply destination).
+        from: NodeId,
+    },
+    /// Answer to [`AsvmMsg::RecoverQuery`]: the replier's local view.
+    RecoverReply {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// The replying member.
+        from: NodeId,
+        /// It holds usable page contents (resident, not mid-transition).
+        has_copy: bool,
+        /// Delayed-copy version of its copy (0 if none).
+        version: u64,
+        /// It is the page's current owner.
+        owner: bool,
+    },
+    /// Ownership reconstruction, step 2: no live owner was found; the
+    /// receiver — the surviving copy holder with the highest version
+    /// (ties to the lowest node id) — becomes the page's owner.
+    RecoverElect {
+        /// The object.
+        mobj: MemObjId,
+        /// The page.
+        page: PageIdx,
+        /// Surviving copy holders other than the new owner (its reader
+        /// set).
+        readers: Vec<NodeId>,
+    },
 }
 
 impl AsvmMsg {
@@ -350,6 +392,7 @@ impl AsvmMsg {
             | AsvmMsg::OwnershipTransfer { readers, .. } => 2 * readers.len() as u32,
             AsvmMsg::PageTransfer { .. } | AsvmMsg::PushData { .. } => page_size,
             AsvmMsg::Membership { nodes, .. } => 2 * nodes.len() as u32,
+            AsvmMsg::RecoverElect { readers, .. } => 2 * readers.len() as u32,
             _ => 0,
         }
     }
@@ -385,6 +428,9 @@ impl AsvmMsg {
             AsvmMsg::RangeLockGrant { .. } => "asvm.msg.range_lock_grant",
             AsvmMsg::RangeLockRelease { .. } => "asvm.msg.range_lock_release",
             AsvmMsg::Retry { .. } => "asvm.msg.retry",
+            AsvmMsg::RecoverQuery { .. } => "asvm.msg.recover_query",
+            AsvmMsg::RecoverReply { .. } => "asvm.msg.recover_reply",
+            AsvmMsg::RecoverElect { .. } => "asvm.msg.recover_elect",
         }
     }
 
@@ -410,7 +456,10 @@ impl AsvmMsg {
             | AsvmMsg::PushData { page, .. }
             | AsvmMsg::PushDone { page, .. }
             | AsvmMsg::PullHop { page, .. }
-            | AsvmMsg::Retry { page, .. } => Some(*page),
+            | AsvmMsg::Retry { page, .. }
+            | AsvmMsg::RecoverQuery { page, .. }
+            | AsvmMsg::RecoverReply { page, .. }
+            | AsvmMsg::RecoverElect { page, .. } => Some(*page),
             AsvmMsg::RangeLockReq { first, .. }
             | AsvmMsg::RangeLockGrant { first, .. }
             | AsvmMsg::RangeLockRelease { first, .. } => Some(*first),
@@ -450,7 +499,10 @@ impl AsvmMsg {
             | AsvmMsg::RangeLockReq { mobj, .. }
             | AsvmMsg::RangeLockGrant { mobj, .. }
             | AsvmMsg::RangeLockRelease { mobj, .. }
-            | AsvmMsg::Retry { mobj, .. } => *mobj,
+            | AsvmMsg::Retry { mobj, .. }
+            | AsvmMsg::RecoverQuery { mobj, .. }
+            | AsvmMsg::RecoverReply { mobj, .. }
+            | AsvmMsg::RecoverElect { mobj, .. } => *mobj,
         }
     }
 }

@@ -198,6 +198,14 @@ pub struct FaultedOutcome {
     pub resent: u64,
     /// Frames abandoned after retry exhaustion.
     pub exhausted: u64,
+    /// Stalled requests the watchdog re-issued down the fallback chain.
+    pub reissued: u64,
+    /// Requests that fell all the way back to a pager re-fetch.
+    pub refetched: u64,
+    /// New owners elected by ownership reconstruction.
+    pub elected: u64,
+    /// Peer-suspicion events raised by the failure detector.
+    pub suspected: u64,
 }
 
 /// Runs `pattern` on a fresh cluster and reports protocol statistics.
@@ -222,6 +230,7 @@ pub fn run_pattern_faulted(
         Pattern::Uniform { seed, .. } => seed,
         _ => 17,
     };
+    let faults_active = faults.is_active();
     let mut cfg = MachineConfig::paragon(nodes);
     cfg.faults = faults;
     let mut ssi = Ssi::with_machine(cfg, kind, seed);
@@ -265,6 +274,18 @@ pub fn run_pattern_faulted(
     ssi.run(u64::MAX / 2).expect("pattern quiesces");
     let completed = ssi.all_done();
     let s = ssi.stats();
+    if !faults_active {
+        // The whole recovery layer is gated on the fault plan: a healthy
+        // run must not arm heartbeats, suspect anyone, or re-issue
+        // anything — otherwise baseline results would stop being
+        // byte-identical to a build without the recovery layer.
+        for (key, v) in s.counters() {
+            assert!(
+                !(key.starts_with("asvm.recover.") || key.starts_with("cluster.suspect.")),
+                "healthy run bumped recovery counter {key} = {v}"
+            );
+        }
+    }
     let faults = s.tally("fault.ms");
     FaultedOutcome {
         completed,
@@ -280,6 +301,10 @@ pub fn run_pattern_faulted(
         delayed: s.counter("transport.fault.delayed"),
         resent: s.counter("asvm.retry.resent"),
         exhausted: s.counter("asvm.retry.exhausted"),
+        reissued: s.counter("asvm.recover.reissue"),
+        refetched: s.counter("asvm.recover.refetch"),
+        elected: s.counter("asvm.recover.elected"),
+        suspected: s.counter("cluster.suspect.count"),
     }
 }
 

@@ -249,6 +249,116 @@ pub fn run_trace_faulted(
     });
 }
 
+/// Runs `ops` on the **surviving** nodes of a cluster whose `victim` node
+/// suffers a permanent blackout from `dark_from` on, and checks the same
+/// strong-coherence reference as [`run_trace`] on the survivors.
+///
+/// `ops[].node` indexes the live nodes (`0..nodes-1`); the builder remaps
+/// them onto the actual node ids around the victim. The victim maps the
+/// shared object (so static ownership-manager roles hash onto it and its
+/// death forces the rehash + reconstruction paths, `docs/RELIABILITY.md`)
+/// but performs no memory operations — it just computes past the blackout
+/// and finishes, so the sequential reference stays well-defined for the
+/// survivors: no page's only copy can die with it.
+#[allow(dead_code)]
+pub fn run_trace_with_victim(
+    nodes: u16,
+    pages: u32,
+    ops: &[TraceOp],
+    victim: NodeId,
+    dark_from: svmsim::Time,
+    plan_seed: u64,
+) {
+    assert!(
+        victim.0 != 0 && victim.0 < nodes,
+        "victim must be a compute node other than the barrier coordinator"
+    );
+    let live: Vec<u16> = (0..nodes).filter(|n| *n != victim.0).collect();
+    let ops: Vec<TraceOp> = ops
+        .iter()
+        .map(|op| TraceOp {
+            node: live[op.node as usize % live.len()],
+            ..*op
+        })
+        .collect();
+
+    // Reference values over the remapped trace.
+    let mut mem: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut expected_at = Vec::with_capacity(ops.len());
+    for (r, op) in ops.iter().enumerate() {
+        expected_at.push(mem.get(&op.page).copied().unwrap_or(0));
+        if op.write {
+            mem.insert(op.page, round_value(r));
+        }
+    }
+    let finals = mem;
+
+    let mut cfg = MachineConfig::paragon(nodes);
+    cfg.faults = FaultPlan::seeded(plan_seed).with_blackout(victim, dark_from, svmsim::Time::MAX);
+    let mut ssi = Ssi::with_machine(cfg, ManagerKind::asvm(), 99);
+    let home = NodeId(0);
+    let mobj = ssi.create_object(home, pages, false);
+    let tasks: Vec<TaskId> = (0..nodes)
+        .map(|n| {
+            let t = ssi.alloc_task();
+            ssi.map_shared(
+                t,
+                NodeId(n),
+                0,
+                mobj,
+                home,
+                pages,
+                Access::Write,
+                Inherit::Share,
+            );
+            t
+        })
+        .collect();
+    ssi.finalize();
+    // Only the survivors run the barrier-sequenced trace.
+    ssi.set_barrier_parties(nodes as u32 - 1);
+    ssi.enable_trace(96);
+    for n in 0..nodes {
+        if n == victim.0 {
+            // The victim idles past the blackout, then finishes; its
+            // protocol role in this rig is purely to die holding static
+            // manager duties.
+            ssi.spawn(
+                NodeId(n),
+                tasks[n as usize],
+                Box::new(cluster::ScriptProgram::new(vec![
+                    Step::Compute(svmsim::Dur::from_millis(50)),
+                    Step::Done,
+                ])),
+            );
+        } else {
+            ssi.spawn(
+                NodeId(n),
+                tasks[n as usize],
+                Box::new(TraceRunner {
+                    me: n,
+                    label: "ASVM+victim",
+                    ops: ops.clone(),
+                    expected_at: expected_at.clone(),
+                    finals: finals.clone(),
+                    pages,
+                    round: 0,
+                    phase: Phase::Op,
+                    verify_page: 0,
+                }),
+            );
+        }
+    }
+    with_trace_dump(&mut ssi, |ssi| {
+        ssi.run(200_000_000).expect("victim trace quiesces");
+        assert!(
+            ssi.all_done(),
+            "survivors (and the victim's local compute) must all finish"
+        );
+        cluster::check_asvm_invariants_except(ssi, &[victim]);
+    });
+}
+
 /// Like [`run_trace`] but dumps per-node state instead of asserting
 /// completion (debugging aid).
 #[allow(dead_code)]
