@@ -5,8 +5,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use asvm::{AsvmMsg, FrameBody, FrameCombiner};
 use cluster::ManagerKind;
-use svmsim::{Dur, EventQueue, Machine, MachineConfig, Stats, Time};
+use machvm::{MemObjId, PageIdx};
+use svmsim::{Dur, EventQueue, Machine, MachineConfig, NodeId, Stats, Time};
 use workloads::{
     copy_chain_probe, em3d_run, fault_probe, run_pattern, CopyChainSpec, Em3dSpec, FaultProbeSpec,
     Pattern, ProbeAccess,
@@ -165,6 +167,48 @@ fn bench_copy_chain(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_frame_combiner(c: &mut Criterion) {
+    // The coalescing hot path: one push per protocol send, one drain per
+    // scheduling step (see crates/core/src/coalesce.rs).
+    let mut g = c.benchmark_group("coalesce");
+    g.bench_function("combiner_push_drain_64x4", |b| {
+        b.iter(|| {
+            let mut cb = FrameCombiner::new(16);
+            let mut frames = 0u32;
+            for i in 0..64u32 {
+                let msg = AsvmMsg::Invalidate {
+                    mobj: MemObjId(1),
+                    page: PageIdx(i),
+                    from: NodeId(0),
+                };
+                if cb.push(NodeId((i % 4) as u16 + 1), msg).is_some() {
+                    frames += 1;
+                }
+            }
+            for (_, body) in cb.drain() {
+                frames += 1;
+                black_box(body.subframes());
+            }
+            black_box(frames)
+        })
+    });
+    g.bench_function("body_hints_and_payload_16", |b| {
+        b.iter(|| {
+            let mut body = FrameBody::single(AsvmMsg::Invalidate {
+                mobj: MemObjId(1),
+                page: PageIdx(0),
+                from: NodeId(0),
+            });
+            for i in 0..16u32 {
+                // Half the pushes dedupe against an existing entry.
+                body.push_hint((MemObjId(1), PageIdx(i % 8), NodeId((i % 3) as u16)));
+            }
+            black_box(body.payload_bytes(8192))
+        })
+    });
+    g.finish();
+}
+
 fn bench_patterns(c: &mut Criterion) {
     let mut g = c.benchmark_group("patterns");
     g.sample_size(10);
@@ -202,6 +246,7 @@ criterion_group!(
     bench_mesh_routing,
     bench_fault_probe,
     bench_copy_chain,
+    bench_frame_combiner,
     bench_patterns,
     bench_em3d
 );

@@ -1,0 +1,124 @@
+//! Coalescing ablation: ASVM wire frames per page fault with the STS
+//! message combiner off vs on.
+//!
+//! The paper's case for a specialized transport is that per-message
+//! software overhead — not wire time — dominates remote-fault latency.
+//! Coalescing attacks the message *count*: protocol sends headed for the
+//! same node within one scheduling step share a single frame (one fixed
+//! header, amortized per-subframe demux), acks ride data frames, and every
+//! data/ack frame piggybacks the sender's owner hint. This harness sweeps
+//! the sharing-heavy patterns with `CoalesceCfg` off and on and reports
+//! the headline **messages-per-fault** metric (wire frames per resolved
+//! fault, `(Σ asvm.msg.* − asvm.coalesce.merged) / faults`).
+//!
+//! Both arms run identical readahead (the main source of same-destination
+//! bursts) and identical per-touch think time, so the fault denominator
+//! depends only on the access pattern — see
+//! `workloads::run_pattern_paced` — and the only difference between the
+//! arms is the combiner. Migratory rides along as the honest
+//! counter-case: its write-token hops serialize one page per step, so
+//! there is almost nothing to merge.
+//!
+//! Determinism: fully seeded; `--json --stable-json` regenerates
+//! `BENCH_coalesce.json` byte-identically.
+
+use asvm::AsvmConfig;
+use bench::sweep::Sweep;
+use cluster::ManagerKind;
+use svmsim::Dur;
+use workloads::{run_pattern_paced, Pattern, PatternOutcome};
+
+const NODES: u16 = 4;
+const PAGES: u32 = 32;
+const READAHEAD: u32 = 8;
+const THINK_US: f64 = 800.0;
+
+const PATTERNS: [(&str, Pattern); 3] = [
+    ("producer/consumer", Pattern::ProducerConsumer { rounds: 4 }),
+    (
+        "hotspot",
+        Pattern::Hotspot {
+            rounds: 24,
+            write_every: 4,
+        },
+    ),
+    ("migratory", Pattern::Migratory { rounds: 4 }),
+];
+
+fn run_cell(pattern: Pattern, coalesce: bool) -> (PatternOutcome, u64, Vec<(String, u64)>) {
+    let mut cfg = AsvmConfig::with_readahead(READAHEAD);
+    if coalesce {
+        cfg = cfg.coalesced();
+    }
+    let o = run_pattern_paced(
+        ManagerKind::Asvm(cfg),
+        NODES,
+        PAGES,
+        pattern,
+        Dur::from_micros_f64(THINK_US),
+    );
+    let counters = vec![
+        ("page.faults".to_string(), o.faults),
+        ("asvm.msgs".to_string(), o.asvm_msgs),
+        ("asvm.frames".to_string(), o.asvm_frames),
+        ("coalesce.merged".to_string(), o.coalesce_merged),
+        ("coalesce.piggyback_hint".to_string(), o.coalesce_hints),
+        ("coalesce.piggyback_ack".to_string(), o.coalesce_acks),
+        (
+            "frames_per_fault_x100".to_string(),
+            (o.messages_per_fault() * 100.0).round() as u64,
+        ),
+    ];
+    let events = o.events;
+    (o, events, counters)
+}
+
+fn main() {
+    let mut sweep = Sweep::from_env("coalesce");
+    for (label, pattern) in PATTERNS {
+        for (arm, coalesce) in [("off", false), ("on", true)] {
+            sweep.cell_with_counters(format!("{label} / coalesce {arm}"), move || {
+                run_cell(pattern, coalesce)
+            });
+        }
+    }
+    let report = sweep.run();
+
+    println!(
+        "STS coalescing ablation ({NODES} nodes, {PAGES} pages, readahead {READAHEAD}, \
+         {THINK_US:.0}us think/touch)"
+    );
+    println!("frames/fault = (logical asvm messages - merged subframes) / faults");
+    println!(
+        "{:<20}{:>8}{:>10}{:>10}{:>12}{:>12}{:>8}{:>8}",
+        "pattern", "faults", "off f/f", "on f/f", "reduction", "merged", "hints", "acks"
+    );
+    println!("{}", "-".repeat(88));
+    let mut cells = report.values();
+    for (label, _) in PATTERNS {
+        let off = cells.next().expect("off cell");
+        let on = cells.next().expect("on cell");
+        let (m_off, m_on) = (off.messages_per_fault(), on.messages_per_fault());
+        let reduction = if m_off > 0.0 {
+            100.0 * (1.0 - m_on / m_off)
+        } else {
+            0.0
+        };
+        println!(
+            "{:<20}{:>8}{:>10.2}{:>10.2}{:>11.1}%{:>12}{:>8}{:>8}",
+            label,
+            on.faults,
+            m_off,
+            m_on,
+            reduction,
+            on.coalesce_merged,
+            on.coalesce_hints,
+            on.coalesce_acks
+        );
+    }
+    println!();
+    println!("off-arm counters are byte-identical to a build without the combiner;");
+    println!("logical asvm.msg.* counts match across arms — coalescing only changes");
+    println!("how many wire frames carry them.");
+    report.finish();
+}

@@ -109,7 +109,29 @@ pub enum Msg {
         /// The framed protocol message.
         msg: AsvmMsg,
     },
-    /// Acknowledgement of an [`Msg::AsvmFrame`] (STS, header-only).
+    /// A *coalesced* ASVM frame on the reliable path: several protocol
+    /// subframes (plus piggybacked owner hints) sharing one wire message.
+    /// Only emitted when the node's [`asvm::CoalesceCfg`] is enabled —
+    /// the classic [`Msg::Asvm`] path is untouched otherwise.
+    AsvmBatch {
+        /// Sending node.
+        from: NodeId,
+        /// Subframes and hints.
+        body: asvm::FrameBody,
+    },
+    /// A coalesced ASVM frame on the per-link retry channel: the whole
+    /// body is **one sequenced ARQ unit** — its subframes share loss,
+    /// retransmission and duplicate-suppression fate.
+    AsvmBatchFrame {
+        /// Sending node.
+        from: NodeId,
+        /// Per-`(from, dst)` sequence number.
+        seq: u64,
+        /// Subframes and hints.
+        body: asvm::FrameBody,
+    },
+    /// Acknowledgement of an [`Msg::AsvmFrame`] or [`Msg::AsvmBatchFrame`]
+    /// (STS, header-only).
     AsvmAck {
         /// The acknowledging node (the frame's receiver).
         from: NodeId,

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use asvm::{AsvmMsg, AsvmNode, LinkReceiver, LinkSender, RetryConfig, TimeoutVerdict};
+use asvm::{AsvmMsg, AsvmNode, FrameBody, LinkReceiver, LinkSender, RetryConfig, TimeoutVerdict};
 use machvm::{
     Access, EmmiToKernel, EmmiToPager, Inherit, MemObjId, PageData, TaskId, VmEffect, VmObjId,
     VmSystem,
@@ -42,10 +42,13 @@ struct DeferredFork {
     parent_task: TaskId,
 }
 
-/// One (re)transmission of an ASVM frame on the retry channel.
+/// One (re)transmission of an ASVM frame on the retry channel. The body
+/// holds one subframe on the classic path and the whole coalesced batch
+/// when [`asvm::CoalesceCfg`] is enabled — either way it is one sequenced
+/// ARQ unit.
 struct FrameTx {
     seq: u64,
-    msg: AsvmMsg,
+    body: FrameBody,
     payload: u32,
     kind: &'static str,
     timeout: Dur,
@@ -107,10 +110,18 @@ pub struct ClusterNode {
     /// Retry/timeout policy of the ASVM frame channel (used only while
     /// the machine's fault plan is active).
     pub retry_cfg: RetryConfig,
-    /// Sender halves of the per-peer ASVM retry channels.
-    link_tx: BTreeMap<NodeId, LinkSender<AsvmMsg>>,
+    /// Sender halves of the per-peer ASVM retry channels. Each sequenced
+    /// unit is a [`FrameBody`]: a singleton on the classic path, a whole
+    /// coalesced batch when coalescing is on.
+    link_tx: BTreeMap<NodeId, LinkSender<FrameBody>>,
     /// Receiver halves of the per-peer ASVM retry channels.
-    link_rx: BTreeMap<NodeId, LinkReceiver<AsvmMsg>>,
+    link_rx: BTreeMap<NodeId, LinkReceiver<FrameBody>>,
+    /// Message coalescing configuration (default off; set by the harness
+    /// through [`ClusterNode::set_coalesce`]).
+    coalesce: asvm::CoalesceCfg,
+    /// Per-destination frame combiner, drained at the end of every
+    /// scheduling step while coalescing is enabled.
+    combiner: asvm::FrameCombiner,
     /// Frames abandoned after retry exhaustion, in order of occurrence.
     pub link_failures: Vec<LinkFailure>,
     /// Failure detector: when each compute peer was last heard from
@@ -166,6 +177,8 @@ impl ClusterNode {
             retry_cfg: RetryConfig::default(),
             link_tx: BTreeMap::new(),
             link_rx: BTreeMap::new(),
+            coalesce: asvm::CoalesceCfg::default(),
+            combiner: asvm::FrameCombiner::default(),
             link_failures: Vec::new(),
             last_heard: BTreeMap::new(),
             suspects: BTreeSet::new(),
@@ -258,6 +271,30 @@ impl ClusterNode {
         }
     }
 
+    /// [`ClusterNode::record_trace`] for a bare ASVM message — used where
+    /// subframes of a coalesced frame are traced individually without
+    /// rebuilding a `ProtocolMsg` per subframe.
+    fn record_trace_asvm(&mut self, now: Time, dir: TraceDir, peer: NodeId, msg: &AsvmMsg) {
+        if let Some(ring) = &mut self.trace {
+            ring.push(ProtoEvent {
+                time: now,
+                node: self.id,
+                peer,
+                dir,
+                kind: msg.stat_key(),
+                mobj: msg.mobj(),
+                page: msg.page(),
+            });
+        }
+    }
+
+    /// Installs the coalescing configuration (harness setup, before any
+    /// traffic), sizing the combiner to the configured frame capacity.
+    pub fn set_coalesce(&mut self, cfg: asvm::CoalesceCfg) {
+        self.coalesce = cfg;
+        self.combiner = asvm::FrameCombiner::new(cfg.max_subframes);
+    }
+
     /// The single pager-request send site: every EMMI request to a real
     /// pager — manager-issued or anonymous-memory — leaves through here,
     /// tagged with its per-call-kind counter.
@@ -290,24 +327,35 @@ impl ClusterNode {
         let kind = msg.stat_key();
         match msg {
             ProtocolMsg::Asvm { from, msg } => {
-                // With an active fault plan, protocol traffic rides the
-                // per-link retry channel; otherwise the classic direct
-                // path, byte-identical to pre-fault builds. NORMA (XMMI,
-                // EMMI, fork) stays on the reliable path in both cases —
-                // it models Mach's guaranteed kernel-to-kernel IPC.
-                if dst != self.id && ctx.machine().config.faults.is_active() {
+                // Remote sends take, in order of preference: the frame
+                // combiner (coalescing enabled — buffered per destination
+                // and flushed as one wire frame per peer at the end of
+                // this scheduling step), the per-link retry channel (an
+                // active fault plan), or the classic direct path,
+                // byte-identical to pre-fault builds. Loopback always
+                // goes direct. NORMA (XMMI, EMMI, fork) stays on the
+                // reliable path in all cases — it models Mach's
+                // guaranteed kernel-to-kernel IPC.
+                if dst != self.id && self.coalesce.enabled {
+                    if let Some(full) = self.combiner.push(dst, msg) {
+                        // Frame hit its subframe capacity: send it now so
+                        // order is preserved.
+                        self.send_frame_body(ctx, dst, full);
+                    }
+                } else if dst != self.id && ctx.machine().config.faults.is_active() {
+                    let body = FrameBody::single(msg);
                     let seq =
                         self.link_tx
                             .entry(dst)
                             .or_default()
-                            .enqueue(msg.clone(), payload, kind);
+                            .enqueue(body.clone(), payload, kind);
                     let timeout = self.retry_cfg.timeout_for(0);
                     self.transmit_frame(
                         ctx,
                         dst,
                         FrameTx {
                             seq,
-                            msg,
+                            body,
                             payload,
                             kind,
                             timeout,
@@ -330,24 +378,162 @@ impl ClusterNode {
     }
 
     /// Puts one (re)transmission of frame `seq` on the lossy wire and arms
-    /// its retry timer.
+    /// its retry timer. With coalescing off the wire format is the classic
+    /// single-message [`Msg::AsvmFrame`] (byte-identical to pre-coalescing
+    /// builds); with it on, the whole body travels as one
+    /// [`Msg::AsvmBatchFrame`] — one fault decision, one sequence number.
     fn transmit_frame(&mut self, ctx: &mut Ctx<'_, Msg>, dst: NodeId, frame: FrameTx) {
         let from = self.id;
         let FrameTx {
             seq,
-            msg,
+            body,
             payload,
             kind,
             timeout,
         } = frame;
-        self.asvm_transport
-            .send_lossy(ctx, dst, payload, kind, || Msg::AsvmFrame {
-                from,
-                seq,
-                msg: msg.clone(),
-            });
+        if self.coalesce.enabled {
+            let subframes = body.subframes();
+            self.asvm_transport
+                .send_coalesced_lossy(ctx, dst, subframes, payload, || Msg::AsvmBatchFrame {
+                    from,
+                    seq,
+                    body: body.clone(),
+                });
+        } else {
+            let msg = &body.msgs[0];
+            self.asvm_transport
+                .send_lossy(ctx, dst, payload, kind, || Msg::AsvmFrame {
+                    from,
+                    seq,
+                    msg: msg.clone(),
+                });
+        }
         let at = ctx.now() + timeout;
         ctx.post_self(at, Msg::RetryTick { dst, seq });
+    }
+
+    /// Sends one coalesced frame body to `dst`: attaches piggybacked
+    /// owner hints, counts the logical per-kind and `asvm.coalesce.*`
+    /// statistics, and puts the frame on the wire — through the ARQ
+    /// channel as one sequenced unit when the fault plan is active,
+    /// directly otherwise.
+    fn send_frame_body(&mut self, ctx: &mut Ctx<'_, Msg>, dst: NodeId, mut body: FrameBody) {
+        // Every data/ack subframe piggybacks the sender's current owner
+        // view for its page, so the receiver's dynamic hint cache stays
+        // warm without dedicated OwnerHint traffic. Computed at flush
+        // time — after the engine finished handling the event — so the
+        // hints reflect post-transition truth. Telling the destination
+        // about itself is useless; skip those.
+        if self.coalesce.piggyback_hints {
+            if let Some(eng) = self.engine.as_asvm() {
+                let mut hints = Vec::new();
+                for m in &body.msgs {
+                    if !(m.carries_data() || m.is_ack_class()) {
+                        continue;
+                    }
+                    if let Some(page) = m.page() {
+                        let mobj = m.mobj();
+                        if let Some(owner) = eng.owner_view(mobj, page) {
+                            if owner != dst {
+                                hints.push((mobj, page, owner));
+                            }
+                        }
+                    }
+                }
+                for h in hints {
+                    body.push_hint(h);
+                }
+            }
+        }
+        let ps = self.vm.page_size();
+        let payload = body.payload_bytes(ps);
+        let subframes = body.subframes();
+        // Logical accounting is per *subframe* — the asvm.msg.* counters
+        // mean the same thing with coalescing on or off. The frame itself
+        // and the coalescing wins get their own counters; messages per
+        // fault is (Σ asvm.msg.* − merged) / faults.completed.
+        for m in &body.msgs {
+            ctx.stats().bump(m.stat_key());
+        }
+        ctx.stats().bump("asvm.frames");
+        if subframes > 1 {
+            ctx.stats()
+                .add("asvm.coalesce.merged", (subframes - 1) as u64);
+        }
+        let acks = body.acks_riding_data();
+        if acks > 0 {
+            ctx.stats().add("asvm.coalesce.piggyback_ack", acks as u64);
+        }
+        if !body.hints.is_empty() {
+            ctx.stats()
+                .add("asvm.coalesce.piggyback_hint", body.hints.len() as u64);
+        }
+        let from = self.id;
+        if ctx.machine().config.faults.is_active() {
+            let kind = body.msgs[0].stat_key();
+            let seq = self
+                .link_tx
+                .entry(dst)
+                .or_default()
+                .enqueue(body.clone(), payload, kind);
+            let timeout = self.retry_cfg.timeout_for(0);
+            self.transmit_frame(
+                ctx,
+                dst,
+                FrameTx {
+                    seq,
+                    body,
+                    payload,
+                    kind,
+                    timeout,
+                },
+            );
+        } else {
+            self.asvm_transport.send_coalesced(
+                ctx,
+                dst,
+                subframes,
+                payload,
+                Msg::AsvmBatch { from, body },
+            );
+        }
+    }
+
+    /// Drains the frame combiner at the end of a scheduling step: one
+    /// coalesced frame per destination, in destination order.
+    fn flush_coalesced(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.combiner.is_empty() {
+            return;
+        }
+        for (dst, body) in self.combiner.drain() {
+            self.send_frame_body(ctx, dst, body);
+        }
+    }
+
+    /// Delivers one arriving frame body: applies piggybacked owner hints
+    /// (first — a subframe carrying fresher truth overwrites them), then
+    /// handles every subframe in order, exactly like the equivalent
+    /// sequence of singleton frames.
+    fn deliver_body(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, body: FrameBody) {
+        if !body.hints.is_empty() {
+            if let Some(eng) = self.engine.as_asvm_mut() {
+                let mut applied = 0u64;
+                for (mobj, page, owner) in &body.hints {
+                    if eng.apply_owner_hint(*mobj, *page, *owner) {
+                        applied += 1;
+                    }
+                }
+                if applied > 0 {
+                    ctx.stats().add("asvm.coalesce.hint_applied", applied);
+                }
+            }
+        }
+        for m in body.msgs {
+            let pm = ProtocolMsg::Asvm { from, msg: m };
+            self.record_trace(ctx.now(), TraceDir::Recv, from, &pm);
+            let fx = self.engine.handle_protocol(ctx.now(), &mut self.vm, pm);
+            self.run_fx(ctx, fx);
+        }
     }
 
     /// Handles a sender-side retry timer firing for frame `seq` to `dst`.
@@ -357,24 +543,23 @@ impl ClusterNode {
         match verdict {
             TimeoutVerdict::Stale => {}
             TimeoutVerdict::Resend {
-                msg,
+                msg: body,
                 payload,
                 kind,
                 next_timeout,
             } => {
                 ctx.stats().bump("asvm.retry.timeout");
                 ctx.stats().bump("asvm.retry.resent");
-                let pm = ProtocolMsg::Asvm { from: self.id, msg };
-                self.record_trace(ctx.now(), TraceDir::Send, dst, &pm);
-                let ProtocolMsg::Asvm { msg, .. } = pm else {
-                    unreachable!()
-                };
+                let now = ctx.now();
+                for m in &body.msgs {
+                    self.record_trace_asvm(now, TraceDir::Send, dst, m);
+                }
                 self.transmit_frame(
                     ctx,
                     dst,
                     FrameTx {
                         seq,
-                        msg,
+                        body,
                         payload,
                         kind,
                         timeout: next_timeout,
@@ -1207,17 +1392,40 @@ impl NodeBehavior<Msg> for ClusterNode {
                         from: me,
                         seq,
                     });
-                let accepted = self.link_rx.entry(from).or_default().accept(seq, msg);
+                let accepted = self
+                    .link_rx
+                    .entry(from)
+                    .or_default()
+                    .accept(seq, FrameBody::single(msg));
                 if accepted.duplicate {
                     ctx.stats().bump("asvm.retry.dup_drop");
                 } else if accepted.deliver.is_empty() {
                     ctx.stats().bump("asvm.retry.buffered");
                 }
-                for m in accepted.deliver {
-                    let pm = ProtocolMsg::Asvm { from, msg: m };
-                    self.record_trace(ctx.now(), TraceDir::Recv, from, &pm);
-                    let fx = self.engine.handle_protocol(ctx.now(), &mut self.vm, pm);
-                    self.run_fx(ctx, fx);
+                for b in accepted.deliver {
+                    self.deliver_body(ctx, from, b);
+                }
+            }
+            Msg::AsvmBatch { from, body } => {
+                self.deliver_body(ctx, from, body);
+            }
+            Msg::AsvmBatchFrame { from, seq, body } => {
+                // Same ack-everything discipline as the singleton frame
+                // channel: the whole batch is one sequenced unit.
+                let me = self.id;
+                self.asvm_transport
+                    .send_lossy(ctx, from, 0, "asvm.retry.ack", || Msg::AsvmAck {
+                        from: me,
+                        seq,
+                    });
+                let accepted = self.link_rx.entry(from).or_default().accept(seq, body);
+                if accepted.duplicate {
+                    ctx.stats().bump("asvm.retry.dup_drop");
+                } else if accepted.deliver.is_empty() {
+                    ctx.stats().bump("asvm.retry.buffered");
+                }
+                for b in accepted.deliver {
+                    self.deliver_body(ctx, from, b);
                 }
             }
             Msg::AsvmAck { from, seq } => {
@@ -1360,5 +1568,9 @@ impl NodeBehavior<Msg> for ClusterNode {
             }
         }
         self.pageout(ctx);
+        // End of the scheduling step: everything the engines emitted
+        // while handling this event (pageout included) leaves as one
+        // coalesced frame per destination. No-op with coalescing off.
+        self.flush_coalesced(ctx);
     }
 }

@@ -104,13 +104,17 @@ impl Ssi {
             let capacity = m.config.user_pages_per_node();
             let vm = VmSystem::new(m.config.page_size, capacity, cost.clone());
             let engine: Box<dyn crate::engine::CoherenceEngine> = match kind {
-                ManagerKind::Asvm(acfg) => {
-                    let _ = acfg;
-                    Box::new(AsvmNode::new(id, cost))
-                }
+                ManagerKind::Asvm(_) => Box::new(AsvmNode::new(id, cost)),
                 ManagerKind::Xmm { copy_threads } => Box::new(XmmNode::new(id, cost, copy_threads)),
             };
-            ClusterNode::new(id, vm, engine, m.kind(id), m.config.page_size)
+            let mut node = ClusterNode::new(id, vm, engine, m.kind(id), m.config.page_size);
+            if let ManagerKind::Asvm(acfg) = kind {
+                // Coalescing is a node-level transport concern (the frame
+                // combiner sits under every object), configured from the
+                // cluster-wide ASVM config.
+                node.set_coalesce(acfg.coalesce);
+            }
+            node
         });
         Ssi {
             world,

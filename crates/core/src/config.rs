@@ -38,6 +38,57 @@ impl Default for ForwardCfg {
     }
 }
 
+/// Message coalescing on the ASVM/STS protocol path (off by default).
+///
+/// STS receives into preallocated fixed-size buffers, so several small
+/// protocol messages headed for the same node can share one wire frame:
+/// one fixed header is charged for the frame, and each additional
+/// subframe only pays a small demultiplex overhead instead of a full
+/// per-message send/receive. Acks ride on data frames going the same way,
+/// and data/ack frames piggyback the sender's current owner hint for the
+/// page so dynamic hint caches stay warm without dedicated traffic.
+///
+/// The combiner's window is one scheduling step (one delivered event):
+/// every protocol send an engine produces while handling a single event
+/// is buffered per destination and flushed as one frame per peer at the
+/// end of the step, so enabling coalescing never delays traffic across
+/// events and determinism is preserved. The ARQ layer treats a coalesced
+/// frame as one sequenced unit (see `docs/RELIABILITY.md`).
+#[derive(Clone, Copy, Debug)]
+pub struct CoalesceCfg {
+    /// Master switch. Off keeps the classic one-frame-per-message path,
+    /// byte-identical to builds without the coalescing layer.
+    pub enabled: bool,
+    /// Maximum subframes per wire frame: the model of STS's preallocated
+    /// receive buffer capacity. A full frame is flushed immediately and a
+    /// fresh one started.
+    pub max_subframes: usize,
+    /// Piggyback the sender's owner hint for every page addressed by a
+    /// data/ack subframe.
+    pub piggyback_hints: bool,
+}
+
+impl Default for CoalesceCfg {
+    fn default() -> CoalesceCfg {
+        CoalesceCfg {
+            enabled: false,
+            max_subframes: 16,
+            piggyback_hints: true,
+        }
+    }
+}
+
+impl CoalesceCfg {
+    /// Coalescing on, with the default frame capacity and hint
+    /// piggybacking.
+    pub fn on() -> CoalesceCfg {
+        CoalesceCfg {
+            enabled: true,
+            ..CoalesceCfg::default()
+        }
+    }
+}
+
 /// Forwarding and cache configuration, settable per memory object.
 ///
 /// The paper: *"The ASVM system allows to disable either dynamic or static
@@ -65,6 +116,8 @@ pub struct AsvmConfig {
     pub readahead: u32,
     /// Forwarding hop bound and request-watchdog parameters.
     pub forward: ForwardCfg,
+    /// Protocol message coalescing over STS (default off).
+    pub coalesce: CoalesceCfg,
 }
 
 impl Default for AsvmConfig {
@@ -76,6 +129,7 @@ impl Default for AsvmConfig {
             static_cache_entries: 4096,
             readahead: 0,
             forward: ForwardCfg::default(),
+            coalesce: CoalesceCfg::default(),
         }
     }
 }
@@ -113,6 +167,12 @@ impl AsvmConfig {
             ..AsvmConfig::default()
         }
     }
+
+    /// Returns this configuration with message coalescing switched on.
+    pub fn coalesced(mut self) -> AsvmConfig {
+        self.coalesce = CoalesceCfg::on();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +187,15 @@ mod tests {
         assert!(!f.dynamic_forwarding && f.static_forwarding);
         let g = AsvmConfig::global_only();
         assert!(!g.dynamic_forwarding && !g.static_forwarding);
+    }
+
+    #[test]
+    fn coalescing_defaults_off() {
+        let c = AsvmConfig::default().coalesce;
+        assert!(!c.enabled, "coalescing must be opt-in");
+        assert_eq!(c.max_subframes, 16);
+        let on = AsvmConfig::default().coalesced().coalesce;
+        assert!(on.enabled && on.piggyback_hints);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 // protocol flow the paper describes.
 #![allow(clippy::too_many_arguments)]
 
+pub mod coalesce;
 pub mod config;
 pub mod copymgmt;
 pub mod locks;
@@ -44,7 +45,8 @@ pub mod retry;
 #[cfg(test)]
 mod node_tests;
 
-pub use config::{AsvmConfig, ForwardCfg};
+pub use coalesce::{FrameBody, FrameCombiner, OwnerHintEntry};
+pub use config::{AsvmConfig, CoalesceCfg, ForwardCfg};
 pub use locks::{HeldLock, PageRange, RangeLockMgr};
 pub use lru::Lru;
 pub use node::{AsvmNode, Fx};

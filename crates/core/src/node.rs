@@ -153,6 +153,39 @@ impl AsvmNode {
         self.objects.get(&mobj)?.pages.get(&page)
     }
 
+    /// This node's current ownership view of `(mobj, page)`, for
+    /// piggybacking on outgoing coalesced frames: itself if it owns the
+    /// page, else the dynamic hint cache's entry. `None` when the view is
+    /// cold — no hint is attached rather than a guess.
+    pub fn owner_view(&self, mobj: MemObjId, page: PageIdx) -> Option<NodeId> {
+        let o = self.objects.get(&mobj)?;
+        if o.pages.get(&page).is_some_and(|pi| pi.owner) {
+            return Some(self.me);
+        }
+        o.dyn_cache.peek(&page).copied()
+    }
+
+    /// Applies a piggybacked owner hint from an arriving coalesced frame
+    /// to the dynamic hint cache. Returns whether the hint was taken;
+    /// hints for unknown objects, hint-disabled objects, self-ownership
+    /// or pages this node *knows* it owns are ignored (local truth beats
+    /// a peer's view). Pure cache warming: wrong hints are only ever a
+    /// forwarding detour, exactly like any stale dynamic hint.
+    pub fn apply_owner_hint(&mut self, mobj: MemObjId, page: PageIdx, owner: NodeId) -> bool {
+        let me = self.me;
+        let Some(o) = self.objects.get_mut(&mobj) else {
+            return false;
+        };
+        if !o.cfg.dynamic_forwarding || owner == me {
+            return false;
+        }
+        if o.pages.get(&page).is_some_and(|pi| pi.owner) {
+            return false;
+        }
+        o.dyn_cache.insert(page, owner);
+        true
+    }
+
     // --- Local VM ingress --------------------------------------------------
 
     /// Continues pull lookups that must proceed in another distributed

@@ -505,6 +505,33 @@ impl AsvmMsg {
             | AsvmMsg::RecoverElect { mobj, .. } => *mobj,
         }
     }
+
+    /// Whether this is an ack-class message: pure bookkeeping replies that
+    /// the engine handles at `asvm_ack_handle` cost. These are what the
+    /// coalescing layer counts as "acks riding on data frames" when they
+    /// share a wire frame with a payload-carrying subframe.
+    pub fn is_ack_class(&self) -> bool {
+        matches!(
+            self,
+            AsvmMsg::InvalidateAck { .. }
+                | AsvmMsg::ReadCheckReply { .. }
+                | AsvmMsg::AcceptReply { .. }
+                | AsvmMsg::PushAck { .. }
+                | AsvmMsg::PushDone { .. }
+                | AsvmMsg::OwnerHint { .. }
+                | AsvmMsg::PagedHint { .. }
+        )
+    }
+
+    /// Whether this message carries page contents on the wire.
+    pub fn carries_data(&self) -> bool {
+        matches!(
+            self,
+            AsvmMsg::Grant { data: Some(_), .. }
+                | AsvmMsg::PageTransfer { .. }
+                | AsvmMsg::PushData { .. }
+        )
+    }
 }
 
 /// A network send requested by the ASVM state machine.

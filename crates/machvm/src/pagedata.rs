@@ -31,10 +31,9 @@ impl PageData {
             PageData::Zero => 0,
             PageData::Word(w) => *w,
             PageData::Bytes(b) => {
+                let n = b.len().min(8);
                 let mut buf = [0u8; 8];
-                for (i, x) in b.iter().take(8).enumerate() {
-                    buf[i] = *x;
-                }
+                buf[..n].copy_from_slice(&b[..n]);
                 u64::from_le_bytes(buf)
             }
         }
@@ -46,9 +45,15 @@ impl PageData {
         match self {
             PageData::Zero => vec![0; len],
             PageData::Word(w) => {
-                let mut page = vec![0u8; page_size];
-                page[..8.min(page_size)].copy_from_slice(&w.to_le_bytes()[..8.min(page_size)]);
-                page[off..off + len].to_vec()
+                // The stamp occupies bytes 0..8 (little-endian); the rest of
+                // the page is zero. Materialize only the requested range
+                // instead of staging a full page-sized buffer.
+                let mut out = vec![0u8; len];
+                if off < 8 {
+                    let n = (8 - off).min(len);
+                    out[..n].copy_from_slice(&w.to_le_bytes()[off..off + n]);
+                }
+                out
             }
             PageData::Bytes(b) => b[off..off + len].to_vec(),
         }
@@ -104,6 +109,11 @@ mod tests {
             0xdead_beef_cafe_f00du64.to_le_bytes()
         );
         assert_eq!(p.read_bytes(8, 2, PS), vec![0, 0]);
+        // A read straddling the 8-byte stamp boundary: stamp tail, then
+        // zero fill.
+        let stamp = 0xdead_beef_cafe_f00du64.to_le_bytes();
+        assert_eq!(p.read_bytes(6, 4, PS), vec![stamp[6], stamp[7], 0, 0],);
+        assert_eq!(p.read_bytes(4000, 3, PS), vec![0, 0, 0]);
     }
 
     #[test]

@@ -126,6 +126,115 @@ impl Transport {
         }
     }
 
+    /// Cost envelope for a *coalesced* frame carrying `subframes` protocol
+    /// messages and `payload_bytes` of total payload in one wire message.
+    ///
+    /// The frame pays one fixed header and one full per-message CPU charge
+    /// (exactly [`Transport::costs`] for the first subframe); every
+    /// additional subframe adds only the amortized software overhead of
+    /// demultiplexing it out of the shared buffer (`sts_subframe_cpu` per
+    /// side) plus a small framing tag on the wire (`sts_subframe_bytes`).
+    /// This models STS's preallocated receive buffers: the expensive part
+    /// of a small message is per-*frame* interrupt and buffer handling,
+    /// not per-*subframe* parsing. With `subframes <= 1` this is identical
+    /// to [`Transport::costs`], so an empty coalescing layer charges
+    /// nothing extra.
+    ///
+    /// NORMA keeps its per-byte marshalling for the whole payload — typed
+    /// in-line data gains nothing from sharing an envelope — so coalescing
+    /// only ever pays off on STS, which is the point of the ablation.
+    pub fn coalesced_costs(
+        &self,
+        cost: &CostModel,
+        subframes: u32,
+        payload_bytes: u32,
+    ) -> MsgCosts {
+        let base = self.costs(cost, payload_bytes);
+        let extra = subframes.saturating_sub(1);
+        if extra == 0 {
+            return base;
+        }
+        let demux = Dur::from_nanos(cost.sts_subframe_cpu.as_nanos() * extra as u64);
+        MsgCosts {
+            send_cpu: base.send_cpu + demux,
+            recv_cpu: base.recv_cpu + demux,
+            bytes: base.bytes + cost.sts_subframe_bytes * extra,
+        }
+    }
+
+    /// Sends a coalesced frame of `subframes` protocol messages to `dst`
+    /// over the reliable path, charging [`Transport::coalesced_costs`] and
+    /// one per-transport frame statistic (a coalesced frame is *one* wire
+    /// message).
+    pub fn send_coalesced<M>(
+        &self,
+        ctx: &mut Ctx<'_, M>,
+        dst: NodeId,
+        subframes: u32,
+        payload_bytes: u32,
+        msg: M,
+    ) {
+        let costs = if dst == ctx.me() {
+            self.local_costs(&ctx.machine().config.cost, payload_bytes)
+        } else {
+            self.coalesced_costs(&ctx.machine().config.cost, subframes, payload_bytes)
+        };
+        ctx.stats().bump(self.stat_key());
+        if payload_bytes > 0 {
+            ctx.stats().bump(match self.kind {
+                TransportKind::NormaIpc => "norma.page_messages",
+                TransportKind::Sts => "sts.page_messages",
+            });
+        }
+        ctx.send(dst, costs, msg);
+    }
+
+    /// [`Transport::send_coalesced`] through the fault-injection layer:
+    /// the whole frame is one unit of loss/duplication/delay — subframes
+    /// share its fate, which is what lets the ARQ layer sequence a
+    /// coalesced frame exactly like a singleton one.
+    pub fn send_coalesced_lossy<M>(
+        &self,
+        ctx: &mut Ctx<'_, M>,
+        dst: NodeId,
+        subframes: u32,
+        payload_bytes: u32,
+        mut make: impl FnMut() -> M,
+    ) {
+        if dst == ctx.me() || !ctx.machine().config.faults.is_active() {
+            self.send_coalesced(ctx, dst, subframes, payload_bytes, make());
+            return;
+        }
+        let decision = ctx.fault_decision(dst);
+        ctx.stats().bump(self.stat_key());
+        if payload_bytes > 0 {
+            ctx.stats().bump(match self.kind {
+                TransportKind::NormaIpc => "norma.page_messages",
+                TransportKind::Sts => "sts.page_messages",
+            });
+        }
+        let costs = self.coalesced_costs(&ctx.machine().config.cost, subframes, payload_bytes);
+        match decision {
+            FaultDecision::Deliver => ctx.send(dst, costs, make()),
+            FaultDecision::Drop(cause) => {
+                ctx.stats().bump(match cause {
+                    FaultCause::Loss => "transport.fault.dropped",
+                    FaultCause::Blackout => "transport.fault.blackout",
+                });
+                ctx.charge_send_only(costs);
+            }
+            FaultDecision::Duplicate { extra } => {
+                ctx.stats().bump("transport.fault.duplicated");
+                ctx.send(dst, costs, make());
+                ctx.send_delayed(dst, costs, extra, make());
+            }
+            FaultDecision::Delay { extra } => {
+                ctx.stats().bump("transport.fault.delayed");
+                ctx.send_delayed(dst, costs, extra, make());
+            }
+        }
+    }
+
     /// Sends `msg` to `dst` through this transport, charging costs and
     /// per-transport statistics. Node-local destinations take the loopback
     /// fast path.
@@ -259,6 +368,46 @@ mod tests {
             assert!(big.recv_cpu >= small.recv_cpu);
             assert!(big.send_cpu >= small.send_cpu);
         }
+    }
+
+    #[test]
+    fn one_subframe_coalesces_to_plain_costs() {
+        let c = cost();
+        for t in [Transport::STS, Transport::NORMA] {
+            for payload in [0u32, 8192] {
+                let plain = t.costs(&c, payload);
+                let co = t.coalesced_costs(&c, 1, payload);
+                assert_eq!(
+                    (co.send_cpu, co.recv_cpu, co.bytes),
+                    (plain.send_cpu, plain.recv_cpu, plain.bytes)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_frame_beats_separate_sends() {
+        // k header-only messages in one frame: one fixed header, one full
+        // CPU charge, and k-1 cheap demultiplexes — strictly cheaper than
+        // k independent frames on every axis.
+        let c = cost();
+        let k = 6u32;
+        let co = Transport::STS.coalesced_costs(&c, k, 0);
+        let single = Transport::STS.costs(&c, 0);
+        let separate_cpu =
+            Dur::from_nanos((single.send_cpu + single.recv_cpu).as_nanos() * k as u64);
+        let co_cpu = co.send_cpu + co.recv_cpu;
+        assert!(
+            co_cpu < separate_cpu,
+            "coalesced {co_cpu} vs separate {separate_cpu}"
+        );
+        assert!(co.bytes < single.bytes * k, "one header, not {k}");
+        // The header really is charged once: only small per-subframe tags
+        // beyond it.
+        assert_eq!(
+            co.bytes,
+            c.sts_header_bytes + c.sts_subframe_bytes * (k - 1)
+        );
     }
 
     #[test]

@@ -19,4 +19,6 @@ pub use copychain::{copy_chain_probe, CopyChainResult, CopyChainSpec};
 pub use em3d::{em3d_run, Em3dOutcome, Em3dSpec};
 pub use faultprobe::{fault_probe, FaultProbeResult, FaultProbeSpec, ProbeAccess};
 pub use filescan::{file_scan, FileScanResult, FileScanSpec, ScanDir};
-pub use patterns::{run_pattern, run_pattern_faulted, FaultedOutcome, Pattern, PatternOutcome};
+pub use patterns::{
+    run_pattern, run_pattern_faulted, run_pattern_paced, FaultedOutcome, Pattern, PatternOutcome,
+};

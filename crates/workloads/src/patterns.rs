@@ -60,6 +60,33 @@ pub struct PatternOutcome {
     pub elapsed_s: f64,
     /// Simulator events processed by the run (parallel-sweep accounting).
     pub events: u64,
+    /// Logical ASVM protocol messages (Σ `asvm.msg.*`) — unchanged by
+    /// coalescing, which only merges them onto shared wire frames.
+    pub asvm_msgs: u64,
+    /// Physical ASVM wire frames: logical messages minus the subframes
+    /// that shared a frame with an earlier one (`asvm.coalesce.merged`).
+    /// Equal to `asvm_msgs` with coalescing off.
+    pub asvm_frames: u64,
+    /// Subframes that rode an earlier message's frame
+    /// (`asvm.coalesce.merged`).
+    pub coalesce_merged: u64,
+    /// Owner hints piggybacked on outgoing data/ack frames
+    /// (`asvm.coalesce.piggyback_hint`).
+    pub coalesce_hints: u64,
+    /// Ack-class subframes that shared a frame with page data
+    /// (`asvm.coalesce.piggyback_ack`).
+    pub coalesce_acks: u64,
+}
+
+impl PatternOutcome {
+    /// ASVM wire frames per resolved page fault — the headline metric of
+    /// the coalescing ablation (`BENCH_coalesce.json`).
+    pub fn messages_per_fault(&self) -> f64 {
+        if self.faults == 0 {
+            return 0.0;
+        }
+        self.asvm_frames as f64 / self.faults as f64
+    }
 }
 
 struct PatternProgram {
@@ -72,10 +99,29 @@ struct PatternProgram {
     barrier: u32,
     phase: u8,
     rng: StdRng,
+    /// Per-touch compute time ([`run_pattern_paced`]); `Dur::ZERO` keeps
+    /// the classic back-to-back access stream.
+    think: Dur,
+    think_pending: bool,
+}
+
+impl PatternProgram {
+    /// Marks a memory touch so the next step models `think` of compute
+    /// before the following access.
+    fn touch(&mut self, s: Step) -> Step {
+        if self.think > Dur::ZERO {
+            self.think_pending = true;
+        }
+        s
+    }
 }
 
 impl Program for PatternProgram {
     fn step(&mut self, _env: &mut TaskEnv) -> Step {
+        if self.think_pending {
+            self.think_pending = false;
+            return Step::Compute(self.think);
+        }
         match self.pattern {
             Pattern::Migratory { rounds } => {
                 // Round-robin turns: in round r, node (r % nodes) writes
@@ -88,10 +134,10 @@ impl Program for PatternProgram {
                 if turn_node == self.me && self.idx < self.pages {
                     let p = self.idx;
                     self.idx += 1;
-                    return Step::Write {
+                    return self.touch(Step::Write {
                         va_page: p as u64,
                         value: (self.round as u64) << 8 | p as u64,
-                    };
+                    });
                 }
                 self.idx = 0;
                 let b = self.barrier;
@@ -109,10 +155,10 @@ impl Program for PatternProgram {
                         if self.me == 0 && self.idx < self.pages {
                             let p = self.idx;
                             self.idx += 1;
-                            return Step::Write {
+                            return self.touch(Step::Write {
                                 va_page: p as u64,
                                 value: (self.round as u64) << 8 | p as u64,
-                            };
+                            });
                         }
                         self.phase = 1;
                         self.idx = 0;
@@ -125,7 +171,7 @@ impl Program for PatternProgram {
                         if self.me != 0 && self.idx < self.pages {
                             let p = self.idx;
                             self.idx += 1;
-                            return Step::Read { va_page: p as u64 };
+                            return self.touch(Step::Read { va_page: p as u64 });
                         }
                         self.phase = 0;
                         self.idx = 0;
@@ -149,12 +195,12 @@ impl Program for PatternProgram {
                     self.idx += 1;
                     let writer_round = self.round % write_every == write_every - 1;
                     if writer_round && self.me == 0 {
-                        return Step::Write {
+                        return self.touch(Step::Write {
                             va_page: p as u64,
                             value: self.round as u64,
-                        };
+                        });
                     }
-                    return Step::Read { va_page: p as u64 };
+                    return self.touch(Step::Read { va_page: p as u64 });
                 }
                 self.idx = 0;
                 self.round += 1;
@@ -168,14 +214,15 @@ impl Program for PatternProgram {
                 }
                 self.round += 1;
                 let p = self.rng.gen_range(0..self.pages) as u64;
-                if self.rng.gen_range(0..100) < write_pct {
+                let s = if self.rng.gen_range(0..100) < write_pct {
                     Step::Write {
                         va_page: p,
                         value: self.round as u64,
                     }
                 } else {
                     Step::Read { va_page: p }
-                }
+                };
+                self.touch(s)
             }
         }
     }
@@ -215,6 +262,24 @@ pub fn run_pattern(kind: ManagerKind, nodes: u16, pages: u32, pattern: Pattern) 
     out.outcome
 }
 
+/// [`run_pattern`] with `think` of modeled compute after every memory
+/// touch. Back-to-back streams (the `Dur::ZERO` default) race ahead of
+/// in-flight readahead fills and book extra near-zero-latency faults, so
+/// fault counts become sensitive to fill *arrival spacing*; a realistic
+/// per-touch think time makes the fault denominator depend only on the
+/// access pattern, which is what a messages-per-fault comparison needs.
+pub fn run_pattern_paced(
+    kind: ManagerKind,
+    nodes: u16,
+    pages: u32,
+    pattern: Pattern,
+    think: Dur,
+) -> PatternOutcome {
+    let out = run_pattern_full(kind, nodes, pages, pattern, FaultPlan::none(), think);
+    assert!(out.completed, "pattern tasks finish");
+    out.outcome
+}
+
 /// [`run_pattern`] on a machine with `faults` armed. Unlike the reliable
 /// runner this tolerates stranded tasks (a retry-exhausted link legally
 /// leaves waiters suspended) and reports them through
@@ -225,6 +290,17 @@ pub fn run_pattern_faulted(
     pages: u32,
     pattern: Pattern,
     faults: FaultPlan,
+) -> FaultedOutcome {
+    run_pattern_full(kind, nodes, pages, pattern, faults, Dur::ZERO)
+}
+
+fn run_pattern_full(
+    kind: ManagerKind,
+    nodes: u16,
+    pages: u32,
+    pattern: Pattern,
+    faults: FaultPlan,
+    think: Dur,
 ) -> FaultedOutcome {
     let seed = match pattern {
         Pattern::Uniform { seed, .. } => seed,
@@ -268,6 +344,8 @@ pub fn run_pattern_faulted(
                 barrier: 0,
                 phase: 0,
                 rng: StdRng::seed_from_u64(seed ^ (i as u64) << 32),
+                think,
+                think_pending: false,
             }),
         );
     }
@@ -287,6 +365,12 @@ pub fn run_pattern_faulted(
         }
     }
     let faults = s.tally("fault.ms");
+    let asvm_msgs: u64 = s
+        .counters()
+        .filter(|(k, _)| k.starts_with("asvm.msg."))
+        .map(|(_, v)| v)
+        .sum();
+    let merged = s.counter("asvm.coalesce.merged");
     FaultedOutcome {
         completed,
         outcome: PatternOutcome {
@@ -295,6 +379,11 @@ pub fn run_pattern_faulted(
             messages: s.counter("sts.messages") + s.counter("norma.messages"),
             elapsed_s: ssi.world.now().as_secs_f64(),
             events: ssi.world.events_processed(),
+            asvm_msgs,
+            asvm_frames: asvm_msgs - merged,
+            coalesce_merged: merged,
+            coalesce_hints: s.counter("asvm.coalesce.piggyback_hint"),
+            coalesce_acks: s.counter("asvm.coalesce.piggyback_ack"),
         },
         dropped: s.counter("transport.fault.dropped") + s.counter("transport.fault.blackout"),
         duplicated: s.counter("transport.fault.duplicated"),
@@ -374,6 +463,45 @@ mod tests {
                 assert!(out.faults > 0);
                 assert!(out.elapsed_s > 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn coalescing_cuts_messages_per_fault_on_sharing_heavy_patterns() {
+        // The acceptance bar of the coalescing ablation: ≥25% fewer wire
+        // frames per resolved fault on sharing-heavy patterns. Readahead
+        // is identical in both arms so the only difference is coalescing.
+        let off_cfg = asvm::AsvmConfig::with_readahead(8);
+        let on_cfg = off_cfg.coalesced();
+        for pattern in [
+            Pattern::ProducerConsumer { rounds: 4 },
+            Pattern::Hotspot {
+                rounds: 24,
+                write_every: 4,
+            },
+        ] {
+            // 200µs of compute per touch: enough for staggered readahead
+            // fills to land before the next access in both arms, so the
+            // fault denominator reflects the pattern, not fill spacing.
+            let think = Dur::from_micros_f64(800.0);
+            let off = run_pattern_paced(ManagerKind::Asvm(off_cfg), 4, 32, pattern, think);
+            let on = run_pattern_paced(ManagerKind::Asvm(on_cfg), 4, 32, pattern, think);
+            assert_eq!(
+                off.coalesce_merged, 0,
+                "off arm must not touch the combiner"
+            );
+            assert!(on.coalesce_merged > 0, "on arm must merge subframes");
+            assert!(on.coalesce_hints > 0, "data/ack frames carry hints");
+            let (m_off, m_on) = (off.messages_per_fault(), on.messages_per_fault());
+            eprintln!(
+                "{pattern:?}: {m_off:.2} -> {m_on:.2} frames/fault \
+                 (merged {} hints {} acks {})",
+                on.coalesce_merged, on.coalesce_hints, on.coalesce_acks
+            );
+            assert!(
+                m_on <= 0.75 * m_off,
+                "{pattern:?}: expected >=25% reduction, got {m_off:.2} -> {m_on:.2}"
+            );
         }
     }
 

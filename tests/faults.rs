@@ -286,6 +286,58 @@ fn duplicates_are_suppressed_not_applied() {
     assert!(out.duplicated > 0, "20% dup rate must duplicate something");
 }
 
+/// A dropped *coalesced* frame retries and converges exactly like its
+/// unbatched equivalent: the whole multi-subframe body is one ARQ unit —
+/// one sequence number, one fault decision, one retransmission — so loss
+/// of a frame carrying a readahead burst is recovered wholesale. Both
+/// arms run the same plan; both must complete through retransmission,
+/// and the coalesced arm must actually have been merging when hit.
+#[test]
+fn dropped_coalesced_frames_retry_and_converge() {
+    let plan = || {
+        FaultPlan::seeded(fault_seed() ^ 0xC0A1)
+            .with_drop_ppm(30_000)
+            .with_dup_ppm(10_000)
+    };
+    let base = asvm::AsvmConfig::with_readahead(8);
+    let off = run_pattern_faulted(
+        ManagerKind::Asvm(base),
+        4,
+        16,
+        Pattern::ProducerConsumer { rounds: 3 },
+        plan(),
+    );
+    let on = run_pattern_faulted(
+        ManagerKind::Asvm(base.coalesced()),
+        4,
+        16,
+        Pattern::ProducerConsumer { rounds: 3 },
+        plan(),
+    );
+    assert!(off.completed, "unbatched arm completes under 3% loss");
+    assert!(on.completed, "coalesced arm completes under 3% loss");
+    assert!(
+        on.outcome.coalesce_merged > 0,
+        "the coalesced arm must have merged subframes while being hit"
+    );
+    assert!(
+        on.dropped > 0,
+        "the plan must have dropped coalesced frames"
+    );
+    assert!(
+        on.resent > 0,
+        "dropped coalesced frames must be retransmitted as whole bodies"
+    );
+    assert_eq!(
+        off.exhausted, 0,
+        "loss rate stays below the exhaustion regime (off arm)"
+    );
+    assert_eq!(
+        on.exhausted, 0,
+        "loss rate stays below the exhaustion regime (on arm)"
+    );
+}
+
 /// A scripted blackout window delays progress but, once it lifts, retries
 /// push the workload through to completion.
 #[test]

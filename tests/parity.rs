@@ -12,9 +12,9 @@ mod common;
 
 use cluster::{ManagerKind, Ssi};
 use common::{run_trace, TraceOp};
-use machvm::{Access, Inherit, TaskId};
+use machvm::{Access, Inherit, PageIdx, TaskId};
 use proptest::prelude::*;
-use svmsim::NodeId;
+use svmsim::{FaultPlan, MachineConfig, NodeId};
 
 fn trace_strategy(nodes: u16, pages: u32, max_ops: usize) -> impl Strategy<Value = Vec<TraceOp>> {
     prop::collection::vec(
@@ -100,6 +100,108 @@ fn final_memory(kind: ManagerKind, nodes: u16, pages: u32, ops: &[TraceOp]) -> V
     mem
 }
 
+/// Per-page protocol state after a run: `(page, owner node, copyset)`.
+/// Exactly one node must claim ownership of every page.
+type OwnershipMap = Vec<(u32, u16, Vec<u16>)>;
+
+/// Runs `ops` under an ASVM config and returns every node's view of every
+/// page plus the final ownership/copyset map. Same trace scaffolding as
+/// [`final_memory`], but machine-configurable so a fault plan can ride
+/// along.
+fn asvm_final_state(
+    cfg: asvm::AsvmConfig,
+    faults: FaultPlan,
+    nodes: u16,
+    pages: u32,
+    ops: &[TraceOp],
+) -> (Vec<Option<u64>>, OwnershipMap) {
+    let mut mc = MachineConfig::paragon(nodes);
+    mc.faults = faults;
+    let mut ssi = Ssi::with_machine(mc, ManagerKind::Asvm(cfg), 99);
+    let home = NodeId(0);
+    let mobj = ssi.create_object(home, pages, false);
+    let tasks: Vec<TaskId> = (0..nodes)
+        .map(|n| {
+            let t = ssi.alloc_task();
+            ssi.map_shared(
+                t,
+                NodeId(n),
+                0,
+                mobj,
+                home,
+                pages,
+                Access::Write,
+                Inherit::Share,
+            );
+            t
+        })
+        .collect();
+    ssi.finalize();
+    ssi.set_barrier_parties(nodes as u32);
+    for n in 0..nodes {
+        let steps: Vec<cluster::Step> = ops
+            .iter()
+            .enumerate()
+            .flat_map(|(r, op)| {
+                let mine = op.node == n;
+                let action = mine.then(|| {
+                    if op.write {
+                        cluster::Step::Write {
+                            va_page: op.page as u64,
+                            value: common::round_value(r),
+                        }
+                    } else {
+                        cluster::Step::Read {
+                            va_page: op.page as u64,
+                        }
+                    }
+                });
+                action
+                    .into_iter()
+                    .chain(std::iter::once(cluster::Step::Barrier(r as u32)))
+            })
+            .chain((0..pages).map(|p| cluster::Step::Read { va_page: p as u64 }))
+            .chain(std::iter::once(cluster::Step::Done))
+            .collect();
+        ssi.spawn(
+            NodeId(n),
+            tasks[n as usize],
+            Box::new(cluster::ScriptProgram::new(steps)),
+        );
+    }
+    ssi.run(200_000_000)
+        .expect("coalescing parity trace quiesces");
+    assert!(ssi.all_done(), "coalescing parity trace finishes");
+    let mut mem = Vec::new();
+    for n in 0..nodes {
+        for p in 0..pages {
+            mem.push(
+                ssi.node(NodeId(n))
+                    .vm
+                    .peek_task_page(tasks[n as usize], p as u64),
+            );
+        }
+    }
+    let mut ownership = Vec::new();
+    for p in 0..pages {
+        let mut owner = None;
+        let mut copyset = Vec::new();
+        for n in 0..nodes {
+            let eng = ssi.node(NodeId(n)).asvm().expect("asvm engine");
+            if let Some(pi) = eng.page_info(mobj, PageIdx(p)) {
+                if pi.owner {
+                    assert!(owner.is_none(), "page {p}: two nodes claim ownership");
+                    owner = Some(n);
+                    copyset = pi.readers.iter().map(|r| r.0).collect();
+                }
+            }
+        }
+        let owner = owner.unwrap_or_else(|| panic!("page {p}: no owner after quiesce"));
+        ownership.push((p, owner, copyset));
+    }
+    (mem, ownership)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
@@ -142,6 +244,27 @@ proptest! {
             if let (Some(a), Some(x)) = (a, x) {
                 prop_assert_eq!(a, x);
             }
+        }
+    }
+
+    /// Coalescing is a transport-layer change only: the same randomized
+    /// workload with the frame combiner off and on must reach identical
+    /// final memory contents, page ownership, and copysets — both on a
+    /// healthy machine and under an active fault plan (where a coalesced
+    /// frame is one ARQ unit, see docs/RELIABILITY.md).
+    #[test]
+    fn coalescing_preserves_final_state(ops in trace_strategy(3, 6, 12)) {
+        let base = asvm::AsvmConfig::with_readahead(4);
+        for faulted in [false, true] {
+            let plan = || if faulted {
+                FaultPlan::seeded(7).with_drop_ppm(10_000).with_dup_ppm(2_000)
+            } else {
+                FaultPlan::none()
+            };
+            let (mem_off, own_off) = asvm_final_state(base, plan(), 3, 6, &ops);
+            let (mem_on, own_on) = asvm_final_state(base.coalesced(), plan(), 3, 6, &ops);
+            prop_assert_eq!(mem_off, mem_on, "memory diverged (faulted={})", faulted);
+            prop_assert_eq!(own_off, own_on, "ownership diverged (faulted={})", faulted);
         }
     }
 }
