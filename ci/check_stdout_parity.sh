@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Stdout byte-parity: the reproduced paper tables (table1, table3) must be
+# byte-identical to the committed goldens. The simulator is bit-for-bit
+# deterministic and the sweep harness keeps stdout independent of thread
+# count, so any diff here means an event ordering, protocol message, or
+# cost model changed — the regression the hot-path optimization work is
+# required not to introduce.
+#
+# Usage: ci/check_stdout_parity.sh  (requires a release build; builds one
+# if missing via cargo run).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for bin in table1 table3; do
+    golden="goldens/$bin.stdout.txt"
+    if [ ! -f "$golden" ]; then
+        echo "stdout-parity: missing committed golden $golden"
+        exit 1
+    fi
+    fresh="$(mktemp)"
+    cargo run -q -p bench --bin "$bin" --release -- --serial > "$fresh" 2>/dev/null
+    if ! cmp -s "$golden" "$fresh"; then
+        echo "stdout-parity: $bin stdout diverged from $golden:"
+        diff -u "$golden" "$fresh" | head -40 || true
+        echo
+        echo "If the change is intentional, regenerate with:"
+        echo "  cargo run -p bench --bin $bin --release -- --serial > $golden"
+        rm -f "$fresh"
+        exit 1
+    fi
+    rm -f "$fresh"
+    echo "stdout-parity OK: $bin matches $golden"
+done

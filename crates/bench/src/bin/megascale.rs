@@ -1,0 +1,201 @@
+//! Megascale sweep: simulator throughput (events/s) and per-node
+//! protocol-state bytes at 128–1024 nodes, ASVM vs. XMM.
+//!
+//! Three cell families per node count and manager:
+//!
+//! * `eventloop` — one compute-only task per node burning short bursts:
+//!   every event is a bare resume on the event hot path (queue pop,
+//!   dispatch, reschedule), so this cell measures the DES engine itself
+//!   at cluster scale, free of protocol cost.
+//! * `em3d` — the paper's EM3D kernel, weak-scaled (fixed cells per
+//!   node) so per-node work stays constant while the cluster grows.
+//! * `prodcons` / `hotspot` — synthetic sharing patterns with fan-out
+//!   that grows with the cluster (one writer invalidating up to 1023
+//!   readers).
+//!
+//! Every cell reports the [`workloads::megascale`] state probe: the
+//! maximum and mean per-node protocol state in bytes, read from the
+//! coherence engines after the run. The paper's bounded-memory argument
+//! is directly visible in the output table — ASVM's per-node state stays
+//! flat as the cluster grows, while the XMM manager's lock table grows
+//! with (pages × using nodes).
+//!
+//! Environment knobs (the sweep flags `--serial`/`--threads`/`--json`/
+//! `--stable-json` work as everywhere else):
+//!
+//! * `ASVM_MEGASCALE_NODES` — comma-separated node counts to run
+//!   (default `128,256,512,1024`; CI smoke sets `128`).
+//! * `ASVM_MEGASCALE_SEED` — workload-generation seed (default 1996).
+//!   Same seed ⇒ byte-identical `--stable-json` output; the CI job runs
+//!   two seeds to check both determinism and seed sensitivity.
+
+use bench::sweep::Sweep;
+use cluster::ManagerKind;
+use svmsim::Dur;
+use workloads::megascale::StateProbe;
+use workloads::{em3d_run_probed, run_eventloop, run_pattern_mega, Em3dSpec, Pattern};
+
+/// Compute bursts per node in the event-loop cells. Sized so the cheap
+/// resume events dominate the sweep's event mix: the aggregate events/s
+/// figure then reflects the event hot path the envelope/pooling work
+/// optimized, with the protocol cells riding along for the state gauges.
+const EVENTLOOP_STEPS: u32 = 32_768;
+
+/// EM3D cells per node (weak scaling) and computation iterations.
+const EM3D_CELLS_PER_NODE: u64 = 200;
+const EM3D_ITERS: u32 = 3;
+
+/// Pages and rounds of the sharing patterns.
+const PATTERN_PAGES: u32 = 32;
+const PRODCONS_ROUNDS: u32 = 2;
+const HOTSPOT_ROUNDS: u32 = 4;
+const HOTSPOT_WRITE_EVERY: u32 = 2;
+
+fn env_nodes() -> Vec<u16> {
+    match std::env::var("ASVM_MEGASCALE_NODES") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .expect("ASVM_MEGASCALE_NODES: comma-separated node counts")
+            })
+            .collect(),
+        Err(_) => vec![128, 256, 512, 1024],
+    }
+}
+
+fn env_seed() -> u64 {
+    std::env::var("ASVM_MEGASCALE_SEED")
+        .ok()
+        .map(|v| v.parse().expect("ASVM_MEGASCALE_SEED: u64"))
+        .unwrap_or(1996)
+}
+
+/// What every cell returns: simulated seconds plus the state probe.
+type CellValue = (f64, StateProbe);
+
+fn probe_counters(probe: &StateProbe) -> Vec<(String, u64)> {
+    vec![
+        ("state.max_bytes".to_string(), probe.state_max_bytes),
+        ("state.mean_bytes".to_string(), probe.state_mean_bytes),
+        ("state.total_bytes".to_string(), probe.state_total_bytes),
+        ("queue.peak".to_string(), probe.queue_peak),
+        ("queue.grow".to_string(), probe.queue_grow),
+    ]
+}
+
+fn em3d_spec(kind: ManagerKind, nodes: u16, seed: u64) -> Em3dSpec {
+    Em3dSpec {
+        kind,
+        nodes,
+        cells: EM3D_CELLS_PER_NODE * nodes as u64,
+        edges_per_cell: 6,
+        pct_remote: 0.20,
+        iterations: EM3D_ITERS,
+        window: 100,
+        seed,
+        mem_32mb: false,
+    }
+}
+
+fn main() {
+    let nodes = env_nodes();
+    let seed = env_seed();
+    let mut sweep: Sweep<CellValue> = Sweep::from_env("megascale");
+
+    for &n in &nodes {
+        sweep.cell_with_counters(format!("eventloop {n}n"), move || {
+            let (out, probe) = run_eventloop(
+                ManagerKind::asvm(),
+                n,
+                EVENTLOOP_STEPS,
+                Dur::from_nanos(500),
+            );
+            ((out.elapsed_s, probe), out.events, probe_counters(&probe))
+        });
+        for kind in [ManagerKind::asvm(), ManagerKind::xmm()] {
+            sweep.cell_with_counters(format!("em3d {} {n}n", kind.label()), move || {
+                let (out, probe) = em3d_run_probed(em3d_spec(kind, n, seed));
+                let mut counters = probe_counters(&probe);
+                counters.push(("page.faults".to_string(), out.faults));
+                ((out.elapsed_secs, probe), out.events, counters)
+            });
+            sweep.cell_with_counters(format!("prodcons {} {n}n", kind.label()), move || {
+                let (out, probe) = run_pattern_mega(
+                    kind,
+                    n,
+                    PATTERN_PAGES,
+                    Pattern::ProducerConsumer {
+                        rounds: PRODCONS_ROUNDS,
+                    },
+                );
+                let mut counters = probe_counters(&probe);
+                counters.push(("page.faults".to_string(), out.faults));
+                ((out.elapsed_s, probe), out.events, counters)
+            });
+            sweep.cell_with_counters(format!("hotspot {} {n}n", kind.label()), move || {
+                let (out, probe) = run_pattern_mega(
+                    kind,
+                    n,
+                    PATTERN_PAGES,
+                    Pattern::Hotspot {
+                        rounds: HOTSPOT_ROUNDS,
+                        write_every: HOTSPOT_WRITE_EVERY,
+                    },
+                );
+                let mut counters = probe_counters(&probe);
+                counters.push(("page.faults".to_string(), out.faults));
+                ((out.elapsed_s, probe), out.events, counters)
+            });
+        }
+    }
+
+    let report = sweep.run();
+
+    println!("Megascale sweep: per-node protocol state and event throughput (seed {seed})");
+    println!(
+        "{:<22} {:>10} {:>12} {:>16} {:>16} {:>12} {:>8}",
+        "cell", "sim s", "events", "state max B/node", "state mean B/node", "queue peak", "grows"
+    );
+    for c in &report.cells {
+        let (sim_s, probe) = c.value;
+        println!(
+            "{:<22} {:>10.3} {:>12} {:>16} {:>16} {:>12} {:>8}",
+            c.label,
+            sim_s,
+            c.events,
+            probe.state_max_bytes,
+            probe.state_mean_bytes,
+            probe.queue_peak,
+            probe.queue_grow,
+        );
+    }
+
+    // The bounded-memory table: worst-case per-node protocol state as the
+    // cluster grows, ASVM vs. XMM per workload family.
+    println!();
+    println!("Bounded-memory check: max per-node protocol state (bytes)");
+    print!("{:<10} {:>6}", "workload", "mgr");
+    for n in &nodes {
+        print!(" {:>10}", format!("{n}n"));
+    }
+    println!();
+    for family in ["em3d", "prodcons", "hotspot"] {
+        for mgr in ["ASVM", "XMM"] {
+            print!("{family:<10} {mgr:>6}");
+            for n in &nodes {
+                let label = format!("{family} {mgr} {n}n");
+                let bytes = report
+                    .cells
+                    .iter()
+                    .find(|c| c.label == label)
+                    .map(|c| c.value.1.state_max_bytes)
+                    .unwrap_or(0);
+                print!(" {bytes:>10}");
+            }
+            println!();
+        }
+    }
+    report.finish();
+}

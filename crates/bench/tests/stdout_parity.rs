@@ -1,0 +1,62 @@
+//! Stdout byte-parity regression: the table binaries' standard output —
+//! the reproduced paper tables — must match the committed goldens
+//! byte for byte.
+//!
+//! The simulator promises bit-for-bit determinism, and the sweep harness
+//! promises that stdout is independent of thread count; together those
+//! make the printed tables a regression artifact. Any change that shifts
+//! an event ordering, a protocol message, or a cost model shows up here
+//! as a diff — exactly what the allocation-lean hot-path work must *not*
+//! do.
+//!
+//! `table1` is small enough to run in debug test builds. `table3` runs
+//! the full EM3D grid (tens of millions of events) and is `#[ignore]`d by
+//! default; CI runs it against the release binary via
+//! `ci/check_stdout_parity.sh`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../goldens")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read golden {path:?}: {e}"))
+}
+
+fn run_serial(bin: &str) -> String {
+    let out = Command::new(bin)
+        .arg("--serial")
+        .output()
+        .unwrap_or_else(|e| panic!("run {bin}: {e}"));
+    assert!(out.status.success(), "{bin} exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+#[test]
+fn table1_stdout_matches_golden() {
+    let got = run_serial(env!("CARGO_BIN_EXE_table1"));
+    let want = golden("table1.stdout.txt");
+    assert!(
+        got == want,
+        "table1 stdout diverged from goldens/table1.stdout.txt.\n\
+         If the change is intentional, regenerate with:\n\
+         cargo run -p bench --bin table1 --release -- --serial > goldens/table1.stdout.txt"
+    );
+}
+
+/// The full Table 3 grid — minutes in a debug build, so ignored by
+/// default. CI runs the release binary through `ci/check_stdout_parity.sh`;
+/// locally: `cargo test -p bench --release -- --ignored`.
+#[test]
+#[ignore = "slow in debug builds; CI checks the release binary"]
+fn table3_stdout_matches_golden() {
+    let got = run_serial(env!("CARGO_BIN_EXE_table3"));
+    let want = golden("table3.stdout.txt");
+    assert!(
+        got == want,
+        "table3 stdout diverged from goldens/table3.stdout.txt.\n\
+         If the change is intentional, regenerate with:\n\
+         cargo run -p bench --bin table3 --release -- --serial > goldens/table3.stdout.txt"
+    );
+}

@@ -136,6 +136,13 @@ pub enum EngineEffect {
 }
 
 /// What one engine entry point asks the interpreter to do.
+///
+/// `EngineFx` is a *reusable sink*: engine entry points write into a
+/// caller-provided `&mut EngineFx`, and the interpreter drains it in
+/// place. The cluster node keeps a small pool of drained shells, so in
+/// steady state every vector here — and the native effect scratch buffers
+/// the conversions recycle — retains its capacity across millions of
+/// engine calls and the hot path allocates nothing.
 #[derive(Debug, Default)]
 pub struct EngineFx {
     /// Manager CPU consumed (charged to the message processor).
@@ -147,6 +154,11 @@ pub struct EngineFx {
     /// Statistics counters to bump (the sans-IO engines have no stats
     /// handle; the interpreter applies these).
     pub bumps: Vec<&'static str>,
+    /// Drained ASVM native-effect shell, lent out by [`EngineFx::take_asvm`]
+    /// for the next engine call so its vectors keep their capacity.
+    asvm_scratch: asvm::Fx,
+    /// Drained XMM native-effect shell (see `asvm_scratch`).
+    xmm_scratch: xmm::Fx,
 }
 
 impl EngineFx {
@@ -155,13 +167,27 @@ impl EngineFx {
         EngineFx::default()
     }
 
-    /// Converts ASVM's native effect struct, preserving emit order.
-    pub fn from_asvm(me: NodeId, fx: asvm::Fx) -> EngineFx {
-        let mut out = Vec::with_capacity(
-            fx.pager.len() + fx.net.len() + fx.settled.len() + fx.lock_granted.len(),
-        );
-        for p in fx.pager {
-            out.push(EngineEffect::Pager {
+    /// Lends out the recycled ASVM effect sink for one native engine call;
+    /// [`EngineFx::absorb_asvm`] takes it back.
+    fn take_asvm(&mut self) -> asvm::Fx {
+        std::mem::take(&mut self.asvm_scratch)
+    }
+
+    /// Lends out the recycled XMM effect sink (see [`EngineFx::take_asvm`]).
+    fn take_xmm(&mut self) -> xmm::Fx {
+        std::mem::take(&mut self.xmm_scratch)
+    }
+
+    /// Drains ASVM's native effect struct into this sink, preserving emit
+    /// order, and keeps the emptied shell (vector capacities intact) as
+    /// scratch for the next call.
+    pub fn absorb_asvm(&mut self, me: NodeId, mut fx: asvm::Fx) {
+        self.cpu += fx.cpu;
+        fx.cpu = Dur::ZERO;
+        self.out
+            .reserve(fx.pager.len() + fx.net.len() + fx.settled.len() + fx.lock_granted.len());
+        for p in fx.pager.drain(..) {
+            self.out.push(EngineEffect::Pager {
                 pager_node: p.pager_node,
                 reply_to: p.reply_to,
                 mobj: p.mobj,
@@ -169,8 +195,8 @@ impl EngineFx {
                 call: p.call,
             });
         }
-        for ns in fx.net {
-            out.push(EngineEffect::Protocol {
+        for ns in fx.net.drain(..) {
+            self.out.push(EngineEffect::Protocol {
                 dst: ns.dst,
                 msg: ProtocolMsg::Asvm {
                     from: me,
@@ -178,25 +204,29 @@ impl EngineFx {
                 },
             });
         }
-        for mobj in fx.settled {
-            out.push(EngineEffect::CopySettled(mobj));
+        for mobj in fx.settled.drain(..) {
+            self.out.push(EngineEffect::CopySettled(mobj));
         }
-        for (mobj, range) in fx.lock_granted {
-            out.push(EngineEffect::LockGranted(mobj, range));
+        for (mobj, range) in fx.lock_granted.drain(..) {
+            self.out.push(EngineEffect::LockGranted(mobj, range));
         }
-        EngineFx {
-            cpu: fx.cpu,
-            out,
-            vm: fx.vm,
-            bumps: fx.bumps,
-        }
+        self.bumps.append(&mut fx.bumps);
+        debug_assert!(
+            self.vm.out.is_empty() && self.vm.cpu.is_zero(),
+            "absorbing into a sink with undrained VM effects"
+        );
+        std::mem::swap(&mut self.vm, &mut fx.vm);
+        self.asvm_scratch = fx;
     }
 
-    /// Converts XMM's native effect struct, preserving emit order.
-    pub fn from_xmm(fx: xmm::Fx) -> EngineFx {
-        let mut out = Vec::with_capacity(fx.pager.len() + fx.net.len());
-        for p in fx.pager {
-            out.push(EngineEffect::Pager {
+    /// Drains XMM's native effect struct, preserving emit order (see
+    /// [`EngineFx::absorb_asvm`]).
+    pub fn absorb_xmm(&mut self, mut fx: xmm::Fx) {
+        self.cpu += fx.cpu;
+        fx.cpu = Dur::ZERO;
+        self.out.reserve(fx.pager.len() + fx.net.len());
+        for p in fx.pager.drain(..) {
+            self.out.push(EngineEffect::Pager {
                 pager_node: p.pager_node,
                 reply_to: p.reply_to,
                 mobj: p.mobj,
@@ -204,35 +234,58 @@ impl EngineFx {
                 call: p.call,
             });
         }
-        for xs in fx.net {
-            out.push(EngineEffect::Protocol {
+        for xs in fx.net.drain(..) {
+            self.out.push(EngineEffect::Protocol {
                 dst: xs.dst,
                 msg: ProtocolMsg::Xmm(xs.msg),
             });
         }
-        EngineFx {
-            cpu: fx.cpu,
-            out,
-            vm: fx.vm,
-            bumps: Vec::new(),
-        }
+        debug_assert!(
+            self.vm.out.is_empty() && self.vm.cpu.is_zero(),
+            "absorbing into a sink with undrained VM effects"
+        );
+        std::mem::swap(&mut self.vm, &mut fx.vm);
+        self.xmm_scratch = fx;
+    }
+
+    /// Converts ASVM's native effect struct, preserving emit order.
+    pub fn from_asvm(me: NodeId, fx: asvm::Fx) -> EngineFx {
+        let mut out = EngineFx::new();
+        out.absorb_asvm(me, fx);
+        out
+    }
+
+    /// Converts XMM's native effect struct, preserving emit order.
+    pub fn from_xmm(fx: xmm::Fx) -> EngineFx {
+        let mut out = EngineFx::new();
+        out.absorb_xmm(fx);
+        out
     }
 }
 
 /// A distributed-memory coherence protocol, as seen by the cluster node.
 ///
 /// Implementations are sans-IO state machines: every entry point consumes
-/// one stimulus and returns an [`EngineFx`] describing what must happen —
-/// nothing here touches the event loop, the transports or the pagers.
-/// [`AsvmNode`] (the paper's contribution) and [`XmmNode`] (the NMK13
-/// baseline) both implement it; the parity property test drives the same
-/// workload through each via this exact surface.
+/// one stimulus and writes what must happen into a caller-provided
+/// [`EngineFx`] sink — nothing here touches the event loop, the
+/// transports or the pagers. The sink is reused across calls (the node
+/// pools drained shells), which is what keeps the per-message hot path
+/// allocation-free. [`AsvmNode`] (the paper's contribution) and
+/// [`XmmNode`] (the NMK13 baseline) both implement it; the parity
+/// property test drives the same workload through each via this exact
+/// surface.
 pub trait CoherenceEngine {
     /// Short engine name for traces and diagnostics.
     fn name(&self) -> &'static str;
 
     /// The memory object backing `obj`, if this engine manages it.
     fn mobj_of(&self, obj: VmObjId) -> Option<MemObjId>;
+
+    /// Approximate bytes of protocol metadata this engine holds right now
+    /// (copyset entries, hint caches, manager tables, in-flight request
+    /// state). Purely a telemetry gauge for the bounded-memory claim —
+    /// never consulted by the protocol itself.
+    fn state_bytes(&self) -> u64;
 
     /// Handles an EMMI call from the local VM on a managed object.
     fn handle_emmi(
@@ -241,10 +294,17 @@ pub trait CoherenceEngine {
         vm: &mut VmSystem,
         obj: VmObjId,
         call: EmmiToPager,
-    ) -> EngineFx;
+        out: &mut EngineFx,
+    );
 
     /// Handles one inbound protocol message.
-    fn handle_protocol(&mut self, now: Time, vm: &mut VmSystem, msg: ProtocolMsg) -> EngineFx;
+    fn handle_protocol(
+        &mut self,
+        now: Time,
+        vm: &mut VmSystem,
+        msg: ProtocolMsg,
+        out: &mut EngineFx,
+    );
 
     /// Handles a real pager's EMMI reply for a managed object.
     fn handle_pager_reply(
@@ -253,9 +313,11 @@ pub trait CoherenceEngine {
         vm: &mut VmSystem,
         obj: VmObjId,
         reply: EmmiToKernel,
-    ) -> EngineFx;
+        out: &mut EngineFx,
+    );
 
     /// Handles the kernel evicting a page of a managed object.
+    #[allow(clippy::too_many_arguments)]
     fn handle_evict(
         &mut self,
         now: Time,
@@ -264,45 +326,55 @@ pub trait CoherenceEngine {
         page: PageIdx,
         data: PageData,
         dirty: bool,
-    ) -> EngineFx;
+        out: &mut EngineFx,
+    );
 
     /// A delayed copy of `source` was created locally. Engines without
     /// distributed copy management ignore it.
-    fn copy_created(&mut self, _now: Time, _vm: &mut VmSystem, _source: VmObjId) -> EngineFx {
-        EngineFx::new()
+    fn copy_created(
+        &mut self,
+        _now: Time,
+        _vm: &mut VmSystem,
+        _source: VmObjId,
+        _out: &mut EngineFx,
+    ) {
     }
 
-    /// A fault completed. Returning `None` resumes the faulting task (the
+    /// A fault completed. Returning `false` resumes the faulting task (the
     /// normal case); an engine that runs pseudo tasks (XMM's internal
-    /// pagers) may claim the completion and return follow-up effects.
+    /// pagers) may claim the completion, returning `true` with follow-up
+    /// effects in `out`.
     fn fault_completed(
         &mut self,
         _now: Time,
         _vm: &mut VmSystem,
         _task: TaskId,
         _fault: machvm::FaultId,
-    ) -> Option<EngineFx> {
-        None
+        _out: &mut EngineFx,
+    ) -> bool {
+        false
     }
 
     /// The failure detector suspects `peer` (see `docs/RELIABILITY.md`).
     /// Engines without recovery machinery ignore it — XMM deliberately
     /// stays the fragile baseline.
-    fn peer_suspected(&mut self, _now: Time, _vm: &mut VmSystem, _peer: NodeId) -> EngineFx {
-        EngineFx::new()
+    fn peer_suspected(
+        &mut self,
+        _now: Time,
+        _vm: &mut VmSystem,
+        _peer: NodeId,
+        _out: &mut EngineFx,
+    ) {
     }
 
     /// The failure detector heard from a previously suspected `peer`.
-    fn peer_cleared(&mut self, _now: Time, _vm: &mut VmSystem, _peer: NodeId) -> EngineFx {
-        EngineFx::new()
+    fn peer_cleared(&mut self, _now: Time, _vm: &mut VmSystem, _peer: NodeId, _out: &mut EngineFx) {
     }
 
     /// Periodic watchdog pass: re-issue requests stalled past their
     /// deadline. Driven by the heartbeat tick, only under active fault
     /// plans.
-    fn on_watchdog(&mut self, _now: Time, _vm: &mut VmSystem) -> EngineFx {
-        EngineFx::new()
-    }
+    fn on_watchdog(&mut self, _now: Time, _vm: &mut VmSystem, _out: &mut EngineFx) {}
 
     /// Downcast: the ASVM instance, if this engine is ASVM.
     fn as_asvm(&self) -> Option<&AsvmNode> {
@@ -334,31 +406,41 @@ impl CoherenceEngine for AsvmNode {
         AsvmNode::mobj_of(self, obj)
     }
 
+    fn state_bytes(&self) -> u64 {
+        AsvmNode::state_bytes(self)
+    }
+
     fn handle_emmi(
         &mut self,
         now: Time,
         vm: &mut VmSystem,
         obj: VmObjId,
         call: EmmiToPager,
-    ) -> EngineFx {
-        let mut fx = asvm::Fx::new();
+        out: &mut EngineFx,
+    ) {
+        let mut fx = out.take_asvm();
         AsvmNode::handle_emmi(self, now, vm, obj, call, &mut fx);
-        EngineFx::from_asvm(self.me(), fx)
+        out.absorb_asvm(self.me(), fx);
     }
 
-    fn handle_protocol(&mut self, now: Time, vm: &mut VmSystem, msg: ProtocolMsg) -> EngineFx {
+    fn handle_protocol(
+        &mut self,
+        now: Time,
+        vm: &mut VmSystem,
+        msg: ProtocolMsg,
+        out: &mut EngineFx,
+    ) {
         match msg {
             ProtocolMsg::Asvm { from, msg } => {
-                let mut fx = asvm::Fx::new();
+                let mut fx = out.take_asvm();
                 AsvmNode::handle_msg(self, now, vm, from, msg, &mut fx);
-                EngineFx::from_asvm(self.me(), fx)
+                out.absorb_asvm(self.me(), fx);
             }
             ProtocolMsg::Xmm(m) => {
                 // Cannot happen in a well-formed cluster (every node runs
                 // the same engine); drop rather than panic so a corrupt
                 // message cannot take the whole simulation down.
                 debug_assert!(false, "XMMI message delivered to ASVM engine: {m:?}");
-                EngineFx::new()
             }
         }
     }
@@ -369,10 +451,11 @@ impl CoherenceEngine for AsvmNode {
         vm: &mut VmSystem,
         obj: VmObjId,
         reply: EmmiToKernel,
-    ) -> EngineFx {
-        let mut fx = asvm::Fx::new();
+        out: &mut EngineFx,
+    ) {
+        let mut fx = out.take_asvm();
         AsvmNode::on_pager_reply(self, now, vm, obj, reply, &mut fx);
-        EngineFx::from_asvm(self.me(), fx)
+        out.absorb_asvm(self.me(), fx);
     }
 
     fn handle_evict(
@@ -383,38 +466,38 @@ impl CoherenceEngine for AsvmNode {
         page: PageIdx,
         data: PageData,
         dirty: bool,
-    ) -> EngineFx {
-        let mut fx = asvm::Fx::new();
+        out: &mut EngineFx,
+    ) {
+        let mut fx = out.take_asvm();
         AsvmNode::evict_external(self, now, vm, obj, page, data, dirty, &mut fx);
-        EngineFx::from_asvm(self.me(), fx)
+        out.absorb_asvm(self.me(), fx);
     }
 
-    fn copy_created(&mut self, now: Time, vm: &mut VmSystem, source: VmObjId) -> EngineFx {
+    fn copy_created(&mut self, now: Time, vm: &mut VmSystem, source: VmObjId, out: &mut EngineFx) {
         // Only copies of managed objects trigger the distributed version
         // bump (§3.7); anonymous shadow-chain internals stay local.
         let Some(mobj) = AsvmNode::mobj_of(self, source) else {
-            return EngineFx::new();
+            return;
         };
-        let mut fx = asvm::Fx::new();
+        let mut fx = out.take_asvm();
         AsvmNode::copy_made_local(self, now, vm, mobj, &mut fx);
-        EngineFx::from_asvm(self.me(), fx)
+        out.absorb_asvm(self.me(), fx);
     }
 
-    fn peer_suspected(&mut self, now: Time, vm: &mut VmSystem, peer: NodeId) -> EngineFx {
-        let mut fx = asvm::Fx::new();
+    fn peer_suspected(&mut self, now: Time, vm: &mut VmSystem, peer: NodeId, out: &mut EngineFx) {
+        let mut fx = out.take_asvm();
         AsvmNode::peer_suspected(self, now, vm, peer, &mut fx);
-        EngineFx::from_asvm(self.me(), fx)
+        out.absorb_asvm(self.me(), fx);
     }
 
-    fn peer_cleared(&mut self, _now: Time, _vm: &mut VmSystem, peer: NodeId) -> EngineFx {
+    fn peer_cleared(&mut self, _now: Time, _vm: &mut VmSystem, peer: NodeId, _out: &mut EngineFx) {
         AsvmNode::peer_cleared(self, peer);
-        EngineFx::new()
     }
 
-    fn on_watchdog(&mut self, now: Time, vm: &mut VmSystem) -> EngineFx {
-        let mut fx = asvm::Fx::new();
+    fn on_watchdog(&mut self, now: Time, vm: &mut VmSystem, out: &mut EngineFx) {
+        let mut fx = out.take_asvm();
         AsvmNode::watchdog(self, now, vm, &mut fx);
-        EngineFx::from_asvm(self.me(), fx)
+        out.absorb_asvm(self.me(), fx);
     }
 
     fn as_asvm(&self) -> Option<&AsvmNode> {
@@ -435,28 +518,38 @@ impl CoherenceEngine for XmmNode {
         XmmNode::mobj_of(self, obj)
     }
 
+    fn state_bytes(&self) -> u64 {
+        XmmNode::state_bytes(self)
+    }
+
     fn handle_emmi(
         &mut self,
         now: Time,
         vm: &mut VmSystem,
         obj: VmObjId,
         call: EmmiToPager,
-    ) -> EngineFx {
-        let mut fx = xmm::Fx::new();
+        out: &mut EngineFx,
+    ) {
+        let mut fx = out.take_xmm();
         XmmNode::handle_emmi(self, now, vm, obj, call, &mut fx);
-        EngineFx::from_xmm(fx)
+        out.absorb_xmm(fx);
     }
 
-    fn handle_protocol(&mut self, now: Time, vm: &mut VmSystem, msg: ProtocolMsg) -> EngineFx {
+    fn handle_protocol(
+        &mut self,
+        now: Time,
+        vm: &mut VmSystem,
+        msg: ProtocolMsg,
+        out: &mut EngineFx,
+    ) {
         match msg {
             ProtocolMsg::Xmm(m) => {
-                let mut fx = xmm::Fx::new();
+                let mut fx = out.take_xmm();
                 XmmNode::handle_msg(self, now, vm, m, &mut fx);
-                EngineFx::from_xmm(fx)
+                out.absorb_xmm(fx);
             }
             ProtocolMsg::Asvm { msg, .. } => {
                 debug_assert!(false, "ASVM message delivered to XMM engine: {msg:?}");
-                EngineFx::new()
             }
         }
     }
@@ -467,10 +560,11 @@ impl CoherenceEngine for XmmNode {
         vm: &mut VmSystem,
         obj: VmObjId,
         reply: EmmiToKernel,
-    ) -> EngineFx {
-        let mut fx = xmm::Fx::new();
+        out: &mut EngineFx,
+    ) {
+        let mut fx = out.take_xmm();
         XmmNode::on_pager_reply(self, now, vm, obj, reply, &mut fx);
-        EngineFx::from_xmm(fx)
+        out.absorb_xmm(fx);
     }
 
     fn handle_evict(
@@ -481,10 +575,11 @@ impl CoherenceEngine for XmmNode {
         page: PageIdx,
         data: PageData,
         dirty: bool,
-    ) -> EngineFx {
-        let mut fx = xmm::Fx::new();
+        out: &mut EngineFx,
+    ) {
+        let mut fx = out.take_xmm();
         XmmNode::evict_external(self, now, vm, obj, page, data, dirty, &mut fx);
-        EngineFx::from_xmm(fx)
+        out.absorb_xmm(fx);
     }
 
     fn fault_completed(
@@ -493,15 +588,17 @@ impl CoherenceEngine for XmmNode {
         vm: &mut VmSystem,
         task: TaskId,
         fault: machvm::FaultId,
-    ) -> Option<EngineFx> {
+        out: &mut EngineFx,
+    ) -> bool {
         // Internal-pager pseudo tasks never resume a program; their fault
         // completions feed the copy-pager state machine (§2.3.3).
         if !self.is_ip_task(task) {
-            return None;
+            return false;
         }
-        let mut fx = xmm::Fx::new();
+        let mut fx = out.take_xmm();
         self.ip_fault_done(now, vm, task, fault, &mut fx);
-        Some(EngineFx::from_xmm(fx))
+        out.absorb_xmm(fx);
+        true
     }
 
     fn as_xmm(&self) -> Option<&XmmNode> {

@@ -174,8 +174,10 @@ pub enum Msg {
     },
     /// Resume a task (fault completed, compute finished, barrier released).
     Resume(TaskId),
-    /// Remote fork request (NORMA-IPC).
-    Fork(ForkMsg),
+    /// Remote fork request (NORMA-IPC). Boxed: forks are rare but fat
+    /// (program + inherited address map), and the envelope size of the
+    /// *largest* variant is what every queued event pays for.
+    Fork(Box<ForkMsg>),
     /// The fork completed on the child side (all copy notifications
     /// settled); the suspended parent resumes — `fork()` is synchronous.
     ForkDone {
@@ -193,3 +195,18 @@ pub enum Msg {
         id: u32,
     },
 }
+
+// The event queue's slot arena stores one `Msg` (inside its delivery
+// envelope) per pending event, and `World::step` moves envelopes by value
+// on every deliver/requeue — so the size of the *largest* variant is a
+// hot-path constant. These assertions fail the build if a new variant
+// (or a grown payload type) silently fattens every event in the system;
+// box the offender instead (see `Msg::Fork`).
+const _: () = assert!(
+    std::mem::size_of::<Msg>() <= 80,
+    "cluster::Msg grew past 80 bytes; box the fat variant"
+);
+const _: () = assert!(
+    std::mem::size_of::<asvm::AsvmMsg>() <= 64,
+    "asvm::AsvmMsg grew past 64 bytes; shrink or box the fat payload"
+);

@@ -132,6 +132,15 @@ pub struct ClusterNode {
     /// Peers that announced graceful completion — silence from them is
     /// expected, not evidence.
     farewelled: BTreeSet<NodeId>,
+    /// Drained [`EngineFx`] shells reused across engine calls, so the
+    /// per-message hot path allocates nothing in steady state. A pool
+    /// (not a single slot) because `interpret` re-enters through
+    /// `fault_completed`.
+    fx_pool: Vec<EngineFx>,
+    /// Drained VM-effect sinks (same recycling discipline).
+    effects_pool: Vec<machvm::Effects>,
+    /// Drained drain-loop work queues.
+    vmq_pool: Vec<VecDeque<machvm::Effects>>,
 }
 
 /// Failure-detector beacon period (active fault plans only).
@@ -183,6 +192,9 @@ impl ClusterNode {
             last_heard: BTreeMap::new(),
             suspects: BTreeSet::new(),
             farewelled: BTreeSet::new(),
+            fx_pool: Vec::new(),
+            effects_pool: Vec::new(),
+            vmq_pool: Vec::new(),
         }
     }
 
@@ -531,8 +543,11 @@ impl ClusterNode {
         for m in body.msgs {
             let pm = ProtocolMsg::Asvm { from, msg: m };
             self.record_trace(ctx.now(), TraceDir::Recv, from, &pm);
-            let fx = self.engine.handle_protocol(ctx.now(), &mut self.vm, pm);
-            self.run_fx(ctx, fx);
+            let mut fx = self.take_fx();
+            self.engine
+                .handle_protocol(ctx.now(), &mut self.vm, pm, &mut fx);
+            self.run_fx(ctx, &mut fx);
+            self.put_fx(fx);
         }
     }
 
@@ -613,8 +628,10 @@ impl ClusterNode {
         for n in newly {
             self.suspect_peer(ctx, n);
         }
-        let fx = self.engine.on_watchdog(now, &mut self.vm);
-        self.run_fx(ctx, fx);
+        let mut fx = self.take_fx();
+        self.engine.on_watchdog(now, &mut self.vm, &mut fx);
+        self.run_fx(ctx, &mut fx);
+        self.put_fx(fx);
         if !self.all_tasks_done() {
             ctx.post_self(now + HB_PERIOD, Msg::HbTick);
         }
@@ -638,25 +655,31 @@ impl ClusterNode {
                 page: None,
             });
         }
-        let fx = self.engine.peer_suspected(ctx.now(), &mut self.vm, peer);
-        self.run_fx(ctx, fx);
+        let mut fx = self.take_fx();
+        self.engine
+            .peer_suspected(ctx.now(), &mut self.vm, peer, &mut fx);
+        self.run_fx(ctx, &mut fx);
+        self.put_fx(fx);
     }
 
-    /// Interprets one engine effect batch: charges CPU, performs the sends
-    /// and completions in order, and queues the VM effects for draining.
+    /// Interprets one engine effect batch in place: charges CPU, performs
+    /// the sends and completions in order, and queues the VM effects for
+    /// draining. The sink comes back drained (vector capacities intact)
+    /// so the caller can return it to the shell pool.
     fn interpret(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
-        fx: EngineFx,
+        fx: &mut EngineFx,
         q: &mut VecDeque<machvm::Effects>,
     ) {
         if !fx.cpu.is_zero() {
             ctx.charge_msg_cpu(fx.cpu);
+            fx.cpu = Dur::ZERO;
         }
-        for k in fx.bumps {
+        for k in fx.bumps.drain(..) {
             ctx.stats().bump(k);
         }
-        for eff in fx.out {
+        for eff in fx.out.drain(..) {
             match eff {
                 EngineEffect::Pager {
                     pager_node,
@@ -681,30 +704,53 @@ impl ClusterNode {
                 }
             }
         }
-        q.push_back(fx.vm);
+        let vm = std::mem::replace(&mut fx.vm, self.effects_pool.pop().unwrap_or_default());
+        q.push_back(vm);
+    }
+
+    /// A drained [`EngineFx`] shell to write the next engine call into.
+    fn take_fx(&mut self) -> EngineFx {
+        self.fx_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a drained shell to the pool.
+    fn put_fx(&mut self, fx: EngineFx) {
+        debug_assert!(fx.out.is_empty() && fx.bumps.is_empty() && fx.cpu.is_zero());
+        self.fx_pool.push(fx);
+    }
+
+    /// A recycled empty VM-effect sink (capacity retained from prior use).
+    fn take_effects(&mut self) -> machvm::Effects {
+        self.effects_pool.pop().unwrap_or_default()
     }
 
     /// Interprets an effect batch and drains everything it triggers.
-    fn run_fx(&mut self, ctx: &mut Ctx<'_, Msg>, fx: EngineFx) {
-        let mut q = VecDeque::new();
+    fn run_fx(&mut self, ctx: &mut Ctx<'_, Msg>, fx: &mut EngineFx) {
+        let mut q = self.vmq_pool.pop().unwrap_or_default();
         self.interpret(ctx, fx, &mut q);
-        while let Some(e) = q.pop_front() {
-            self.drain(ctx, e);
-        }
+        self.drain_queue(ctx, &mut q);
+        self.vmq_pool.push(q);
     }
 
     /// Processes a batch of VM effects (and everything they trigger) to
     /// completion.
     fn drain(&mut self, ctx: &mut Ctx<'_, Msg>, first: machvm::Effects) {
-        let mut q: VecDeque<machvm::Effects> = VecDeque::new();
+        let mut q = self.vmq_pool.pop().unwrap_or_default();
         q.push_back(first);
-        while let Some(fx) = q.pop_front() {
+        self.drain_queue(ctx, &mut q);
+        self.vmq_pool.push(q);
+    }
+
+    fn drain_queue(&mut self, ctx: &mut Ctx<'_, Msg>, q: &mut VecDeque<machvm::Effects>) {
+        while let Some(mut fx) = q.pop_front() {
             if !fx.cpu.is_zero() {
                 ctx.charge_msg_cpu(fx.cpu);
+                fx.cpu = Dur::ZERO;
             }
-            for eff in fx.out {
-                self.apply_vm_effect(ctx, eff, &mut q);
+            for eff in fx.out.drain(..) {
+                self.apply_vm_effect(ctx, eff, q);
             }
+            self.effects_pool.push(fx);
         }
     }
 
@@ -724,24 +770,28 @@ impl ClusterNode {
                 ctx.stats().sample("fault.ms", latency);
                 ctx.stats().record("fault.latency", latency);
                 ctx.stats().bump("faults.completed");
-                match self
+                let mut fx = self.take_fx();
+                if self
                     .engine
-                    .fault_completed(ctx.now(), &mut self.vm, task, fault)
+                    .fault_completed(ctx.now(), &mut self.vm, task, fault, &mut fx)
                 {
-                    Some(fx) => self.interpret(ctx, fx, q),
-                    None => {
-                        let now = ctx.now();
-                        ctx.post_self(now, Msg::Resume(task));
-                    }
+                    self.interpret(ctx, &mut fx, q);
+                } else {
+                    let now = ctx.now();
+                    ctx.post_self(now, Msg::Resume(task));
                 }
+                self.put_fx(fx);
             }
             VmEffect::ToPager { obj, backing, call } => match backing {
                 machvm::Backing::External(mobj) => {
                     if self.engine.mobj_of(obj).is_none() {
                         panic!("EMMI for unmanaged external object {obj:?} ({mobj:?})");
                     }
-                    let fx = self.engine.handle_emmi(ctx.now(), &mut self.vm, obj, call);
-                    self.interpret(ctx, fx, q);
+                    let mut fx = self.take_fx();
+                    self.engine
+                        .handle_emmi(ctx.now(), &mut self.vm, obj, call, &mut fx);
+                    self.interpret(ctx, &mut fx, q);
+                    self.put_fx(fx);
                 }
                 machvm::Backing::Anonymous => {
                     // Node-private anonymous memory pages out to the default
@@ -752,8 +802,11 @@ impl ClusterNode {
                 }
             },
             VmEffect::CopyCreated { source, .. } => {
-                let fx = self.engine.copy_created(ctx.now(), &mut self.vm, source);
-                self.interpret(ctx, fx, q);
+                let mut fx = self.take_fx();
+                self.engine
+                    .copy_created(ctx.now(), &mut self.vm, source, &mut fx);
+                self.interpret(ctx, &mut fx, q);
+                self.put_fx(fx);
             }
             VmEffect::EvictExternal {
                 obj,
@@ -762,10 +815,11 @@ impl ClusterNode {
                 dirty,
                 ..
             } => {
-                let fx = self
-                    .engine
-                    .handle_evict(ctx.now(), &mut self.vm, obj, page, data, dirty);
-                self.interpret(ctx, fx, q);
+                let mut fx = self.take_fx();
+                self.engine
+                    .handle_evict(ctx.now(), &mut self.vm, obj, page, data, dirty, &mut fx);
+                self.interpret(ctx, &mut fx, q);
+                self.put_fx(fx);
             }
         }
     }
@@ -852,25 +906,41 @@ impl ClusterNode {
                     }
                 }
                 Step::Read { va_page } => {
-                    if !self.ensure_access(ctx, task, va_page, Access::Read, Step::Read { va_page })
-                    {
-                        return;
-                    }
-                    let v = self.vm.read_page(ctx.now(), task, va_page).word();
-                    self.tasks.get_mut(&task).unwrap().last_read = Some(v);
-                }
-                Step::Write { va_page, value } => {
-                    if !self.ensure_access(
+                    // Fused access-check + read: one translation walk on the
+                    // (overwhelmingly common) hit path instead of two.
+                    if let Some(data) = self.vm.try_read_page(ctx.now(), task, va_page) {
+                        self.tasks.get_mut(&task).unwrap().last_read = Some(data.word());
+                    } else if self.fault_for(
                         ctx,
                         task,
                         va_page,
-                        Access::Write,
-                        Step::Write { va_page, value },
+                        Access::Read,
+                        Step::Read { va_page },
                     ) {
+                        // The fault resolved locally (zero-fill / copy-up).
+                        let v = self.vm.read_page(ctx.now(), task, va_page).word();
+                        self.tasks.get_mut(&task).unwrap().last_read = Some(v);
+                    } else {
                         return;
                     }
-                    self.vm
-                        .write_page(ctx.now(), task, va_page, PageData::Word(value));
+                }
+                Step::Write { va_page, value } => {
+                    if !self
+                        .vm
+                        .try_write_page(ctx.now(), task, va_page, PageData::Word(value))
+                    {
+                        if !self.fault_for(
+                            ctx,
+                            task,
+                            va_page,
+                            Access::Write,
+                            Step::Write { va_page, value },
+                        ) {
+                            return;
+                        }
+                        self.vm
+                            .write_page(ctx.now(), task, va_page, PageData::Word(value));
+                    }
                 }
                 Step::LockRange { va_page, pages } => {
                     let (mobj, range) = self.resolve_range(task, va_page, pages);
@@ -890,7 +960,8 @@ impl ClusterNode {
                         let st = self.tasks.get_mut(&task).unwrap();
                         st.status = TaskStatus::WaitingLock;
                     }
-                    self.run_fx(ctx, EngineFx::from_asvm(me, afx));
+                    let mut fx = EngineFx::from_asvm(me, afx);
+                    self.run_fx(ctx, &mut fx);
                     if !granted {
                         return;
                     }
@@ -903,7 +974,8 @@ impl ClusterNode {
                         .as_asvm_mut()
                         .expect("range locks require an ASVM cluster")
                         .unlock_range(mobj, range, &mut afx);
-                    self.run_fx(ctx, EngineFx::from_asvm(me, afx));
+                    let mut fx = EngineFx::from_asvm(me, afx);
+                    self.run_fx(ctx, &mut fx);
                 }
                 Step::Barrier(id) => {
                     let st = self.tasks.get_mut(&task).unwrap();
@@ -985,8 +1057,23 @@ impl ClusterNode {
         if self.vm.can_access(task, va_page, access) {
             return true;
         }
+        self.fault_for(ctx, task, va_page, access, retry)
+    }
+
+    /// The fault half of [`ClusterNode::ensure_access`], for callers that
+    /// have already established the access misses (via the fused
+    /// `try_read_page`/`try_write_page` ops). Returns `true` if the fault
+    /// resolved immediately and the step can proceed now.
+    fn fault_for(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        task: TaskId,
+        va_page: u64,
+        access: Access,
+        retry: Step,
+    ) -> bool {
         ctx.stats().bump("faults.raised");
-        let mut fx = machvm::Effects::new();
+        let mut fx = self.take_effects();
         let outcome = self.vm.fault(ctx.now(), task, va_page, access, &mut fx);
         match outcome {
             machvm::FaultOutcome::Hit => {
@@ -1024,13 +1111,13 @@ impl ClusterNode {
             ctx,
             node,
             256,
-            Msg::Fork(ForkMsg {
+            Msg::Fork(Box::new(ForkMsg {
                 child,
                 program,
                 entries: fes,
                 parent_node: self.id,
                 parent_task: parent,
-            }),
+            })),
         );
     }
 
@@ -1193,7 +1280,7 @@ impl ClusterNode {
             .object(obj)
             .pages
             .iter()
-            .map(|(p, rp)| (*p, rp.prot))
+            .map(|(p, rp)| (p, rp.prot))
             .collect();
         {
             let a = self.engine.as_asvm_mut().expect("asvmize on ASVM cluster");
@@ -1212,7 +1299,8 @@ impl ClusterNode {
                 src.copies.push(mobj);
             }
         }
-        self.run_fx(ctx, EngineFx::from_asvm(me, afx));
+        let mut fx = EngineFx::from_asvm(me, afx);
+        self.run_fx(ctx, &mut fx);
         mobj
     }
 
@@ -1319,7 +1407,8 @@ impl ClusterNode {
                 &mut afx,
             );
             asvm::declare_copy_link(a, mobj, info.source, info.peer);
-            self.run_fx(ctx, EngineFx::from_asvm(me, afx));
+            let mut fx = EngineFx::from_asvm(me, afx);
+            self.run_fx(ctx, &mut fx);
             vo
         } else {
             let x = self.engine.as_xmm().expect("XMM ensure_object");
@@ -1358,7 +1447,7 @@ impl ClusterNode {
                 break;
             };
             ctx.stats().bump("pageouts");
-            let mut fx = machvm::Effects::new();
+            let mut fx = self.take_effects();
             self.vm.evict(ctx.now(), obj, page, &mut fx);
             self.drain(ctx, fx);
         }
@@ -1379,8 +1468,11 @@ impl NodeBehavior<Msg> for ClusterNode {
             Msg::Asvm { from, msg } => {
                 let pm = ProtocolMsg::Asvm { from, msg };
                 self.record_trace(ctx.now(), TraceDir::Recv, from, &pm);
-                let fx = self.engine.handle_protocol(ctx.now(), &mut self.vm, pm);
-                self.run_fx(ctx, fx);
+                let mut fx = self.take_fx();
+                self.engine
+                    .handle_protocol(ctx.now(), &mut self.vm, pm, &mut fx);
+                self.run_fx(ctx, &mut fx);
+                self.put_fx(fx);
             }
             Msg::AsvmFrame { from, seq, msg } => {
                 // Ack every arrival — including duplicates, whose original
@@ -1440,8 +1532,11 @@ impl NodeBehavior<Msg> for ClusterNode {
                 self.last_heard.insert(from, ctx.now());
                 if self.suspects.remove(&from) {
                     ctx.stats().bump("cluster.suspect.cleared");
-                    let fx = self.engine.peer_cleared(ctx.now(), &mut self.vm, from);
-                    self.run_fx(ctx, fx);
+                    let mut fx = self.take_fx();
+                    self.engine
+                        .peer_cleared(ctx.now(), &mut self.vm, from, &mut fx);
+                    self.run_fx(ctx, &mut fx);
+                    self.put_fx(fx);
                 }
             }
             Msg::HbTick => {
@@ -1459,8 +1554,11 @@ impl NodeBehavior<Msg> for ClusterNode {
                 // XMMI messages carry no sender; record the node itself.
                 let me = self.id;
                 self.record_trace(ctx.now(), TraceDir::Recv, me, &pm);
-                let fx = self.engine.handle_protocol(ctx.now(), &mut self.vm, pm);
-                self.run_fx(ctx, fx);
+                let mut fx = self.take_fx();
+                self.engine
+                    .handle_protocol(ctx.now(), &mut self.vm, pm, &mut fx);
+                self.run_fx(ctx, &mut fx);
+                self.put_fx(fx);
             }
             Msg::PagerReq(pin) => {
                 let cost = ctx.machine().config.cost.pager_handle;
@@ -1509,13 +1607,14 @@ impl NodeBehavior<Msg> for ClusterNode {
             }
             Msg::PagerReply { obj, reply } => {
                 if self.engine.mobj_of(obj).is_some() {
-                    let fx = self
-                        .engine
-                        .handle_pager_reply(ctx.now(), &mut self.vm, obj, reply);
-                    self.run_fx(ctx, fx);
+                    let mut fx = self.take_fx();
+                    self.engine
+                        .handle_pager_reply(ctx.now(), &mut self.vm, obj, reply, &mut fx);
+                    self.run_fx(ctx, &mut fx);
+                    self.put_fx(fx);
                 } else {
                     // Plain anonymous memory refetched from the default pager.
-                    let mut fx = machvm::Effects::new();
+                    let mut fx = self.take_effects();
                     self.vm.kernel_call(ctx.now(), obj, reply, &mut fx);
                     self.drain(ctx, fx);
                 }
@@ -1529,7 +1628,7 @@ impl NodeBehavior<Msg> for ClusterNode {
                 }
             }
             Msg::Fork(fm) => {
-                self.do_fork_child(ctx, fm);
+                self.do_fork_child(ctx, *fm);
             }
             Msg::ForkDone { parent_task } => {
                 if let Some(st) = self.tasks.get_mut(&parent_task) {

@@ -94,6 +94,55 @@ impl AsvmNode {
         self.me
     }
 
+    /// Approximate bytes of non-pageable protocol metadata this node
+    /// holds: object membership, per-page owner/copyset records, the
+    /// fixed-capacity forwarding hint caches, and pending-request tables.
+    ///
+    /// This is the gauge behind the paper's bounded-memory claim: ASVM
+    /// per-node state scales with the pages a node actually uses (plus
+    /// LRU hint caches of configured capacity), not with cluster size —
+    /// unlike XMM's centralized table, which grows as pages × nodes on
+    /// the manager.
+    pub fn state_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let node_ids = |n: usize| (n * size_of::<NodeId>()) as u64;
+        let pages = |n: usize| (n * size_of::<PageIdx>()) as u64;
+        let mut total =
+            (self.by_vmobj.len() * (size_of::<VmObjId>() + size_of::<MemObjId>())) as u64;
+        for o in self.objects.values() {
+            total += size_of::<AsvmObject>() as u64;
+            total += node_ids(o.nodes.len() + o.stripe.len() + o.suspects.len());
+            for info in o.pages.values() {
+                total += (size_of::<PageIdx>() + size_of::<PageInfo>()) as u64;
+                total += node_ids(info.readers.len());
+                total += (info.queued.len() * size_of::<QueuedReq>()) as u64;
+            }
+            total += (o.pending.len() * (size_of::<PageIdx>() + size_of::<PendingLocal>())) as u64;
+            total += (o.dyn_cache.len() * (size_of::<PageIdx>() + size_of::<NodeId>())) as u64;
+            total +=
+                (o.static_cache.len() * (size_of::<PageIdx>() + size_of::<StaticHint>())) as u64;
+            total += pages(o.static_seen.len() + o.incoming_transfer.len());
+            total += (o.static_filling.len() * (size_of::<PageIdx>() + size_of::<NodeId>())) as u64;
+            for q in o
+                .fill_waiters
+                .values()
+                .chain(o.static_waiting.values())
+                .chain(o.pull_in_flight.values())
+            {
+                total += size_of::<PageIdx>() as u64 + (q.len() * size_of::<QueuedReq>()) as u64;
+            }
+            for (_, members) in &o.copy_settles {
+                total += size_of::<NodeId>() as u64 + node_ids(members.len());
+            }
+            for r in o.recover.values() {
+                total += (size_of::<PageIdx>() + size_of::<RecoverState>()) as u64;
+                total += node_ids(r.expect.len() + r.holders.len());
+                total += (r.waiting.len() * size_of::<QueuedReq>()) as u64;
+            }
+        }
+        total
+    }
+
     /// Registers the local representation of `mobj` (called when the
     /// object is first mapped on this node). Notifies the home node so
     /// membership propagates.

@@ -394,6 +394,73 @@ impl VmSystem {
         }
     }
 
+    /// Combined [`VmSystem::can_access`] + [`VmSystem::read_page`]: one
+    /// translation walk instead of two. Returns the page contents when the
+    /// read can proceed without faulting (updating the page's use stamp
+    /// exactly as `read_page` would), `None` when the caller must fault.
+    /// The `None` cases are precisely those where `can_access(.., Read)`
+    /// is false, so `try_read_page(..).is_some() == can_access(.., Read)`.
+    pub fn try_read_page(&mut self, now: Time, task: TaskId, va_page: u64) -> Option<PageData> {
+        let entry = self.maps.get(&task).and_then(|m| m.lookup(va_page))?;
+        let page = entry.object_page(va_page);
+        let mut oid = entry.object;
+        loop {
+            let o = self.objects.get_mut(&oid).expect("no such VM object");
+            if let Some(rp) = o.pages.get_mut(&page) {
+                rp.last_use = now;
+                return Some(rp.data.clone());
+            }
+            if o.paged_out.contains(&page) {
+                return None;
+            }
+            match (o.backing, o.shadow) {
+                (Backing::External(_), _) => return None,
+                (Backing::Anonymous, Some(s)) => oid = s,
+                (Backing::Anonymous, None) => return None,
+            }
+        }
+    }
+
+    /// Combined [`VmSystem::can_access`] + [`VmSystem::write_page`]: one
+    /// translation walk. Writes `data` and returns `true` when the write
+    /// can proceed without faulting; returns `false` (writing nothing)
+    /// exactly when `can_access(.., Write)` is false and the caller must
+    /// fault first.
+    pub fn try_write_page(
+        &mut self,
+        now: Time,
+        task: TaskId,
+        va_page: u64,
+        data: PageData,
+    ) -> bool {
+        let Some(entry) = self.maps.get(&task).and_then(|m| m.lookup(va_page)) else {
+            return false;
+        };
+        if entry.needs_copy {
+            return false;
+        }
+        let page = entry.object_page(va_page);
+        let obj = entry.object;
+        // Writes must hit the top object with write protection; a page
+        // resident only deeper in the chain still faults.
+        let Some(rp) = self
+            .objects
+            .get_mut(&obj)
+            .expect("no such VM object")
+            .pages
+            .get_mut(&page)
+        else {
+            return false;
+        };
+        if rp.prot != Access::Write {
+            return false;
+        }
+        rp.data = data;
+        rp.dirty = true;
+        rp.last_use = now;
+        true
+    }
+
     /// The stamp of the page currently serving `va_page` for `task`, or
     /// `None` if no resident page serves it (no mutation; for tests and
     /// verification harnesses).

@@ -173,27 +173,108 @@ pub struct TallyId(u32);
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HistId(u32);
 
-fn intern(names: &mut Vec<&'static str>, key: &'static str) -> u32 {
-    for (i, n) in names.iter().enumerate() {
-        // Pointer equality first: the same literal resolves without ever
-        // touching the bytes. Content equality keeps duplicated literals
-        // (e.g. across codegen units) mapped to one id.
-        if std::ptr::eq(*n, key) || *n == key {
-            return i as u32;
+/// Open-addressed map from `&'static str` *identity* (its address) to an
+/// interned id. String-keyed bumps used to re-scan the name list on every
+/// call — O(names) pointer compares per message at high event rates; this
+/// makes the lookup one multiplicative hash and (almost always) one probe.
+/// Distinct literals with equal content hash to different pointers, so both
+/// may occupy slots mapping to the same id — the id, not the pointer, is
+/// the identity that matters.
+#[derive(Clone, Debug, Default)]
+struct PtrCache {
+    /// `(key address, id + 1)` slots; an all-zero slot is empty. Length is
+    /// always a power of two, kept at most half full.
+    slots: Vec<(usize, u32)>,
+    len: usize,
+}
+
+impl PtrCache {
+    #[inline]
+    fn hash(ptr: usize) -> usize {
+        // Fibonacci hashing; string literals are aligned, so mix the high
+        // bits back down before masking.
+        ptr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
+    }
+
+    #[inline]
+    fn get(&self, ptr: usize) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(ptr) & mask;
+        loop {
+            let (p, id) = self.slots[i];
+            if p == ptr {
+                return Some(id - 1);
+            }
+            if p == 0 {
+                return None;
+            }
+            i = (i + 1) & mask;
         }
     }
-    names.push(key);
-    (names.len() - 1) as u32
+
+    fn insert(&mut self, ptr: usize, id: u32) {
+        if self.slots.len() < (self.len + 1) * 2 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(ptr) & mask;
+        while self.slots[i].0 != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (ptr, id + 1);
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(64);
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0); new_cap]);
+        let mask = new_cap - 1;
+        for (p, id) in old {
+            if p != 0 {
+                let mut i = Self::hash(p) & mask;
+                while self.slots[i].0 != 0 {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = (p, id);
+            }
+        }
+    }
+}
+
+fn intern(names: &mut Vec<&'static str>, cache: &mut PtrCache, key: &'static str) -> u32 {
+    // Pointer-identity fast path: the same literal resolves without ever
+    // touching the bytes.
+    let ptr = key.as_ptr() as usize;
+    if let Some(id) = cache.get(ptr) {
+        return id;
+    }
+    // Slow path (once per distinct literal): content equality keeps
+    // duplicated literals (e.g. across codegen units) mapped to one id.
+    let id = match names.iter().position(|n| *n == key) {
+        Some(i) => i as u32,
+        None => {
+            names.push(key);
+            (names.len() - 1) as u32
+        }
+    };
+    cache.insert(ptr, id);
+    id
 }
 
 /// All statistics gathered during a simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
     counter_names: Vec<&'static str>,
+    counter_cache: PtrCache,
     counters: Vec<u64>,
     tally_names: Vec<&'static str>,
+    tally_cache: PtrCache,
     tallies: Vec<Tally>,
     hist_names: Vec<&'static str>,
+    hist_cache: PtrCache,
     hists: Vec<Histogram>,
 }
 
@@ -206,7 +287,7 @@ impl Stats {
     /// Interns `key` as a counter, returning its stable id. Idempotent;
     /// the id stays valid across [`Stats::reset`].
     pub fn counter_id(&mut self, key: &'static str) -> StatId {
-        let id = intern(&mut self.counter_names, key);
+        let id = intern(&mut self.counter_names, &mut self.counter_cache, key);
         if self.counters.len() <= id as usize {
             self.counters.resize(id as usize + 1, 0);
         }
@@ -215,7 +296,7 @@ impl Stats {
 
     /// Interns `key` as a tally, returning its stable id.
     pub fn tally_id(&mut self, key: &'static str) -> TallyId {
-        let id = intern(&mut self.tally_names, key);
+        let id = intern(&mut self.tally_names, &mut self.tally_cache, key);
         if self.tallies.len() <= id as usize {
             self.tallies.resize(id as usize + 1, Tally::default());
         }
@@ -224,7 +305,7 @@ impl Stats {
 
     /// Interns `key` as a histogram, returning its stable id.
     pub fn hist_id(&mut self, key: &'static str) -> HistId {
-        let id = intern(&mut self.hist_names, key);
+        let id = intern(&mut self.hist_names, &mut self.hist_cache, key);
         if self.hists.len() <= id as usize {
             self.hists.resize(id as usize + 1, Histogram::default());
         }

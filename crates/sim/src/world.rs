@@ -13,6 +13,8 @@
 //! `M`, so the protocol crates stay independent of each other; the `cluster`
 //! crate instantiates it with its unified message enum.
 
+use std::collections::VecDeque;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -78,6 +80,17 @@ struct Envelope<M> {
     msg: M,
 }
 
+/// One scheduled occurrence: a message delivery, or a wake-up for the
+/// head of a node's blocked-receive queue (see [`World::step`]).
+enum Event<M> {
+    Deliver(Envelope<M>),
+    /// Re-examine this node's message processor: if it has freed up,
+    /// deliver the oldest blocked message; otherwise go back to sleep
+    /// until the new `msg_free`. One such event stands in for the whole
+    /// backlog, however deep.
+    Wake(NodeId),
+}
+
 /// Error returned when the event loop exceeds its safety budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventBudgetExceeded {
@@ -100,7 +113,11 @@ pub struct World<N, M> {
     nodes: Vec<N>,
     cpus: Vec<CpuState>,
     disks: Vec<Disk>,
-    queue: EventQueue<Envelope<M>>,
+    queue: EventQueue<Event<M>>,
+    /// Per-node FIFO of messages that arrived while the node's message
+    /// processor was busy, paired with (at most) one `Event::Wake` per
+    /// node in the event queue. See [`World::step`].
+    blocked: Vec<VecDeque<Envelope<M>>>,
     stats: Stats,
     hot: HotIds,
     rng: SmallRng,
@@ -133,8 +150,14 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
             cpus: vec![CpuState::default(); n],
             disks: (0..n).map(|_| Disk::new()).collect(),
             // Pending events scale with node count (in-flight messages plus
-            // timers); pre-reserve so steady state never reallocates.
-            queue: EventQueue::with_capacity((n * 32).max(1024)),
+            // timers); pre-reserve so steady state never reallocates. The
+            // megascale sweep's queue-depth gauge puts the observed peak
+            // near 2·n across 128-1024 nodes (blocked receives park in
+            // per-node FIFOs, not the heap), so 4·n leaves 2× headroom;
+            // `queue.grow` in BENCH_megascale.json confirms zero
+            // steady-state reallocations at this size.
+            queue: EventQueue::with_capacity((n * 4).max(1024)),
+            blocked: (0..n).map(|_| VecDeque::new()).collect(),
             stats,
             hot,
             rng: SmallRng::seed_from_u64(seed),
@@ -191,6 +214,18 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
         self.wall_busy
     }
 
+    /// High-water mark of simultaneously pending events — capacity-planning
+    /// telemetry for the event queue's pre-reservation heuristic.
+    pub fn queue_peak(&self) -> usize {
+        self.queue.peak_len()
+    }
+
+    /// Pushes that outgrew the queue's pre-reserved capacity (each implies
+    /// a reallocation). Zero means the sizing heuristic held for this run.
+    pub fn queue_grow_events(&self) -> u64 {
+        self.queue.grow_events()
+    }
+
     /// Events processed per wall-clock second of event-loop execution —
     /// the simulator's throughput, surfaced in the benchmark trajectory
     /// output. Zero until the loop has run.
@@ -209,30 +244,65 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
         assert!(at >= self.now, "cannot schedule into the past");
         self.queue.push(
             at,
-            Envelope {
+            Event::Deliver(Envelope {
                 dst,
                 recv_cpu: Dur::ZERO,
                 msg,
-            },
+            }),
         );
     }
 
     /// Runs a single event. Returns `false` when the queue is empty.
+    ///
+    /// Messages that reach a node whose message processor is busy park in
+    /// the node's `blocked` FIFO; a single `Event::Wake` per node stands
+    /// in for the whole backlog and re-checks `msg_free` each time it
+    /// fires, delivering exactly one waiter per free instant. Naively
+    /// retrying every waiter at `msg_free` costs O(k²) heap churn at k-way
+    /// fan-in — ruinous at kilo-node scale — while service order and
+    /// delivery times are the same either way: strict arrival order,
+    /// yielding to any send CPU the in-between handlers charge.
     pub fn step(&mut self) -> bool {
-        let Some((t, env)) = self.queue.pop() else {
+        let Some((t, ev)) = self.queue.pop() else {
             return false;
         };
         debug_assert!(t >= self.now, "event queue violated time order");
         self.now = t;
-        let dst = env.dst.index();
+        let (env, from_wake) = match ev {
+            Event::Wake(who) => {
+                let d = who.index();
+                let free = self.cpus[d].msg_free;
+                if free > t {
+                    // The processor picked up other work (a handler's send,
+                    // or a same-instant delivery) after this wake was
+                    // scheduled: sleep until it frees again.
+                    self.queue.push(free, Event::Wake(who));
+                    return true;
+                }
+                let env = self.blocked[d]
+                    .pop_front()
+                    .expect("wake fired for a node with no blocked messages");
+                (env, true)
+            }
+            Event::Deliver(env) => {
+                let d = env.dst.index();
+                if !env.recv_cpu.is_zero() && self.cpus[d].msg_free > t {
+                    // Busy receiver: park in arrival order. The first
+                    // waiter brings the wake event with it; later ones
+                    // just queue behind.
+                    if self.blocked[d].is_empty() {
+                        self.queue.push(self.cpus[d].msg_free, Event::Wake(env.dst));
+                    }
+                    self.blocked[d].push_back(env);
+                    return true;
+                }
+                (env, false)
+            }
+        };
+        let me = env.dst;
+        let dst = me.index();
         let mut handler_now = t;
         if !env.recv_cpu.is_zero() {
-            let free = self.cpus[dst].msg_free;
-            if free > t {
-                // Receiver's message processor is busy: the message waits.
-                self.queue.push(free, env);
-                return true;
-            }
             self.cpus[dst].msg_free = t + env.recv_cpu;
             handler_now = t + env.recv_cpu;
         }
@@ -240,7 +310,7 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
         let node = &mut self.nodes[dst];
         let mut ctx = Ctx {
             now: handler_now,
-            me: env.dst,
+            me,
             machine: &self.machine,
             cpus: &mut self.cpus,
             disks: &mut self.disks,
@@ -251,6 +321,13 @@ impl<N: NodeBehavior<M>, M> World<N, M> {
             fault_rng: &mut self.fault_rng,
         };
         node.on_message(&mut ctx, env.msg);
+        // A delivery consumed off the blocked FIFO consumed its wake too;
+        // re-arm for the next waiter once the handler has finished charging
+        // this node's processor.
+        if from_wake && !self.blocked[dst].is_empty() {
+            let at = self.cpus[dst].msg_free;
+            self.queue.push(at, Event::Wake(me));
+        }
         true
     }
 
@@ -301,7 +378,7 @@ pub struct Ctx<'a, M> {
     machine: &'a Machine,
     cpus: &'a mut [CpuState],
     disks: &'a mut [Disk],
-    queue: &'a mut EventQueue<Envelope<M>>,
+    queue: &'a mut EventQueue<Event<M>>,
     stats: &'a mut Stats,
     hot: HotIds,
     rng: &'a mut SmallRng,
@@ -374,11 +451,11 @@ impl<'a, M> Ctx<'a, M> {
         self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
         self.queue.push(
             arrival,
-            Envelope {
+            Event::Deliver(Envelope {
                 dst,
                 recv_cpu: costs.recv_cpu,
                 msg,
-            },
+            }),
         );
     }
 
@@ -418,11 +495,11 @@ impl<'a, M> Ctx<'a, M> {
         self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
         self.queue.push(
             arrival,
-            Envelope {
+            Event::Deliver(Envelope {
                 dst,
                 recv_cpu: costs.recv_cpu,
                 msg,
-            },
+            }),
         );
     }
 
@@ -441,11 +518,11 @@ impl<'a, M> Ctx<'a, M> {
         self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
         self.queue.push(
             arrival,
-            Envelope {
+            Event::Deliver(Envelope {
                 dst,
                 recv_cpu: costs.recv_cpu,
                 msg,
-            },
+            }),
         );
     }
 
@@ -455,11 +532,11 @@ impl<'a, M> Ctx<'a, M> {
         debug_assert!(at >= self.now || at >= Time::ZERO);
         self.queue.push(
             at.max(self.now),
-            Envelope {
+            Event::Deliver(Envelope {
                 dst: self.me,
                 recv_cpu: Dur::ZERO,
                 msg,
-            },
+            }),
         );
     }
 
@@ -469,11 +546,11 @@ impl<'a, M> Ctx<'a, M> {
     pub fn post(&mut self, at: Time, dst: NodeId, msg: M) {
         self.queue.push(
             at.max(self.now),
-            Envelope {
+            Event::Deliver(Envelope {
                 dst,
                 recv_cpu: Dur::ZERO,
                 msg,
-            },
+            }),
         );
     }
 

@@ -243,6 +243,13 @@ impl Program for Em3dProgram {
 /// The initialization phase (building the graph, first-touch population of
 /// the region) is excluded from the measurement, as in the paper.
 pub fn em3d_run(spec: Em3dSpec) -> Em3dOutcome {
+    em3d_run_probed(spec).0
+}
+
+/// [`em3d_run`] plus the megascale state probe: per-node protocol-state
+/// bytes and event-queue telemetry read after the computation loop (see
+/// [`crate::megascale`]).
+pub fn em3d_run_probed(spec: Em3dSpec) -> (Em3dOutcome, crate::megascale::StateProbe) {
     assert!(spec.feasible(), "configuration does not fit in memory");
     let machine = if spec.mem_32mb {
         MachineConfig::paragon_32mb(spec.nodes)
@@ -317,12 +324,13 @@ pub fn em3d_run(spec: Em3dSpec) -> Em3dOutcome {
     }
     ssi.run(u64::MAX / 2).expect("computation quiesces");
     let elapsed = ssi.world.now().since(start);
-    Em3dOutcome {
+    let out = Em3dOutcome {
         elapsed_secs: elapsed.as_secs_f64(),
         faults: ssi.stats().counter("faults.completed"),
         pageouts: ssi.stats().counter("pageouts"),
         events: ssi.world.events_processed(),
-    }
+    };
+    (out, crate::megascale::probe_state(&ssi))
 }
 
 #[cfg(test)]

@@ -7,18 +7,24 @@
 //! * [`em3d`] — the EM3D electromagnetic wave propagation kernel ported to
 //!   shared-memory communication (Table 3);
 //! * [`patterns`] — reusable synthetic access patterns (migratory,
-//!   producer/consumer, hotspot, uniform) for ablations and tests.
+//!   producer/consumer, hotspot, uniform) for ablations and tests;
+//! * [`megascale`] — per-node protocol-state gauges, event-queue telemetry
+//!   and the compute-only event-loop saturation workload backing the
+//!   128–1024-node `megascale` benchmark.
 
 pub mod copychain;
 pub mod em3d;
 pub mod faultprobe;
 pub mod filescan;
+pub mod megascale;
 pub mod patterns;
 
 pub use copychain::{copy_chain_probe, CopyChainResult, CopyChainSpec};
-pub use em3d::{em3d_run, Em3dOutcome, Em3dSpec};
+pub use em3d::{em3d_run, em3d_run_probed, Em3dOutcome, Em3dSpec};
 pub use faultprobe::{fault_probe, FaultProbeResult, FaultProbeSpec, ProbeAccess};
 pub use filescan::{file_scan, FileScanResult, FileScanSpec, ScanDir};
+pub use megascale::{probe_state, run_eventloop, EventLoopOutcome, StateProbe};
 pub use patterns::{
-    run_pattern, run_pattern_faulted, run_pattern_paced, FaultedOutcome, Pattern, PatternOutcome,
+    run_pattern, run_pattern_faulted, run_pattern_mega, run_pattern_paced, FaultedOutcome, Pattern,
+    PatternOutcome,
 };

@@ -262,6 +262,20 @@ pub fn run_pattern(kind: ManagerKind, nodes: u16, pages: u32, pattern: Pattern) 
     out.outcome
 }
 
+/// [`run_pattern`] plus the megascale state probe: per-node protocol-state
+/// bytes and event-queue telemetry read after the run (see
+/// [`crate::megascale`]).
+pub fn run_pattern_mega(
+    kind: ManagerKind,
+    nodes: u16,
+    pages: u32,
+    pattern: Pattern,
+) -> (PatternOutcome, crate::megascale::StateProbe) {
+    let (out, probe) = run_pattern_full(kind, nodes, pages, pattern, FaultPlan::none(), Dur::ZERO);
+    assert!(out.completed, "pattern tasks finish");
+    (out.outcome, probe)
+}
+
 /// [`run_pattern`] with `think` of modeled compute after every memory
 /// touch. Back-to-back streams (the `Dur::ZERO` default) race ahead of
 /// in-flight readahead fills and book extra near-zero-latency faults, so
@@ -275,7 +289,7 @@ pub fn run_pattern_paced(
     pattern: Pattern,
     think: Dur,
 ) -> PatternOutcome {
-    let out = run_pattern_full(kind, nodes, pages, pattern, FaultPlan::none(), think);
+    let (out, _) = run_pattern_full(kind, nodes, pages, pattern, FaultPlan::none(), think);
     assert!(out.completed, "pattern tasks finish");
     out.outcome
 }
@@ -291,7 +305,7 @@ pub fn run_pattern_faulted(
     pattern: Pattern,
     faults: FaultPlan,
 ) -> FaultedOutcome {
-    run_pattern_full(kind, nodes, pages, pattern, faults, Dur::ZERO)
+    run_pattern_full(kind, nodes, pages, pattern, faults, Dur::ZERO).0
 }
 
 fn run_pattern_full(
@@ -301,7 +315,7 @@ fn run_pattern_full(
     pattern: Pattern,
     faults: FaultPlan,
     think: Dur,
-) -> FaultedOutcome {
+) -> (FaultedOutcome, crate::megascale::StateProbe) {
     let seed = match pattern {
         Pattern::Uniform { seed, .. } => seed,
         _ => 17,
@@ -364,6 +378,7 @@ fn run_pattern_full(
             );
         }
     }
+    let probe = crate::megascale::probe_state(&ssi);
     let faults = s.tally("fault.ms");
     let asvm_msgs: u64 = s
         .counters()
@@ -371,7 +386,7 @@ fn run_pattern_full(
         .map(|(_, v)| v)
         .sum();
     let merged = s.counter("asvm.coalesce.merged");
-    FaultedOutcome {
+    let out = FaultedOutcome {
         completed,
         outcome: PatternOutcome {
             mean_fault_ms: faults.map(|t| t.mean().as_millis_f64()).unwrap_or(0.0),
@@ -394,7 +409,8 @@ fn run_pattern_full(
         refetched: s.counter("asvm.recover.refetch"),
         elected: s.counter("asvm.recover.elected"),
         suspected: s.counter("cluster.suspect.count"),
-    }
+    };
+    (out, probe)
 }
 
 /// Compute-bound spin helper used by tests that need time to pass without

@@ -123,6 +123,21 @@ impl MgrState {
         self.table.values().map(|v| v.len()).sum()
     }
 
+    /// Total manager metadata: the page-state table plus in-flight
+    /// transaction and queue records.
+    pub fn state_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut total = self.table_bytes() as u64 + (self.table.len() * size_of::<NodeId>()) as u64;
+        for txn in self.busy.values() {
+            total += (size_of::<PageIdx>() + size_of::<Txn>()) as u64
+                + (txn.awaiting.len() * size_of::<NodeId>()) as u64;
+        }
+        for q in self.queue.values() {
+            total += size_of::<PageIdx>() as u64 + (q.len() * size_of::<PendingReq>()) as u64;
+        }
+        total
+    }
+
     fn node_row(&mut self, node: NodeId, pages: u32) -> &mut Vec<u8> {
         self.table
             .entry(node)
@@ -200,6 +215,32 @@ impl XmmNode {
     /// This node's id.
     pub fn me(&self) -> NodeId {
         self.me
+    }
+
+    /// Approximate bytes of non-pageable protocol metadata this node
+    /// holds. Dominated on manager nodes by the centralized page-state
+    /// table (1 byte × pages × using nodes) — the memory-scaling hazard
+    /// the paper's distributed scheme removes.
+    pub fn state_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut total = (self.by_vmobj.len() * (size_of::<VmObjId>() + size_of::<MemObjId>()))
+            as u64
+            + (self.ip_tasks.len() * (size_of::<TaskId>() + size_of::<MemObjId>())) as u64
+            + (self.thread_queue.len() * size_of::<(MemObjId, PageIdx, NodeId, VmObjId)>()) as u64;
+        for o in self.objects.values() {
+            total += size_of::<XmmObject>() as u64;
+            total += (o.pending.len() * (size_of::<PageIdx>() + size_of::<Access>())) as u64;
+            if let Some(mgr) = &o.mgr {
+                total += mgr.state_bytes();
+            }
+        }
+        for ip in self.internal.values() {
+            total += size_of::<InternalPager>() as u64
+                + (ip.by_fault.len()
+                    * (size_of::<FaultId>() + size_of::<(PageIdx, NodeId, VmObjId)>()))
+                    as u64;
+        }
+        total
     }
 
     /// Registers the local representation of `mobj`.
