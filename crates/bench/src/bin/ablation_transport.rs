@@ -11,12 +11,22 @@
 //!    a more suitable protocol, this number could be reduced to three
 //!    messages ... only one of them containing page contents"* — we count
 //!    the messages each implementation actually sends.
+//!
+//! 3. The modern coda: a 3-way backend × sharing-pattern sweep (NORMA-IPC,
+//!    STS with coalescing, one-sided RDMA) over the synthetic patterns.
+//!    The 1996 trade-off holds where ownership migrates — ASVM's 3-message
+//!    write transfer over the thin coalescable transport stays ahead of an
+//!    interrupt-driven RNIC control path — but inverts on read-heavy
+//!    sharing, where a one-sided pull serves a hot page with zero owner
+//!    CPU occupancy and no handler serialization. Per-backend message
+//!    counters ride along in every cell's JSON record.
 
-use bench::sweep::Sweep;
+use bench::sweep::{CellCounters, Sweep};
 use cluster::{ManagerKind, ScriptProgram, Ssi, Step};
 use machvm::{Access, Inherit};
-use svmsim::{CostModel, MachineConfig, NodeId};
-use workloads::{fault_probe, FaultProbeSpec, ProbeAccess};
+use svmsim::{CostModel, Dur, FaultPlan, MachineConfig, NodeId};
+use transport::Transport;
+use workloads::{fault_probe, run_pattern_backend, FaultProbeSpec, Pattern, ProbeAccess};
 
 /// One cell's measurement: latency plus the message counters that the
 /// message-count cells care about.
@@ -169,6 +179,143 @@ fn asvm_over(t: transport::Transport) -> (Probe, u64) {
     (probe, ssi.world.events_processed())
 }
 
+/// The backend arms of the 3-way sweep. STS runs with the frame combiner
+/// on (coalescing is that transport's capability — see PR 5); the other
+/// two cannot coalesce: NORMA's typed envelopes gain nothing from sharing
+/// a frame, and on RDMA every verb is its own work request. All arms get
+/// the same readahead so the protocol configuration differs only where
+/// the backend itself does.
+fn backend_arms() -> [(&'static str, Transport, asvm::AsvmConfig); 3] {
+    let ra = asvm::AsvmConfig::with_readahead(8);
+    [
+        ("norma", Transport::NORMA, ra),
+        ("sts+co", Transport::STS, ra.coalesced()),
+        ("rdma", Transport::RDMA, ra),
+    ]
+}
+
+/// The sharing-pattern arms: migratory and producer/consumer exercise the
+/// 3-message write transfer; the hotspot is read-heavy — after every
+/// write round, every reader re-faults the hot set against one owner.
+fn pattern_arms() -> [(&'static str, Pattern); 3] {
+    [
+        ("migratory", Pattern::Migratory { rounds: 4 }),
+        ("prodcons", Pattern::ProducerConsumer { rounds: 4 }),
+        (
+            "hotspot",
+            Pattern::Hotspot {
+                rounds: 24,
+                write_every: 8,
+            },
+        ),
+    ]
+}
+
+/// One cell of the backend × pattern sweep: 4 nodes × 32 pages, paced at
+/// 800µs of compute per touch (see `run_pattern_paced` on why pacing
+/// makes the fault denominator pattern-dependent rather than
+/// fill-spacing-dependent). The completion time is the headline metric;
+/// the per-backend message counters land in the cell's JSON record.
+fn pattern_cell(
+    t: Transport,
+    cfg: asvm::AsvmConfig,
+    pattern: Pattern,
+) -> (Probe, u64, CellCounters) {
+    let out = run_pattern_backend(
+        ManagerKind::Asvm(cfg),
+        t,
+        4,
+        32,
+        pattern,
+        FaultPlan::none(),
+        Dur::from_micros_f64(800.0),
+    );
+    assert!(out.completed, "backend sweep tasks finish");
+    let o = out.outcome;
+    let counters: CellCounters = vec![
+        ("elapsed_us".into(), (o.elapsed_s * 1e6).round() as u64),
+        (
+            "mean_fault_us".into(),
+            (o.mean_fault_ms * 1e3).round() as u64,
+        ),
+        ("faults".into(), o.faults),
+        ("sts.messages".into(), o.sts_msgs),
+        ("norma.messages".into(), o.norma_msgs),
+        ("rdma.messages".into(), o.rdma_msgs),
+        ("transport.rdma.read_served".into(), o.rdma_read_served),
+        ("transport.rdma.read_fallback".into(), o.rdma_read_fallback),
+    ];
+    (
+        Probe {
+            ms: o.elapsed_s * 1e3,
+            messages: o.messages,
+            page_messages: o.rdma_read_served,
+        },
+        o.events,
+        counters,
+    )
+}
+
+/// Fault-plan seed for the faulted arm (`ASVM_FAULTS_SEED`, default 1996
+/// — the CI backend matrix runs 1996 and 777).
+fn plan_seed() -> u64 {
+    std::env::var("ASVM_FAULTS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1996)
+}
+
+/// The reliability contrast: the same seeded lossy plan over each backend.
+/// STS and NORMA recover by per-link ARQ retransmission; RDMA has no
+/// software ARQ (reliability is in the fabric; only the one-sided
+/// read/reply pair crosses the fault seam), so its losses surface as
+/// requester watchdog re-issues instead — `asvm.retry.resent` stays zero
+/// while `asvm.recover.reissue` does the work. See docs/RELIABILITY.md.
+fn faulted_cell(t: Transport, cfg: asvm::AsvmConfig) -> (Probe, u64, CellCounters) {
+    let seed = plan_seed();
+    let plan = FaultPlan::seeded(seed)
+        .with_drop_ppm(10_000)
+        .with_dup_ppm(2_000);
+    let out = run_pattern_backend(
+        ManagerKind::Asvm(cfg),
+        t,
+        4,
+        16,
+        Pattern::Uniform {
+            ops: 80,
+            write_pct: 30,
+            seed,
+        },
+        plan,
+        Dur::ZERO,
+    );
+    assert!(
+        out.completed,
+        "faulted backend cell completes (resent={} reissued={})",
+        out.resent, out.reissued
+    );
+    let o = out.outcome;
+    let counters: CellCounters = vec![
+        ("elapsed_us".into(), (o.elapsed_s * 1e6).round() as u64),
+        ("faults".into(), o.faults),
+        ("sts.messages".into(), o.sts_msgs),
+        ("norma.messages".into(), o.norma_msgs),
+        ("rdma.messages".into(), o.rdma_msgs),
+        ("transport.fault.dropped".into(), out.dropped),
+        ("asvm.retry.resent".into(), out.resent),
+        ("asvm.recover.reissue".into(), out.reissued),
+    ];
+    (
+        Probe {
+            ms: o.elapsed_s * 1e3,
+            messages: o.messages,
+            page_messages: 0,
+        },
+        o.events,
+        counters,
+    )
+}
+
 fn count_probe(kind: ManagerKind) -> (Probe, u64) {
     let out = fault_probe(FaultProbeSpec {
         kind,
@@ -201,10 +348,23 @@ fn main() {
     sweep.cell("xmm over sts-class", move || xmm_probe(stripped));
     sweep.cell("asvm over norma", || asvm_over(transport::Transport::NORMA));
     sweep.cell("asvm over sts", || asvm_over(transport::Transport::STS));
+    for (pname, pattern) in pattern_arms() {
+        for (bname, t, cfg) in backend_arms() {
+            sweep.cell_with_counters(format!("{pname} over {bname}"), move || {
+                pattern_cell(t, cfg, pattern)
+            });
+        }
+    }
+    for (bname, t, cfg) in backend_arms() {
+        sweep.cell_with_counters(format!("faulted uniform over {bname}"), move || {
+            faulted_cell(t, cfg)
+        });
+    }
     let report = sweep.run();
     let cells: Vec<Probe> = report.values().copied().collect();
     let (xmm_dirty, asvm, xmm_norma, xmm_fast, asvm_norma, asvm_sts) =
         (cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]);
+    let matrix = &cells[6..];
 
     // --- Message counts ----------------------------------------------------
     // Count on the dirty-page transfer (write permission moves from the
@@ -244,5 +404,56 @@ fn main() {
         "  the dedicated transport buys   : {:>6.1}x",
         asvm_norma.ms / asvm_sts.ms
     );
+
+    // --- Backend × pattern: where the 1996 trade-off inverts ----------------
+    println!();
+    println!("backend x pattern sweep (4 nodes, 32 pages, 800 us/touch; run time in ms):");
+    let backends = backend_arms();
+    let patterns = pattern_arms();
+    println!(
+        "  {:<10} {:>10} {:>10} {:>10}   winner",
+        "pattern", backends[0].0, backends[1].0, backends[2].0
+    );
+    for (pi, (pname, _)) in patterns.iter().enumerate() {
+        let row = &matrix[pi * backends.len()..(pi + 1) * backends.len()];
+        let win = row
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.ms.total_cmp(&b.1.ms))
+            .map(|(i, _)| backends[i].0)
+            .unwrap();
+        println!(
+            "  {:<10} {:>10.1} {:>10.1} {:>10.1}   {}",
+            pname, row[0].ms, row[1].ms, row[2].ms, win
+        );
+    }
+    let counter = |label: &str, key: &str| -> u64 {
+        report
+            .cells
+            .iter()
+            .find(|c| c.label == label)
+            .and_then(|c| c.counters.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    println!(
+        "  rdma one-sided reads on the hotspot: {} served by the owner's NIC, {} raised to its host",
+        counter("hotspot over rdma", "transport.rdma.read_served"),
+        counter("hotspot over rdma", "transport.rdma.read_fallback"),
+    );
+
+    // --- Reliability under loss: ARQ retransmission vs watchdog re-issue ----
+    println!();
+    println!("faulted uniform (1% drop, 0.2% dup), recovery by backend:");
+    for (bname, _, _) in backends {
+        let label = format!("faulted uniform over {bname}");
+        println!(
+            "  {:<7}: {:>3} dropped, {:>3} ARQ retransmissions, {:>3} watchdog re-issues",
+            bname,
+            counter(&label, "transport.fault.dropped"),
+            counter(&label, "asvm.retry.resent"),
+            counter(&label, "asvm.recover.reissue"),
+        );
+    }
     report.finish();
 }

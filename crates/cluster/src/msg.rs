@@ -161,6 +161,26 @@ pub enum Msg {
         /// The node whose tasks all completed.
         from: NodeId,
     },
+    /// A one-sided remote read posted by `from`'s RNIC (RDMA backend
+    /// only): the carried [`AsvmMsg::PageReq`] is served against this
+    /// node's protocol state **without occupying its event handler** —
+    /// the reply, when the owner can serve a plain copy, goes back as
+    /// [`Msg::RdmaReadReply`] with zero host CPU charged here.
+    RdmaRead {
+        /// The requesting node.
+        from: NodeId,
+        /// The read request (always an `AsvmMsg::PageReq`).
+        msg: AsvmMsg,
+    },
+    /// Completion of a one-sided read: the page copy DMA'd back into the
+    /// requester's registered buffer. Handled exactly like the equivalent
+    /// [`Msg::Asvm`] grant so protocol state stays backend-independent.
+    RdmaReadReply {
+        /// The serving node (the page owner).
+        from: NodeId,
+        /// The reply (always an `AsvmMsg::Grant`).
+        msg: AsvmMsg,
+    },
     /// XMMI traffic (NORMA-IPC).
     Xmm(XmmMsg),
     /// EMMI request to a pager task on this I/O node (NORMA-IPC).

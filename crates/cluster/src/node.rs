@@ -122,6 +122,9 @@ pub struct ClusterNode {
     /// Per-destination frame combiner, drained at the end of every
     /// scheduling step while coalescing is enabled.
     combiner: asvm::FrameCombiner,
+    /// Peers this node already paid one-time link setup for (RDMA queue
+    /// pair + memory registration; empty on connectionless backends).
+    rdma_links: BTreeSet<NodeId>,
     /// Frames abandoned after retry exhaustion, in order of occurrence.
     pub link_failures: Vec<LinkFailure>,
     /// Failure detector: when each compute peer was last heard from
@@ -188,6 +191,7 @@ impl ClusterNode {
             link_rx: BTreeMap::new(),
             coalesce: asvm::CoalesceCfg::default(),
             combiner: asvm::FrameCombiner::default(),
+            rdma_links: BTreeSet::new(),
             link_failures: Vec::new(),
             last_heard: BTreeMap::new(),
             suspects: BTreeSet::new(),
@@ -339,22 +343,46 @@ impl ClusterNode {
         let kind = msg.stat_key();
         match msg {
             ProtocolMsg::Asvm { from, msg } => {
-                // Remote sends take, in order of preference: the frame
+                // Remote sends take, in order of preference: a one-sided
+                // read posting (RDMA backend, eligible request), the frame
                 // combiner (coalescing enabled — buffered per destination
                 // and flushed as one wire frame per peer at the end of
                 // this scheduling step), the per-link retry channel (an
-                // active fault plan), or the classic direct path,
-                // byte-identical to pre-fault builds. Loopback always
-                // goes direct. NORMA (XMMI, EMMI, fork) stays on the
-                // reliable path in all cases — it models Mach's
-                // guaranteed kernel-to-kernel IPC.
-                if dst != self.id && self.coalesce.enabled {
+                // active fault plan, on backends whose reliability is in
+                // software), or the classic direct path, byte-identical
+                // to pre-fault builds. Loopback always goes direct. NORMA
+                // (XMMI, EMMI, fork) stays on the reliable path in all
+                // cases — it models Mach's guaranteed kernel-to-kernel
+                // IPC.
+                if dst != self.id
+                    && self.asvm_transport.one_sided_reads()
+                    && msg.one_sided_read_candidate(self.id)
+                {
+                    // Post the read as a one-sided pull: header-only on
+                    // the wire, served by the target's NIC with zero host
+                    // occupancy there. Travels the fault seam un-ARQ'd —
+                    // a lost posting stalls only the requester, whose
+                    // watchdog re-issues it (marked `recovering`, which
+                    // forces the two-sided path on the retry).
+                    self.charge_link_setup(ctx, dst);
+                    self.asvm_transport
+                        .send_one_sided(ctx, dst, kind, || Msg::RdmaRead {
+                            from,
+                            msg: msg.clone(),
+                        });
+                } else if dst != self.id
+                    && self.coalesce.enabled
+                    && self.asvm_transport.supports_coalescing()
+                {
                     if let Some(full) = self.combiner.push(dst, msg) {
                         // Frame hit its subframe capacity: send it now so
                         // order is preserved.
                         self.send_frame_body(ctx, dst, full);
                     }
-                } else if dst != self.id && ctx.machine().config.faults.is_active() {
+                } else if dst != self.id
+                    && ctx.machine().config.faults.is_active()
+                    && self.asvm_transport.per_link_arq()
+                {
                     let body = FrameBody::single(msg);
                     let seq =
                         self.link_tx
@@ -374,6 +402,14 @@ impl ClusterNode {
                         },
                     );
                 } else {
+                    // Two-sided control traffic on a fabric-reliable
+                    // backend (`per_link_arq() == false`) also lands
+                    // here under an active fault plan: hardware
+                    // retransmission makes the link lossless, so it
+                    // takes the reliable path by construction.
+                    if dst != self.id {
+                        self.charge_link_setup(ctx, dst);
+                    }
                     self.asvm_transport.send_tagged(
                         ctx,
                         dst,
@@ -387,6 +423,84 @@ impl ClusterNode {
                 Transport::NORMA.send_tagged(ctx, dst, payload, kind, Msg::Xmm(m));
             }
         }
+    }
+
+    /// Charges the backend's one-time per-peer link setup (queue pair
+    /// creation + memory registration) on first contact with `dst`. Free
+    /// on the connectionless Paragon transports, so the classic paths are
+    /// untouched.
+    fn charge_link_setup(&mut self, ctx: &mut Ctx<'_, Msg>, dst: NodeId) {
+        let setup = self
+            .asvm_transport
+            .link_setup_cpu(&ctx.machine().config.cost);
+        if setup.is_zero() || !self.rdma_links.insert(dst) {
+            return;
+        }
+        ctx.stats().bump("transport.rdma.link_setup");
+        ctx.charge_msg_cpu(setup);
+    }
+
+    /// Resolves a one-sided read after the engine processed it.
+    ///
+    /// The NIC can complete the read by itself exactly when the engine's
+    /// entire answer is one plain copy-grant back to the requester (no
+    /// ownership handover, no forwarding hop, no pager dispatch, no
+    /// invalidation fan-out). In that case the host's protocol-handler
+    /// CPU is cancelled — the request was served out of registered memory
+    /// without this node's event handler running — and the grant leaves
+    /// as a zero-send-CPU [`Msg::RdmaReadReply`]. Any VM work the engine
+    /// queued (downgrading a writable mapping so the registered copy is
+    /// stable) still runs on the host *before* the reply departs: DMA
+    /// cannot outrun the shootdown.
+    ///
+    /// Every other outcome falls back to the two-sided path: the NIC
+    /// raises the request to the host (charging the interrupt-driven
+    /// receive cost its delivery envelope skipped) and the effects are
+    /// interpreted normally, so protocol state stays identical across
+    /// backends.
+    fn finish_rdma_read(&mut self, ctx: &mut Ctx<'_, Msg>, requester: NodeId, fx: &mut EngineFx) {
+        let nic_served = fx.out.len() == 1
+            && matches!(
+                &fx.out[0],
+                EngineEffect::Protocol {
+                    dst,
+                    msg: ProtocolMsg::Asvm {
+                        msg: AsvmMsg::Grant {
+                            ownership: false,
+                            pull_snapshot: false,
+                            ..
+                        },
+                        ..
+                    },
+                } if *dst == requester
+            );
+        if !nic_served {
+            ctx.stats().bump("transport.rdma.read_fallback");
+            let recv = ctx.machine().config.cost.rdma_ctrl_recv_cpu;
+            ctx.charge_msg_cpu(recv);
+            self.run_fx(ctx, fx);
+            return;
+        }
+        let Some(EngineEffect::Protocol { dst, msg: pm }) = fx.out.pop() else {
+            unreachable!("nic_served matched a single Protocol effect");
+        };
+        fx.cpu = Dur::ZERO;
+        ctx.stats().bump("transport.rdma.read_served");
+        // Drain the residual effects first (hint bumps, the mapping
+        // downgrade): the reply may not depart before the host finished
+        // making the page stable.
+        self.run_fx(ctx, fx);
+        self.record_trace(ctx.now(), TraceDir::Send, dst, &pm);
+        let ProtocolMsg::Asvm { from, msg } = pm else {
+            unreachable!("nic_served matched an ASVM grant");
+        };
+        let payload = msg.payload_bytes(self.vm.page_size());
+        let kind = msg.stat_key();
+        let transport = self.asvm_transport;
+        transport.send_one_sided_reply(ctx, dst, payload, kind, || Msg::RdmaReadReply {
+            from,
+            msg: msg.clone(),
+        });
     }
 
     /// Puts one (re)transmission of frame `seq` on the lossy wire and arms
@@ -1466,6 +1580,33 @@ impl NodeBehavior<Msg> for ClusterNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
         match msg {
             Msg::Asvm { from, msg } => {
+                let pm = ProtocolMsg::Asvm { from, msg };
+                self.record_trace(ctx.now(), TraceDir::Recv, from, &pm);
+                let mut fx = self.take_fx();
+                self.engine
+                    .handle_protocol(ctx.now(), &mut self.vm, pm, &mut fx);
+                self.run_fx(ctx, &mut fx);
+                self.put_fx(fx);
+            }
+            Msg::RdmaRead { from, msg } => {
+                // One-sided read posting: the engine computes the same
+                // state transition an `Msg::Asvm` PageReq would (parity
+                // across backends), but delivery charged zero host CPU
+                // here — whether that holds depends on what the engine
+                // wanted done, resolved by `finish_rdma_read`.
+                let pm = ProtocolMsg::Asvm { from, msg };
+                self.record_trace(ctx.now(), TraceDir::Recv, from, &pm);
+                let mut fx = self.take_fx();
+                self.engine
+                    .handle_protocol(ctx.now(), &mut self.vm, pm, &mut fx);
+                self.finish_rdma_read(ctx, from, &mut fx);
+                self.put_fx(fx);
+            }
+            Msg::RdmaReadReply { from, msg } => {
+                // Completion of a one-sided read: the grant lands in the
+                // requester's registered buffer and is handled exactly
+                // like its two-sided twin (the completion CPU was part of
+                // the delivery envelope).
                 let pm = ProtocolMsg::Asvm { from, msg };
                 self.record_trace(ctx.now(), TraceDir::Recv, from, &pm);
                 let mut fx = self.take_fx();

@@ -434,6 +434,28 @@ impl AsvmMsg {
         }
     }
 
+    /// Whether this message may be posted as a *one-sided* remote read on
+    /// a transport that supports them: a plain read-access request issued
+    /// by `me` itself, with no pull-lookup indirection and no recovery
+    /// routing. Forwarded requests, upgrades-in-disguise and watchdog
+    /// re-issues must take the two-sided path — their handling can mutate
+    /// owner-side state beyond serving a copy, and recovery deliberately
+    /// routes through the static manager's reconstruction logic.
+    pub fn one_sided_read_candidate(&self, me: NodeId) -> bool {
+        matches!(
+            self,
+            AsvmMsg::PageReq {
+                access: Access::Read,
+                origin,
+                has_copy: false,
+                path: ReqPath { recovering: false, .. },
+                kind: ReqKind::Access,
+                deliver: None,
+                ..
+            } if *origin == me
+        )
+    }
+
     /// The page this message concerns, if it addresses a single page
     /// (object-level messages — membership, copy notifications — have
     /// none).

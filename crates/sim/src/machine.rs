@@ -188,6 +188,38 @@ pub struct CostModel {
     /// NORMA-IPC header/envelope size (typed descriptors, port names).
     pub norma_header_bytes: u32,
 
+    // --- RDMA (one-sided interconnect) ---------------------------------------
+    //
+    // Models a commodity RNIC rather than the Paragon's dedicated message
+    // co-processor: one-sided page reads are served entirely by the NIC
+    // (zero host CPU at the target), while ordinary two-sided protocol
+    // sends take an interrupt-driven completion path with no message
+    // co-processor behind it — slightly costlier per message than STS,
+    // far cheaper than NORMA, and not coalescable (each verb is its own
+    // work request).
+    /// Requester CPU to post a one-sided read work request (WQE build +
+    /// doorbell write).
+    pub rdma_post_cpu: Dur,
+    /// Requester CPU to reap a one-sided read completion (poll the CQ,
+    /// hand the landed page to the VM layer).
+    pub rdma_completion_cpu: Dur,
+    /// Sender-side occupancy per *two-sided* RDMA send (control-plane
+    /// protocol message: WQE build, doorbell, send-completion reap).
+    pub rdma_ctrl_send_cpu: Dur,
+    /// Receiver-side occupancy per two-sided RDMA send (interrupt-driven
+    /// receive completion + dispatch; no STS-style co-processor).
+    pub rdma_ctrl_recv_cpu: Dur,
+    /// Per-message fabric latency floor (RNIC pipeline + PCIe round
+    /// trips), paid in flight on every RDMA message without occupying
+    /// either host.
+    pub rdma_latency_floor: Dur,
+    /// RDMA transport header bytes on the wire (RETH/AETH-class framing).
+    pub rdma_header_bytes: u32,
+    /// One-time per-link setup charged at the requester the first time it
+    /// targets a peer: queue-pair bring-up plus memory registration of the
+    /// shared region (the price of pre-registered zero-copy landing zones).
+    pub rdma_link_setup_cpu: Dur,
+
     // --- Kernel VM -----------------------------------------------------------
     /// Trap entry + address map lookup on a page fault (compute CPU).
     pub vm_fault_entry: Dur,
@@ -241,6 +273,14 @@ impl Default for CostModel {
             norma_send_cpu: Dur::from_micros_f64(450.0),
             norma_recv_cpu: Dur::from_micros_f64(550.0),
             norma_header_bytes: 256,
+
+            rdma_post_cpu: Dur::from_micros_f64(10.0),
+            rdma_completion_cpu: Dur::from_micros_f64(15.0),
+            rdma_ctrl_send_cpu: Dur::from_micros_f64(60.0),
+            rdma_ctrl_recv_cpu: Dur::from_micros_f64(85.0),
+            rdma_latency_floor: Dur::from_micros_f64(30.0),
+            rdma_header_bytes: 64,
+            rdma_link_setup_cpu: Dur::from_micros_f64(400.0),
 
             vm_fault_entry: Dur::from_micros_f64(450.0),
             vm_fault_finish: Dur::from_micros_f64(450.0),

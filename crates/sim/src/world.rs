@@ -63,6 +63,10 @@ pub struct MsgCosts {
     pub recv_cpu: Dur,
     /// Total bytes on the wire (header + payload).
     pub bytes: u32,
+    /// Additional in-flight latency beyond wire time, occupying neither
+    /// host (a NIC pipeline's per-message floor). Zero for the classic
+    /// Paragon transports.
+    pub extra_latency: Dur,
 }
 
 /// Per-node processor occupancy watermarks.
@@ -446,7 +450,8 @@ impl<'a, M> Ctx<'a, M> {
         let cpu = &mut self.cpus[self.me.index()];
         let departure = cpu.msg_free.max(self.now) + costs.send_cpu;
         cpu.msg_free = departure;
-        let arrival = departure + self.machine.wire_time(self.me, dst, costs.bytes);
+        let arrival =
+            departure + self.machine.wire_time(self.me, dst, costs.bytes) + costs.extra_latency;
         self.stats.bump_id(self.hot.net_messages);
         self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
         self.queue.push(
@@ -490,7 +495,10 @@ impl<'a, M> Ctx<'a, M> {
         let cpu = &mut self.cpus[self.me.index()];
         let departure = cpu.msg_free.max(self.now) + costs.send_cpu;
         cpu.msg_free = departure;
-        let arrival = departure + self.machine.wire_time(self.me, dst, costs.bytes) + extra;
+        let arrival = departure
+            + self.machine.wire_time(self.me, dst, costs.bytes)
+            + costs.extra_latency
+            + extra;
         self.stats.bump_id(self.hot.net_messages);
         self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
         self.queue.push(
@@ -513,7 +521,9 @@ impl<'a, M> Ctx<'a, M> {
         let cpu = &mut self.cpus[self.me.index()];
         let departure = cpu.msg_free.max(self.now) + costs.send_cpu;
         cpu.msg_free = departure;
-        let arrival = departure.max(earliest) + self.machine.wire_time(self.me, dst, costs.bytes);
+        let arrival = departure.max(earliest)
+            + self.machine.wire_time(self.me, dst, costs.bytes)
+            + costs.extra_latency;
         self.stats.bump_id(self.hot.net_messages);
         self.stats.add_id(self.hot.net_bytes, costs.bytes as u64);
         self.queue.push(
@@ -596,6 +606,7 @@ mod tests {
             send_cpu: Dur::from_micros(10),
             recv_cpu: Dur::from_micros(20),
             bytes: 64,
+            extra_latency: Dur::ZERO,
         }
     }
 
@@ -794,6 +805,7 @@ mod send_after_tests {
                         send_cpu: Dur::from_micros(10),
                         recv_cpu: Dur::from_micros(10),
                         bytes: 32,
+                        extra_latency: Dur::ZERO,
                     };
                     // Departure gated far in the future.
                     ctx.send_after(Time::from_nanos(5_000_000), NodeId(1), costs, M::Note(1));
@@ -831,6 +843,7 @@ mod send_after_tests {
                             send_cpu: Dur::from_micros(1),
                             recv_cpu: Dur::from_micros(1),
                             bytes: 8,
+                            extra_latency: Dur::ZERO,
                         };
                         ctx.send(me, costs, M::Note(9));
                     }

@@ -14,11 +14,26 @@
 //!   ever move in response to a request. The result is roughly an order of
 //!   magnitude less software overhead per message.
 //!
-//! A transport turns "send this many payload bytes to that node" into a
-//! [`MsgCosts`] envelope (sender CPU, receiver CPU, wire bytes) evaluated
-//! against the machine's [`CostModel`]. The protocol crates never hard-code
-//! costs; they pick a transport, which keeps the transport-swap ablation
-//! (`ablation_transport`) honest.
+//! The 1996 trade-off inverts on modern one-sided interconnects, so the
+//! crate is built around a [`TransportBackend`] trait rather than a closed
+//! enum. A backend turns "send this many payload bytes to that node" into a
+//! [`MsgCosts`] envelope (sender CPU, receiver CPU, wire bytes, in-flight
+//! latency) evaluated against the machine's [`CostModel`], and declares its
+//! capabilities: statistics keys, coalescing support, per-link ARQ
+//! eligibility, and one-sided read support. Three backends ship:
+//!
+//! * [`NormaIpc`] and [`Sts`] — the paper's pair, byte-identical in cost
+//!   and accounting to the pre-trait implementation.
+//! * [`Rdma`] — a modern one-sided backend: remote page *reads* are served
+//!   entirely by the target's NIC (**zero receiver CPU occupancy**), at the
+//!   price of per-link setup/registration, a per-message latency floor, and
+//!   an interrupt-driven (coalescing-free) control path. Reliability lives
+//!   in the fabric, so it opts out of the software ARQ layer; a lost
+//!   one-sided read surfaces only at the requester, whose watchdog
+//!   re-issues it (see `docs/RELIABILITY.md`).
+//!
+//! The protocol crates never hard-code costs; they pick a transport, which
+//! keeps the transport-swap ablation (`ablation_transport`) honest.
 //!
 //! # Fault injection
 //!
@@ -49,43 +64,303 @@ use svmsim::{CostModel, Ctx, Dur, FaultCause, FaultDecision, MsgCosts, NodeId};
 
 pub use svmsim::{Blackout, FaultPlan, LinkFaults};
 
-/// Which transport carries a message.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum TransportKind {
-    /// Mach NORMA-IPC: heavyweight, typed, port-based.
-    NormaIpc,
-    /// The SVM Transport Service: fixed 32-byte untyped header.
-    Sts,
+/// One pluggable transport implementation: its cost envelopes, statistics
+/// keys, and capability flags. Implementations are stateless units behind
+/// `&'static` references so [`Transport`] stays `Copy`.
+///
+/// The contract every backend must uphold:
+///
+/// * [`costs`](TransportBackend::costs) is deterministic in
+///   `(cost, payload_bytes)` — the simulation replays byte-identically.
+/// * [`stat_key`](TransportBackend::stat_key) /
+///   [`page_stat_key`](TransportBackend::page_stat_key) are distinct per
+///   backend, so per-backend chattiness is separable in every bench JSON.
+/// * A backend that returns `false` from
+///   [`supports_coalescing`](TransportBackend::supports_coalescing) is
+///   never handed a multi-subframe frame.
+/// * A backend that returns `false` from
+///   [`per_link_arq`](TransportBackend::per_link_arq) must tolerate loss
+///   end-to-end (requester-side timeout and re-issue).
+pub trait TransportBackend: std::fmt::Debug + Sync {
+    /// Short human-readable name (table labels: `"sts"`, `"norma"`,
+    /// `"rdma"`).
+    fn name(&self) -> &'static str;
+
+    /// Statistics key counting messages sent on this backend.
+    fn stat_key(&self) -> &'static str;
+
+    /// Statistics key counting page-carrying messages on this backend.
+    fn page_stat_key(&self) -> &'static str;
+
+    /// Cost envelope for a message with `payload_bytes` of payload (0 for
+    /// a header-only message, one page size for a page carrier).
+    fn costs(&self, cost: &CostModel, payload_bytes: u32) -> MsgCosts;
+
+    /// Whether several protocol messages may share one wire frame on this
+    /// backend (see [`Transport::send_coalesced`]).
+    fn supports_coalescing(&self) -> bool {
+        true
+    }
+
+    /// Whether protocol traffic on this backend rides the software
+    /// per-link ARQ channel when a fault plan is active. Backends whose
+    /// reliability lives in the fabric return `false`: the fault seam
+    /// still applies (end-to-end failures exist), but recovery is the
+    /// requester's watchdog, not per-frame retransmission.
+    fn per_link_arq(&self) -> bool {
+        true
+    }
+
+    /// Whether remote page reads can be posted as one-sided pulls that
+    /// bypass the target's event handler entirely.
+    fn one_sided_reads(&self) -> bool {
+        false
+    }
+
+    /// Cost envelope for posting a one-sided read request (header-only;
+    /// the target's NIC serves it, so receiver CPU must be zero).
+    fn one_sided_read_costs(&self, cost: &CostModel) -> MsgCosts {
+        let _ = cost;
+        unimplemented!("backend does not support one-sided reads")
+    }
+
+    /// Cost envelope for a one-sided read completion carrying
+    /// `payload_bytes` back: the target's NIC DMAs the data out (zero
+    /// sender CPU); the requester pays completion handling on arrival.
+    fn one_sided_reply_costs(&self, cost: &CostModel, payload_bytes: u32) -> MsgCosts {
+        let _ = (cost, payload_bytes);
+        unimplemented!("backend does not support one-sided reads")
+    }
+
+    /// One-time CPU charged at a node the first time it sends to a given
+    /// peer (connection setup, memory registration). Zero for the
+    /// connectionless Paragon transports.
+    fn link_setup_cpu(&self, cost: &CostModel) -> Dur {
+        let _ = cost;
+        Dur::ZERO
+    }
 }
 
-/// A configured transport endpoint (stateless; cheap to copy).
-#[derive(Clone, Copy, Debug)]
+/// Mach NORMA-IPC: heavyweight, typed, port-based.
+#[derive(Debug)]
+pub struct NormaIpc;
+
+impl TransportBackend for NormaIpc {
+    fn name(&self) -> &'static str {
+        "norma"
+    }
+
+    fn stat_key(&self) -> &'static str {
+        "norma.messages"
+    }
+
+    fn page_stat_key(&self) -> &'static str {
+        "norma.page_messages"
+    }
+
+    fn costs(&self, cost: &CostModel, payload_bytes: u32) -> MsgCosts {
+        // Typed in-line data adds per-byte marshalling work on both
+        // sides in addition to the fixed port/translation overhead.
+        let marshal = Dur::from_nanos(payload_bytes as u64 * 12);
+        MsgCosts {
+            send_cpu: cost.norma_send_cpu + marshal,
+            recv_cpu: cost.norma_recv_cpu + marshal,
+            bytes: cost.norma_header_bytes + payload_bytes,
+            extra_latency: Dur::ZERO,
+        }
+    }
+}
+
+/// The SVM Transport Service: fixed 32-byte untyped header, dedicated
+/// message co-processor, preallocated receive buffers.
+#[derive(Debug)]
+pub struct Sts;
+
+impl TransportBackend for Sts {
+    fn name(&self) -> &'static str {
+        "sts"
+    }
+
+    fn stat_key(&self) -> &'static str {
+        "sts.messages"
+    }
+
+    fn page_stat_key(&self) -> &'static str {
+        "sts.page_messages"
+    }
+
+    fn costs(&self, cost: &CostModel, payload_bytes: u32) -> MsgCosts {
+        // Preallocated receive buffers: pages land directly where
+        // they belong, so payload adds wire time but almost no CPU.
+        let touch = Dur::from_nanos(payload_bytes as u64 * 2);
+        MsgCosts {
+            send_cpu: cost.sts_send_cpu,
+            recv_cpu: cost.sts_recv_cpu + touch,
+            bytes: cost.sts_header_bytes + payload_bytes,
+            extra_latency: Dur::ZERO,
+        }
+    }
+}
+
+/// A modern one-sided interconnect (RDMA-style RNIC).
+///
+/// The data plane is the star: a remote page read is served entirely by
+/// the target's NIC out of pre-registered memory — zero receiver CPU
+/// occupancy, so a hot read-shared page never serializes on its owner's
+/// event handler. The control plane is ordinary two-sided sends with an
+/// interrupt-driven completion path (no STS-style message co-processor):
+/// slightly costlier per message than STS, not coalescable, and every
+/// message pays the RNIC's latency floor in flight. Reliability lives in
+/// the fabric (hardware retransmission on connected queue pairs), so the
+/// backend opts out of the software ARQ layer; the only software-visible
+/// failures are one-sided read completions, recovered by the requester's
+/// watchdog re-issue.
+#[derive(Debug)]
+pub struct Rdma;
+
+impl TransportBackend for Rdma {
+    fn name(&self) -> &'static str {
+        "rdma"
+    }
+
+    fn stat_key(&self) -> &'static str {
+        "rdma.messages"
+    }
+
+    fn page_stat_key(&self) -> &'static str {
+        "rdma.page_messages"
+    }
+
+    fn costs(&self, cost: &CostModel, payload_bytes: u32) -> MsgCosts {
+        // Two-sided control path: payload DMAs into a registered buffer
+        // (no per-byte marshalling), but each message takes the
+        // interrupt-driven completion path and the fabric latency floor.
+        let touch = Dur::from_nanos(payload_bytes as u64 * 2);
+        MsgCosts {
+            send_cpu: cost.rdma_ctrl_send_cpu,
+            recv_cpu: cost.rdma_ctrl_recv_cpu + touch,
+            bytes: cost.rdma_header_bytes + payload_bytes,
+            extra_latency: cost.rdma_latency_floor,
+        }
+    }
+
+    fn supports_coalescing(&self) -> bool {
+        // Each verb is its own work request; there is no shared frame to
+        // amortize into.
+        false
+    }
+
+    fn per_link_arq(&self) -> bool {
+        // Hardware retransmission on connected queue pairs: the software
+        // ARQ layer (sequence numbers, acks, backoff CPU) would model
+        // cost that the fabric does not charge.
+        false
+    }
+
+    fn one_sided_reads(&self) -> bool {
+        true
+    }
+
+    fn one_sided_read_costs(&self, cost: &CostModel) -> MsgCosts {
+        MsgCosts {
+            send_cpu: cost.rdma_post_cpu,
+            // Served by the target's NIC: its host never runs.
+            recv_cpu: Dur::ZERO,
+            bytes: cost.rdma_header_bytes,
+            extra_latency: cost.rdma_latency_floor,
+        }
+    }
+
+    fn one_sided_reply_costs(&self, cost: &CostModel, payload_bytes: u32) -> MsgCosts {
+        MsgCosts {
+            // The NIC DMAs the page out of registered memory.
+            send_cpu: Dur::ZERO,
+            recv_cpu: cost.rdma_completion_cpu,
+            bytes: cost.rdma_header_bytes + payload_bytes,
+            extra_latency: cost.rdma_latency_floor,
+        }
+    }
+
+    fn link_setup_cpu(&self, cost: &CostModel) -> Dur {
+        cost.rdma_link_setup_cpu
+    }
+}
+
+static NORMA_BACKEND: NormaIpc = NormaIpc;
+static STS_BACKEND: Sts = Sts;
+static RDMA_BACKEND: Rdma = Rdma;
+
+/// A configured transport endpoint: a `Copy` handle to a
+/// [`TransportBackend`] plus the uniform send paths (reliable, tagged,
+/// lossy, coalesced, one-sided) every protocol layer goes through.
+#[derive(Clone, Copy)]
 pub struct Transport {
-    kind: TransportKind,
+    backend: &'static dyn TransportBackend,
+}
+
+impl std::fmt::Debug for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transport")
+            .field("backend", &self.backend.name())
+            .finish()
+    }
 }
 
 impl Transport {
     /// The NORMA-IPC transport.
     pub const NORMA: Transport = Transport {
-        kind: TransportKind::NormaIpc,
+        backend: &NORMA_BACKEND,
     };
 
     /// The STS transport.
     pub const STS: Transport = Transport {
-        kind: TransportKind::Sts,
+        backend: &STS_BACKEND,
     };
 
-    /// The kind of this transport.
-    pub fn kind(&self) -> TransportKind {
-        self.kind
+    /// The one-sided RDMA transport.
+    pub const RDMA: Transport = Transport {
+        backend: &RDMA_BACKEND,
+    };
+
+    /// The backend carrying this transport's messages.
+    pub fn backend(&self) -> &'static dyn TransportBackend {
+        self.backend
+    }
+
+    /// Short backend name (table labels).
+    pub fn name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Statistics key counting messages sent on this transport.
     pub fn stat_key(&self) -> &'static str {
-        match self.kind {
-            TransportKind::NormaIpc => "norma.messages",
-            TransportKind::Sts => "sts.messages",
-        }
+        self.backend.stat_key()
+    }
+
+    /// Statistics key counting page-carrying messages on this transport.
+    pub fn page_stat_key(&self) -> &'static str {
+        self.backend.page_stat_key()
+    }
+
+    /// Whether several protocol messages may share one wire frame.
+    pub fn supports_coalescing(&self) -> bool {
+        self.backend.supports_coalescing()
+    }
+
+    /// Whether protocol traffic rides the software per-link ARQ channel
+    /// under an active fault plan (see `docs/RELIABILITY.md`).
+    pub fn per_link_arq(&self) -> bool {
+        self.backend.per_link_arq()
+    }
+
+    /// Whether remote page reads can be posted as one-sided pulls.
+    pub fn one_sided_reads(&self) -> bool {
+        self.backend.one_sided_reads()
+    }
+
+    /// One-time CPU for first contact with a peer (setup/registration).
+    pub fn link_setup_cpu(&self, cost: &CostModel) -> Dur {
+        self.backend.link_setup_cpu(cost)
     }
 
     /// Cost envelope for a node-local (loopback) message: a kernel-internal
@@ -95,6 +370,7 @@ impl Transport {
             send_cpu: cost.local_ipc_cpu,
             recv_cpu: cost.local_ipc_cpu,
             bytes: payload_bytes,
+            extra_latency: Dur::ZERO,
         }
     }
 
@@ -102,28 +378,7 @@ impl Transport {
     /// payload (0 for a header-only message, one page size for a page
     /// carrier).
     pub fn costs(&self, cost: &CostModel, payload_bytes: u32) -> MsgCosts {
-        match self.kind {
-            TransportKind::NormaIpc => {
-                // Typed in-line data adds per-byte marshalling work on both
-                // sides in addition to the fixed port/translation overhead.
-                let marshal = Dur::from_nanos(payload_bytes as u64 * 12);
-                MsgCosts {
-                    send_cpu: cost.norma_send_cpu + marshal,
-                    recv_cpu: cost.norma_recv_cpu + marshal,
-                    bytes: cost.norma_header_bytes + payload_bytes,
-                }
-            }
-            TransportKind::Sts => {
-                // Preallocated receive buffers: pages land directly where
-                // they belong, so payload adds wire time but almost no CPU.
-                let touch = Dur::from_nanos(payload_bytes as u64 * 2);
-                MsgCosts {
-                    send_cpu: cost.sts_send_cpu,
-                    recv_cpu: cost.sts_recv_cpu + touch,
-                    bytes: cost.sts_header_bytes + payload_bytes,
-                }
-            }
-        }
+        self.backend.costs(cost, payload_bytes)
     }
 
     /// Cost envelope for a *coalesced* frame carrying `subframes` protocol
@@ -149,16 +404,31 @@ impl Transport {
         subframes: u32,
         payload_bytes: u32,
     ) -> MsgCosts {
-        let base = self.costs(cost, payload_bytes);
+        let base = self.backend.costs(cost, payload_bytes);
         let extra = subframes.saturating_sub(1);
         if extra == 0 {
             return base;
         }
+        debug_assert!(
+            self.backend.supports_coalescing(),
+            "coalesced frame on a non-coalescing backend"
+        );
         let demux = Dur::from_nanos(cost.sts_subframe_cpu.as_nanos() * extra as u64);
         MsgCosts {
             send_cpu: base.send_cpu + demux,
             recv_cpu: base.recv_cpu + demux,
             bytes: base.bytes + cost.sts_subframe_bytes * extra,
+            extra_latency: base.extra_latency,
+        }
+    }
+
+    /// Bumps the per-transport message statistic (and the page-carrier
+    /// statistic when the message has payload) — the accounting every send
+    /// path shares.
+    fn bump_transport_stats<M>(&self, ctx: &mut Ctx<'_, M>, payload_bytes: u32) {
+        ctx.stats().bump(self.backend.stat_key());
+        if payload_bytes > 0 {
+            ctx.stats().bump(self.backend.page_stat_key());
         }
     }
 
@@ -179,13 +449,7 @@ impl Transport {
         } else {
             self.coalesced_costs(&ctx.machine().config.cost, subframes, payload_bytes)
         };
-        ctx.stats().bump(self.stat_key());
-        if payload_bytes > 0 {
-            ctx.stats().bump(match self.kind {
-                TransportKind::NormaIpc => "norma.page_messages",
-                TransportKind::Sts => "sts.page_messages",
-            });
-        }
+        self.bump_transport_stats(ctx, payload_bytes);
         ctx.send(dst, costs, msg);
     }
 
@@ -206,33 +470,9 @@ impl Transport {
             return;
         }
         let decision = ctx.fault_decision(dst);
-        ctx.stats().bump(self.stat_key());
-        if payload_bytes > 0 {
-            ctx.stats().bump(match self.kind {
-                TransportKind::NormaIpc => "norma.page_messages",
-                TransportKind::Sts => "sts.page_messages",
-            });
-        }
+        self.bump_transport_stats(ctx, payload_bytes);
         let costs = self.coalesced_costs(&ctx.machine().config.cost, subframes, payload_bytes);
-        match decision {
-            FaultDecision::Deliver => ctx.send(dst, costs, make()),
-            FaultDecision::Drop(cause) => {
-                ctx.stats().bump(match cause {
-                    FaultCause::Loss => "transport.fault.dropped",
-                    FaultCause::Blackout => "transport.fault.blackout",
-                });
-                ctx.charge_send_only(costs);
-            }
-            FaultDecision::Duplicate { extra } => {
-                ctx.stats().bump("transport.fault.duplicated");
-                ctx.send(dst, costs, make());
-                ctx.send_delayed(dst, costs, extra, make());
-            }
-            FaultDecision::Delay { extra } => {
-                ctx.stats().bump("transport.fault.delayed");
-                ctx.send_delayed(dst, costs, extra, make());
-            }
-        }
+        self.apply_fault_decision(ctx, dst, costs, decision, make);
     }
 
     /// Sends `msg` to `dst` through this transport, charging costs and
@@ -244,13 +484,7 @@ impl Transport {
         } else {
             self.costs(&ctx.machine().config.cost, payload_bytes)
         };
-        ctx.stats().bump(self.stat_key());
-        if payload_bytes > 0 {
-            ctx.stats().bump(match self.kind {
-                TransportKind::NormaIpc => "norma.page_messages",
-                TransportKind::Sts => "sts.page_messages",
-            });
-        }
+        self.bump_transport_stats(ctx, payload_bytes);
         ctx.send(dst, costs, msg);
     }
 
@@ -300,14 +534,78 @@ impl Transport {
         // The logical send happened regardless of its fate on the wire:
         // count it exactly as send_tagged/send would.
         ctx.stats().bump(kind);
-        ctx.stats().bump(self.stat_key());
-        if payload_bytes > 0 {
-            ctx.stats().bump(match self.kind {
-                TransportKind::NormaIpc => "norma.page_messages",
-                TransportKind::Sts => "sts.page_messages",
-            });
-        }
+        self.bump_transport_stats(ctx, payload_bytes);
         let costs = self.costs(&ctx.machine().config.cost, payload_bytes);
+        self.apply_fault_decision(ctx, dst, costs, decision, make);
+    }
+
+    /// Posts a one-sided read request to `dst` through the fault seam:
+    /// header-only, zero receiver CPU (the target's NIC serves it), and
+    /// counted under both `kind` and `transport.rdma.read`. Drops are
+    /// *not* retransmitted by any link layer — the requester's watchdog
+    /// re-issues the stalled request end-to-end.
+    pub fn send_one_sided<M>(
+        &self,
+        ctx: &mut Ctx<'_, M>,
+        dst: NodeId,
+        kind: &'static str,
+        mut make: impl FnMut() -> M,
+    ) {
+        debug_assert!(self.backend.one_sided_reads());
+        debug_assert!(dst != ctx.me(), "loopback reads never leave the node");
+        let costs = self
+            .backend
+            .one_sided_read_costs(&ctx.machine().config.cost);
+        ctx.stats().bump(kind);
+        ctx.stats().bump("transport.rdma.read");
+        self.bump_transport_stats(ctx, 0);
+        if !ctx.machine().config.faults.is_active() {
+            ctx.send(dst, costs, make());
+            return;
+        }
+        let decision = ctx.fault_decision(dst);
+        self.apply_fault_decision(ctx, dst, costs, decision, make);
+    }
+
+    /// Sends a one-sided read completion carrying `payload_bytes` back to
+    /// the requester: the target's NIC DMAs it out (zero sender CPU); the
+    /// requester pays completion handling on arrival. Travels the same
+    /// fault seam as the request — a lost completion is recovered by the
+    /// requester's watchdog, not by retransmission.
+    pub fn send_one_sided_reply<M>(
+        &self,
+        ctx: &mut Ctx<'_, M>,
+        dst: NodeId,
+        payload_bytes: u32,
+        kind: &'static str,
+        mut make: impl FnMut() -> M,
+    ) {
+        debug_assert!(self.backend.one_sided_reads());
+        let costs = self
+            .backend
+            .one_sided_reply_costs(&ctx.machine().config.cost, payload_bytes);
+        ctx.stats().bump(kind);
+        self.bump_transport_stats(ctx, payload_bytes);
+        if dst == ctx.me() || !ctx.machine().config.faults.is_active() {
+            ctx.send(dst, costs, make());
+            return;
+        }
+        let decision = ctx.fault_decision(dst);
+        self.apply_fault_decision(ctx, dst, costs, decision, make);
+    }
+
+    /// Applies one sampled [`FaultDecision`] to a message whose logical
+    /// statistics have already been counted: delivery, drop (send-side
+    /// charge only), duplication, or delay — bumping the matching
+    /// `transport.fault.*` counter.
+    fn apply_fault_decision<M>(
+        &self,
+        ctx: &mut Ctx<'_, M>,
+        dst: NodeId,
+        costs: MsgCosts,
+        decision: FaultDecision,
+        mut make: impl FnMut() -> M,
+    ) {
         match decision {
             FaultDecision::Deliver => ctx.send(dst, costs, make()),
             FaultDecision::Drop(cause) => {
@@ -361,7 +659,7 @@ mod tests {
     #[test]
     fn payload_increases_costs_monotonically() {
         let c = cost();
-        for t in [Transport::NORMA, Transport::STS] {
+        for t in [Transport::NORMA, Transport::STS, Transport::RDMA] {
             let small = t.costs(&c, 0);
             let big = t.costs(&c, 8192);
             assert!(big.bytes > small.bytes);
@@ -418,5 +716,86 @@ mod tests {
         let page = Transport::STS.costs(&c, 8192);
         let extra = (page.recv_cpu - hdr.recv_cpu) + (page.send_cpu - hdr.send_cpu);
         assert!(extra < Dur::from_micros(50), "extra CPU {extra} too high");
+    }
+
+    #[test]
+    fn backend_stat_keys_are_distinct() {
+        let keys = [
+            Transport::NORMA.stat_key(),
+            Transport::STS.stat_key(),
+            Transport::RDMA.stat_key(),
+        ];
+        let pages = [
+            Transport::NORMA.page_stat_key(),
+            Transport::STS.page_stat_key(),
+            Transport::RDMA.page_stat_key(),
+        ];
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_ne!(keys[i], keys[j]);
+                assert_ne!(pages[i], pages[j]);
+            }
+        }
+        assert_eq!(Transport::RDMA.stat_key(), "rdma.messages");
+        assert_eq!(Transport::RDMA.name(), "rdma");
+    }
+
+    #[test]
+    fn classic_backends_have_no_latency_floor() {
+        // Behavior preservation: the trait refactor must not move a single
+        // arrival time for STS/NORMA traffic.
+        let c = cost();
+        for t in [Transport::NORMA, Transport::STS] {
+            for payload in [0u32, 8192] {
+                assert!(t.costs(&c, payload).extra_latency.is_zero());
+                assert!(t.coalesced_costs(&c, 5, payload).extra_latency.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn one_sided_read_occupies_no_receiver_cpu() {
+        let c = cost();
+        let req = Transport::RDMA.backend().one_sided_read_costs(&c);
+        assert!(req.recv_cpu.is_zero(), "NIC-served: target host never runs");
+        assert!(req.send_cpu > Dur::ZERO, "posting the WQE is not free");
+        assert_eq!(req.bytes, c.rdma_header_bytes);
+        let reply = Transport::RDMA.backend().one_sided_reply_costs(&c, 8192);
+        assert!(reply.send_cpu.is_zero(), "NIC DMAs the page out");
+        assert!(reply.recv_cpu > Dur::ZERO, "requester reaps the completion");
+        assert_eq!(reply.bytes, c.rdma_header_bytes + 8192);
+        // Both directions pay the fabric's latency floor.
+        assert_eq!(req.extra_latency, c.rdma_latency_floor);
+        assert_eq!(reply.extra_latency, c.rdma_latency_floor);
+    }
+
+    #[test]
+    fn rdma_capability_flags() {
+        assert!(!Transport::RDMA.supports_coalescing());
+        assert!(!Transport::RDMA.per_link_arq());
+        assert!(Transport::RDMA.one_sided_reads());
+        assert!(Transport::RDMA.link_setup_cpu(&cost()) > Dur::ZERO);
+        for t in [Transport::NORMA, Transport::STS] {
+            assert!(t.supports_coalescing());
+            assert!(t.per_link_arq());
+            assert!(!t.one_sided_reads());
+            assert!(t.link_setup_cpu(&cost()).is_zero());
+        }
+    }
+
+    #[test]
+    fn rdma_control_path_sits_between_sts_and_norma() {
+        // The control plane has no message co-processor: costlier than
+        // STS per message, still far below NORMA's typed-IPC stack.
+        let c = cost();
+        let cpu = |m: MsgCosts| m.send_cpu + m.recv_cpu;
+        let r = cpu(Transport::RDMA.costs(&c, 0));
+        let s = cpu(Transport::STS.costs(&c, 0));
+        let n = cpu(Transport::NORMA.costs(&c, 0));
+        assert!(r > s, "rdma ctrl {r} should exceed sts {s}");
+        assert!(
+            r.as_nanos() * 4 < n.as_nanos(),
+            "rdma ctrl {r} far below norma {n}"
+        );
     }
 }

@@ -11,6 +11,7 @@ use machvm::{Access, Inherit, TaskId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use svmsim::{Dur, FaultPlan, MachineConfig, NodeId};
+use transport::Transport;
 
 /// Which synthetic pattern to run.
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +77,18 @@ pub struct PatternOutcome {
     /// Ack-class subframes that shared a frame with page data
     /// (`asvm.coalesce.piggyback_ack`).
     pub coalesce_acks: u64,
+    /// Messages on the STS backend (`sts.messages`).
+    pub sts_msgs: u64,
+    /// Messages on the NORMA-IPC backend (`norma.messages`).
+    pub norma_msgs: u64,
+    /// Messages on the RDMA backend (`rdma.messages`).
+    pub rdma_msgs: u64,
+    /// One-sided reads completed entirely by the target's NIC
+    /// (`transport.rdma.read_served`).
+    pub rdma_read_served: u64,
+    /// One-sided reads the NIC had to raise to the target host
+    /// (`transport.rdma.read_fallback`).
+    pub rdma_read_fallback: u64,
 }
 
 impl PatternOutcome {
@@ -271,9 +284,35 @@ pub fn run_pattern_mega(
     pages: u32,
     pattern: Pattern,
 ) -> (PatternOutcome, crate::megascale::StateProbe) {
-    let (out, probe) = run_pattern_full(kind, nodes, pages, pattern, FaultPlan::none(), Dur::ZERO);
+    let (out, probe) = run_pattern_full(
+        kind,
+        nodes,
+        pages,
+        pattern,
+        FaultPlan::none(),
+        Dur::ZERO,
+        None,
+    );
     assert!(out.completed, "pattern tasks finish");
     (out.outcome, probe)
+}
+
+/// [`run_pattern_paced`] with the ASVM protocol carried on an explicit
+/// transport backend — the construction site of the 3-way backend ×
+/// pattern ablation. Tolerates stranded tasks like
+/// [`run_pattern_faulted`] (a faulted RDMA run has no link-level ARQ, so
+/// an exhausted watchdog legally strands a waiter) and reports through
+/// [`FaultedOutcome`].
+pub fn run_pattern_backend(
+    kind: ManagerKind,
+    transport: Transport,
+    nodes: u16,
+    pages: u32,
+    pattern: Pattern,
+    faults: FaultPlan,
+    think: Dur,
+) -> FaultedOutcome {
+    run_pattern_full(kind, nodes, pages, pattern, faults, think, Some(transport)).0
 }
 
 /// [`run_pattern`] with `think` of modeled compute after every memory
@@ -289,7 +328,7 @@ pub fn run_pattern_paced(
     pattern: Pattern,
     think: Dur,
 ) -> PatternOutcome {
-    let (out, _) = run_pattern_full(kind, nodes, pages, pattern, FaultPlan::none(), think);
+    let (out, _) = run_pattern_full(kind, nodes, pages, pattern, FaultPlan::none(), think, None);
     assert!(out.completed, "pattern tasks finish");
     out.outcome
 }
@@ -305,7 +344,7 @@ pub fn run_pattern_faulted(
     pattern: Pattern,
     faults: FaultPlan,
 ) -> FaultedOutcome {
-    run_pattern_full(kind, nodes, pages, pattern, faults, Dur::ZERO).0
+    run_pattern_full(kind, nodes, pages, pattern, faults, Dur::ZERO, None).0
 }
 
 fn run_pattern_full(
@@ -315,6 +354,7 @@ fn run_pattern_full(
     pattern: Pattern,
     faults: FaultPlan,
     think: Dur,
+    transport: Option<Transport>,
 ) -> (FaultedOutcome, crate::megascale::StateProbe) {
     let seed = match pattern {
         Pattern::Uniform { seed, .. } => seed,
@@ -324,6 +364,9 @@ fn run_pattern_full(
     let mut cfg = MachineConfig::paragon(nodes);
     cfg.faults = faults;
     let mut ssi = Ssi::with_machine(cfg, kind, seed);
+    if let Some(t) = transport {
+        ssi.set_asvm_transport(t);
+    }
     let home = NodeId(0);
     let mobj = ssi.create_object(home, pages, false);
     let tasks: Vec<TaskId> = (0..nodes)
@@ -391,7 +434,9 @@ fn run_pattern_full(
         outcome: PatternOutcome {
             mean_fault_ms: faults.map(|t| t.mean().as_millis_f64()).unwrap_or(0.0),
             faults: faults.map(|t| t.count).unwrap_or(0),
-            messages: s.counter("sts.messages") + s.counter("norma.messages"),
+            messages: s.counter("sts.messages")
+                + s.counter("norma.messages")
+                + s.counter("rdma.messages"),
             elapsed_s: ssi.world.now().as_secs_f64(),
             events: ssi.world.events_processed(),
             asvm_msgs,
@@ -399,6 +444,11 @@ fn run_pattern_full(
             coalesce_merged: merged,
             coalesce_hints: s.counter("asvm.coalesce.piggyback_hint"),
             coalesce_acks: s.counter("asvm.coalesce.piggyback_ack"),
+            sts_msgs: s.counter("sts.messages"),
+            norma_msgs: s.counter("norma.messages"),
+            rdma_msgs: s.counter("rdma.messages"),
+            rdma_read_served: s.counter("transport.rdma.read_served"),
+            rdma_read_fallback: s.counter("transport.rdma.read_fallback"),
         },
         dropped: s.counter("transport.fault.dropped") + s.counter("transport.fault.blackout"),
         duplicated: s.counter("transport.fault.duplicated"),

@@ -15,6 +15,7 @@ use common::{run_trace, TraceOp};
 use machvm::{Access, Inherit, PageIdx, TaskId};
 use proptest::prelude::*;
 use svmsim::{FaultPlan, MachineConfig, NodeId};
+use transport::Transport;
 
 fn trace_strategy(nodes: u16, pages: u32, max_ops: usize) -> impl Strategy<Value = Vec<TraceOp>> {
     prop::collection::vec(
@@ -115,9 +116,23 @@ fn asvm_final_state(
     pages: u32,
     ops: &[TraceOp],
 ) -> (Vec<Option<u64>>, OwnershipMap) {
+    asvm_backend_state(cfg, Transport::STS, faults, nodes, pages, ops)
+}
+
+/// [`asvm_final_state`] with the protocol carried on an explicit transport
+/// backend (the cross-backend parity check).
+fn asvm_backend_state(
+    cfg: asvm::AsvmConfig,
+    transport: Transport,
+    faults: FaultPlan,
+    nodes: u16,
+    pages: u32,
+    ops: &[TraceOp],
+) -> (Vec<Option<u64>>, OwnershipMap) {
     let mut mc = MachineConfig::paragon(nodes);
     mc.faults = faults;
     let mut ssi = Ssi::with_machine(mc, ManagerKind::Asvm(cfg), 99);
+    ssi.set_asvm_transport(transport);
     let home = NodeId(0);
     let mobj = ssi.create_object(home, pages, false);
     let tasks: Vec<TaskId> = (0..nodes)
@@ -139,6 +154,13 @@ fn asvm_final_state(
     ssi.finalize();
     ssi.set_barrier_parties(nodes as u32);
     for n in 0..nodes {
+        // The verification pass is barrier-sequenced per node (unlike
+        // `final_memory`'s concurrent pass): a never-written page gets its
+        // first owner minted whenever the first read reaches the static
+        // manager, and concurrent final reads would let transport *timing*
+        // pick that owner — a harness race, not a protocol property. One
+        // reader at a time makes the final ownership map a pure function
+        // of the trace, comparable across transports.
         let steps: Vec<cluster::Step> = ops
             .iter()
             .enumerate()
@@ -160,7 +182,15 @@ fn asvm_final_state(
                     .into_iter()
                     .chain(std::iter::once(cluster::Step::Barrier(r as u32)))
             })
-            .chain((0..pages).map(|p| cluster::Step::Read { va_page: p as u64 }))
+            .chain((0..nodes).flat_map(|turn| {
+                let mine = turn == n;
+                mine.then(|| (0..pages).map(|p| cluster::Step::Read { va_page: p as u64 }))
+                    .into_iter()
+                    .flatten()
+                    .chain(std::iter::once(cluster::Step::Barrier(
+                        ops.len() as u32 + turn as u32,
+                    )))
+            }))
             .chain(std::iter::once(cluster::Step::Done))
             .collect();
         ssi.spawn(
@@ -169,9 +199,8 @@ fn asvm_final_state(
             Box::new(cluster::ScriptProgram::new(steps)),
         );
     }
-    ssi.run(200_000_000)
-        .expect("coalescing parity trace quiesces");
-    assert!(ssi.all_done(), "coalescing parity trace finishes");
+    ssi.run(200_000_000).expect("backend parity trace quiesces");
+    assert!(ssi.all_done(), "backend parity trace finishes");
     let mut mem = Vec::new();
     for n in 0..nodes {
         for p in 0..pages {
@@ -265,6 +294,47 @@ proptest! {
             let (mem_on, own_on) = asvm_final_state(base.coalesced(), plan(), 3, 6, &ops);
             prop_assert_eq!(mem_off, mem_on, "memory diverged (faulted={})", faulted);
             prop_assert_eq!(own_off, own_on, "ownership diverged (faulted={})", faulted);
+        }
+    }
+
+    /// The transport backend is a carrier, not a protocol: the same
+    /// randomized workload over STS, NORMA-IPC, and RDMA must converge to
+    /// identical final memory contents, page ownership, and copysets —
+    /// healthy and faulted. RDMA is the interesting arm: eligible read
+    /// faults go one-sided (zero owner occupancy, no link ARQ, watchdog
+    /// re-issue on loss), yet every state transition must match the
+    /// two-sided backends exactly.
+    #[test]
+    fn backends_preserve_final_state(ops in trace_strategy(3, 6, 12)) {
+        let base = asvm::AsvmConfig::default();
+        for faulted in [false, true] {
+            let plan = || if faulted {
+                FaultPlan::seeded(7).with_drop_ppm(10_000).with_dup_ppm(2_000)
+            } else {
+                FaultPlan::none()
+            };
+            let (mem_sts, own_sts) =
+                asvm_backend_state(base, Transport::STS, plan(), 3, 6, &ops);
+            let (mem_norma, own_norma) =
+                asvm_backend_state(base, Transport::NORMA, plan(), 3, 6, &ops);
+            let (mem_rdma, own_rdma) =
+                asvm_backend_state(base, Transport::RDMA, plan(), 3, 6, &ops);
+            prop_assert_eq!(
+                &mem_sts, &mem_norma,
+                "STS vs NORMA memory diverged (faulted={})", faulted
+            );
+            prop_assert_eq!(
+                &own_sts, &own_norma,
+                "STS vs NORMA ownership diverged (faulted={})", faulted
+            );
+            prop_assert_eq!(
+                &mem_sts, &mem_rdma,
+                "STS vs RDMA memory diverged (faulted={})", faulted
+            );
+            prop_assert_eq!(
+                &own_sts, &own_rdma,
+                "STS vs RDMA ownership diverged (faulted={})", faulted
+            );
         }
     }
 }
