@@ -371,7 +371,7 @@ impl ClusterNode {
                             msg: msg.clone(),
                         });
                 } else if dst != self.id
-                    && self.coalesce.enabled
+                    && self.coalesce_enabled_for(msg.mobj())
                     && self.asvm_transport.supports_coalescing()
                 {
                     if let Some(full) = self.combiner.push(dst, msg) {
@@ -422,6 +422,19 @@ impl ClusterNode {
             ProtocolMsg::Xmm(m) => {
                 Transport::NORMA.send_tagged(ctx, dst, payload, kind, Msg::Xmm(m));
             }
+        }
+    }
+
+    /// Whether protocol sends for `mobj` should go through the frame
+    /// combiner: the object's own configuration where the engine has one
+    /// (so per-object overrides and runtime policy switches take effect),
+    /// the node-level default otherwise (XMM, or an object not registered
+    /// here). Identical to the node-level switch whenever every object was
+    /// registered with the cluster-wide configuration.
+    fn coalesce_enabled_for(&self, mobj: MemObjId) -> bool {
+        match self.engine.as_asvm().and_then(|a| a.object_cfg(mobj)) {
+            Some(cfg) => cfg.coalesce.enabled,
+            None => self.coalesce.enabled,
         }
     }
 
@@ -517,7 +530,13 @@ impl ClusterNode {
             kind,
             timeout,
         } = frame;
-        if self.coalesce.enabled {
+        // Wire-format choice: a body that actually coalesced anything —
+        // several subframes, or piggybacked hints — must travel as a
+        // batch frame even when the node-level switch is off (per-object
+        // coalescing). With everything off, bodies are always hint-less
+        // singletons and the classic format is byte-identical to
+        // pre-coalescing builds.
+        if self.coalesce.enabled || body.subframes() > 1 || !body.hints.is_empty() {
             let subframes = body.subframes();
             self.asvm_transport
                 .send_coalesced_lossy(ctx, dst, subframes, payload, || Msg::AsvmBatchFrame {

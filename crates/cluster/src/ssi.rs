@@ -86,6 +86,9 @@ pub struct Ssi {
     next_task: u32,
     /// Stripe sets for striped objects (§6 future work).
     striped: std::collections::BTreeMap<MemObjId, Vec<NodeId>>,
+    /// Per-object ASVM configuration overrides, applied at registration
+    /// in place of the cluster-wide configuration.
+    object_cfgs: std::collections::BTreeMap<MemObjId, AsvmConfig>,
     /// Nodes whose failure-detector heartbeat is already armed.
     hb_armed: std::collections::BTreeSet<NodeId>,
 }
@@ -122,8 +125,26 @@ impl Ssi {
             next_mobj: 1,
             next_task: 1,
             striped: std::collections::BTreeMap::new(),
+            object_cfgs: std::collections::BTreeMap::new(),
             hb_armed: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Overrides the ASVM configuration `mobj` is registered with — the
+    /// paper's per-memory-object strategy hook (*"The ASVM system allows
+    /// to disable either dynamic or static forwarding (or both) on a
+    /// memory-object basis"*), extended to the full [`AsvmConfig`]
+    /// surface: forwarding switches, cache capacities, readahead,
+    /// watchdog bounds, coalescing, and the online policy. Takes effect
+    /// on every [`Ssi::map_shared`] after the call, so set it before the
+    /// object's first map; other objects keep the cluster-wide
+    /// configuration. ASVM only.
+    pub fn set_object_config(&mut self, mobj: MemObjId, cfg: AsvmConfig) {
+        assert!(
+            matches!(self.kind, ManagerKind::Asvm(_)),
+            "per-object configuration requires ASVM"
+        );
+        self.object_cfgs.insert(mobj, cfg);
     }
 
     /// The manager kind this cluster runs.
@@ -212,7 +233,10 @@ impl Ssi {
         inherit: Inherit,
     ) {
         let pager_node = self.world.machine().io_node_for(home);
-        let kind = self.kind;
+        let mut kind = self.kind;
+        if let (ManagerKind::Asvm(_), Some(cfg)) = (kind, self.object_cfgs.get(&mobj)) {
+            kind = ManagerKind::Asvm(*cfg);
+        }
         let stripe = self.striped.get(&mobj).cloned();
         let n = self.world.node_mut(node);
         if !n.vm.has_task(task) {

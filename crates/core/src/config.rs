@@ -118,6 +118,9 @@ pub struct AsvmConfig {
     pub forward: ForwardCfg,
     /// Protocol message coalescing over STS (default off).
     pub coalesce: CoalesceCfg,
+    /// Online per-object strategy selection (default off); see
+    /// [`crate::policy`].
+    pub policy: crate::policy::PolicyCfg,
 }
 
 impl Default for AsvmConfig {
@@ -130,6 +133,7 @@ impl Default for AsvmConfig {
             readahead: 0,
             forward: ForwardCfg::default(),
             coalesce: CoalesceCfg::default(),
+            policy: crate::policy::PolicyCfg::default(),
         }
     }
 }
@@ -173,6 +177,16 @@ impl AsvmConfig {
         self.coalesce = CoalesceCfg::on();
         self
     }
+
+    /// Returns this configuration with the online per-object policy
+    /// switched on (default window and hysteresis): each node then picks
+    /// dynamic/static/global forwarding — and, where the transport
+    /// supports it, coalescing — per memory object from the object's own
+    /// observed traffic. See [`crate::policy`].
+    pub fn adaptive(mut self) -> AsvmConfig {
+        self.policy = crate::policy::PolicyCfg::on();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +210,20 @@ mod tests {
         assert_eq!(c.max_subframes, 16);
         let on = AsvmConfig::default().coalesced().coalesce;
         assert!(on.enabled && on.piggyback_hints);
+    }
+
+    #[test]
+    fn policy_defaults_off_and_adaptive_enables_it() {
+        let d = AsvmConfig::default();
+        assert!(!d.policy.enabled, "the online policy must be opt-in");
+        let a = AsvmConfig::default().adaptive();
+        assert!(a.policy.enabled);
+        assert_eq!(a.policy.window, 48);
+        assert_eq!(a.policy.hysteresis, 2);
+        assert!(a.policy.manage_coalesce);
+        assert!(a.policy.manage_readahead);
+        // Forwarding switches are untouched until the policy acts.
+        assert!(a.dynamic_forwarding && a.static_forwarding);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod locks;
 pub mod lru;
 pub mod node;
 pub mod object;
+pub mod policy;
 pub mod protocol;
 pub mod retry;
 
@@ -53,6 +54,7 @@ pub use node::{AsvmNode, Fx};
 pub use object::{
     AsvmObject, Busy, EvictStage, PageInfo, PendingLocal, QueuedReq, RecoverState, StaticHint,
 };
+pub use policy::{AccelBase, Observation, PolicyCfg, PolicyMode, PolicyState, PolicyVerdict};
 pub use protocol::{AsvmMsg, NetSend, PagerSend, ReqKind, ReqPath};
 pub use retry::{Accepted, LinkReceiver, LinkSender, RetryConfig, TimeoutVerdict};
 

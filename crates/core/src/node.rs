@@ -118,6 +118,9 @@ impl AsvmNode {
                 total += (info.queued.len() * size_of::<QueuedReq>()) as u64;
             }
             total += (o.pending.len() * (size_of::<PageIdx>() + size_of::<PendingLocal>())) as u64;
+            total += (o.stash.len()
+                * (size_of::<PageIdx>() + size_of::<crate::object::StashedCopy>()))
+                as u64;
             total += (o.dyn_cache.len() * (size_of::<PageIdx>() + size_of::<NodeId>())) as u64;
             total +=
                 (o.static_cache.len() * (size_of::<PageIdx>() + size_of::<StaticHint>())) as u64;
@@ -195,6 +198,33 @@ impl AsvmNode {
     /// The memory object behind a VM object, if ASVM manages it.
     pub fn mobj_of(&self, vm_obj: VmObjId) -> Option<MemObjId> {
         self.by_vmobj.get(&vm_obj).copied()
+    }
+
+    /// The configuration currently governing `mobj` on this node, if the
+    /// object is registered here — the non-panicking lookup the cluster
+    /// layer uses to consult per-object transport choices (coalescing) on
+    /// the protocol send path. Reflects any runtime changes the online
+    /// policy has applied.
+    pub fn object_cfg(&self, mobj: MemObjId) -> Option<&AsvmConfig> {
+        self.objects.get(&mobj).map(|o| &o.cfg)
+    }
+
+    /// Feeds one traffic observation to the object's online policy and
+    /// applies the verdict: a closed window bumps `asvm.policy.observe`,
+    /// an applied mode change additionally bumps `asvm.policy.switch` and
+    /// rewrites the object's forwarding/coalescing switches (see
+    /// [`crate::policy`]). Inert when the policy is disabled.
+    fn policy_observe(o: &mut AsvmObject, obs: crate::policy::Observation, fx: &mut Fx) {
+        use crate::policy::PolicyVerdict;
+        match o.policy.record(o.nodes.len(), obs) {
+            PolicyVerdict::Idle => {}
+            PolicyVerdict::Observed => fx.bump("asvm.policy.observe"),
+            PolicyVerdict::Switch(mode) => {
+                fx.bump("asvm.policy.observe");
+                fx.bump("asvm.policy.switch");
+                mode.apply(&mut o.cfg, o.policy.base());
+            }
+        }
     }
 
     /// Page state for `(mobj, page)` on this node.
@@ -277,6 +307,13 @@ impl AsvmNode {
         let o = self.objects.get_mut(&mobj).unwrap();
         match call {
             EmmiToPager::DataRequest { page, access } => {
+                Self::policy_observe(
+                    o,
+                    crate::policy::Observation::LocalFault {
+                        write: access == Access::Write,
+                    },
+                    fx,
+                );
                 Self::local_request(o, self.me, &self.cost, now, vm, page, access, fx);
                 // Read clustering (§6 future work): pull the following
                 // pages in the same breath so sequential scans stream.
@@ -294,6 +331,11 @@ impl AsvmNode {
                 }
             }
             EmmiToPager::DataUnlock { page, .. } => {
+                Self::policy_observe(
+                    o,
+                    crate::policy::Observation::LocalFault { write: true },
+                    fx,
+                );
                 Self::local_request(o, self.me, &self.cost, now, vm, page, Access::Write, fx);
             }
             EmmiToPager::DataReturn { page, data, dirty } => {
@@ -401,6 +443,25 @@ impl AsvmNode {
         let Some(o) = self.objects.get_mut(&mobj) else {
             panic!("{me}: message for unregistered object {mobj:?}: {msg:?}");
         };
+        // The policy learns from arriving access requests — the traffic a
+        // forwarding-strategy change would actually redirect. Push scans,
+        // pull lookups and bookkeeping replies carry no signal about the
+        // object's read/write mix.
+        if let AsvmMsg::PageReq {
+            access,
+            kind: ReqKind::Access,
+            deliver: None,
+            ..
+        } = &msg
+        {
+            Self::policy_observe(
+                o,
+                crate::policy::Observation::RemoteReq {
+                    write: *access == Access::Write,
+                },
+                fx,
+            );
+        }
         let cost = &self.cost;
         match msg {
             AsvmMsg::MapNotify { node, .. } => {
@@ -961,7 +1022,20 @@ impl AsvmNode {
         assert!(pi.busy.is_none(), "VM evicted a busy page");
         if !pi.owner {
             // Step 1: not the owner — discard; the owner can supply it
-            // again at any time.
+            // again at any time. Exception: if our own upgrade request for
+            // this page is in flight and claimed this copy, the owner may
+            // elide the contents from the grant — keep them until it
+            // arrives (see [`crate::object::StashedCopy`]).
+            if matches!(o.pending.get(&page), Some(p) if p.has_copy) {
+                fx.bump("asvm.evict.stash");
+                o.stash.insert(
+                    page,
+                    crate::object::StashedCopy {
+                        data,
+                        version: pi.version,
+                    },
+                );
+            }
             o.pages.remove(&page);
             return;
         }
@@ -1415,7 +1489,17 @@ impl AsvmNode {
                     .filter(|r| *r != req.origin)
                     .collect();
                 if acks.is_empty() {
-                    Self::finish_write_transfer(o, me, cost, now, vm, page, req.origin, fx);
+                    Self::finish_write_transfer(
+                        o,
+                        me,
+                        cost,
+                        now,
+                        vm,
+                        page,
+                        req.origin,
+                        req.has_copy,
+                        fx,
+                    );
                 } else {
                     for r in &acks {
                         fx.send(
@@ -1429,6 +1513,7 @@ impl AsvmNode {
                     }
                     pi.busy = Some(Busy::WriteTransfer {
                         to: req.origin,
+                        to_has_copy: req.has_copy,
                         pending_acks: acks,
                     });
                     vm.set_busy(o.vm_obj, page, true);
@@ -1481,6 +1566,14 @@ impl AsvmNode {
     }
 
     /// Completes transition 4/6 once all invalidations are acknowledged.
+    ///
+    /// The page contents ride along unless the requester both claimed a
+    /// read copy in its request (`to_has_copy`) *and* is still in our
+    /// reader list — the claim alone is not enough, because the VM may
+    /// have silently discarded the copy before the request left (§3.6
+    /// step 1 does not notify the owner), and the reader list alone is
+    /// not enough, because such a discard leaves it stale.
+    #[allow(clippy::too_many_arguments)]
     fn finish_write_transfer(
         o: &mut AsvmObject,
         me: NodeId,
@@ -1489,11 +1582,12 @@ impl AsvmNode {
         vm: &mut VmSystem,
         page: PageIdx,
         to: NodeId,
+        to_has_copy: bool,
         fx: &mut Fx,
     ) {
         let mobj = o.mobj;
         let pi = o.pages.get_mut(&page).unwrap();
-        let in_readers = pi.readers.contains(&to);
+        let elide = to_has_copy && pi.readers.contains(&to);
         let (data, vm_dirty) = {
             let (d, dirty) = vm
                 .peek_page(o.vm_obj, page)
@@ -1508,7 +1602,7 @@ impl AsvmNode {
                 mobj,
                 page,
                 access: Access::Write,
-                data: (!in_readers).then_some(data),
+                data: (!elide).then_some(data),
                 dirty: pi.dirty,
                 ownership: true,
                 readers: vec![],
@@ -1573,12 +1667,17 @@ impl AsvmNode {
         };
         pi.readers.remove(&acker);
         match &mut pi.busy {
-            Some(Busy::WriteTransfer { to, pending_acks }) => {
+            Some(Busy::WriteTransfer {
+                to,
+                to_has_copy,
+                pending_acks,
+            }) => {
                 pending_acks.remove(&acker);
                 if pending_acks.is_empty() {
                     let to = *to;
+                    let to_has_copy = *to_has_copy;
                     pi.busy = None;
-                    Self::finish_write_transfer(o, me, cost, now, vm, page, to, fx);
+                    Self::finish_write_transfer(o, me, cost, now, vm, page, to, to_has_copy, fx);
                 }
             }
             Some(Busy::LocalUpgrade { pending_acks }) => {
@@ -1638,9 +1737,11 @@ impl AsvmNode {
         let pend = o.pending.get(&page).copied();
         // A non-ownership grant with no pending request and the page
         // already resident is a duplicate: the original and a watchdog
-        // re-issue both got answered. Applying it again is harmless for
-        // the data (same owner, same contents) but would clobber local
-        // bookkeeping; drop it.
+        // re-issue both got answered, or a same-node write fault
+        // superseded an in-flight read (the write's ownership grant
+        // landed first and this is the late read grant). Applying it
+        // again is harmless for the data (same owner, same contents) but
+        // would clobber local bookkeeping; drop it.
         if pend.is_none() && !ownership && o.pages.contains_key(&page) {
             fx.bump("asvm.recover.stale_grant");
             return;
@@ -1666,6 +1767,9 @@ impl AsvmNode {
             // The sender is the owner; remember it.
             o.dyn_cache.insert(page, from);
         }
+        // Any grant supersedes a stashed discarded copy: either it carries
+        // fresh contents, or (elided) the stash *is* the contents.
+        let stashed = o.stash.remove(&page);
         match data {
             Some(d) => vm.kernel_call(
                 now,
@@ -1678,6 +1782,27 @@ impl AsvmNode {
                 },
                 &mut fx.vm,
             ),
+            None if vm.peek_page(o.vm_obj, page).is_none() => {
+                // The owner elided the contents against our claimed read
+                // copy, but the VM silently discarded that copy while the
+                // request was in flight; restore the stashed contents. The
+                // stash is current: an elided grant means we stayed in the
+                // owner's reader list, so no write intervened.
+                let s = stashed.expect("elided grant for a page with no local copy");
+                debug_assert_eq!(s.version, version, "stashed copy version mismatch");
+                fx.bump("asvm.evict.stash_fill");
+                vm.kernel_call(
+                    now,
+                    o.vm_obj,
+                    EmmiToKernel::DataSupply {
+                        page,
+                        data: s.data,
+                        lock,
+                        mode: SupplyMode::Normal,
+                    },
+                    &mut fx.vm,
+                );
+            }
             None => vm.kernel_call(
                 now,
                 o.vm_obj,

@@ -358,6 +358,137 @@ fn eviction_hands_ownership_to_a_reader_without_contents() {
     net.check_state_tied_to_residency();
 }
 
+/// Routes a VM eviction of `page` on node `n` into that node's ASVM
+/// (what the cluster layer does under frame pressure) and returns the
+/// effects for inspection.
+fn evict_on(net: &mut MiniNet, n: u16, page: u32) -> Fx {
+    let now = net.now();
+    let vo = net.vm_obj(n);
+    let mut vfx = machvm::Effects::new();
+    net.nodes[n as usize]
+        .1
+        .evict(now, vo, PageIdx(page), &mut vfx);
+    let mut fx = Fx::new();
+    for eff in vfx.out {
+        if let machvm::VmEffect::EvictExternal {
+            obj,
+            page,
+            data,
+            dirty,
+            ..
+        } = eff
+        {
+            let now = net.now();
+            let (a, vm) = &mut net.nodes[n as usize];
+            a.evict_external(now, vm, obj, page, data, dirty, &mut fx);
+        }
+    }
+    fx
+}
+
+/// §3.6 step 1 discards a read copy *silently*, so the owner's reader
+/// list goes stale. A later write request from the discarder must still
+/// receive the page contents — eliding them against the stale reader
+/// list alone would destroy the page (the old owner flushes its copy
+/// after the transfer).
+#[test]
+fn write_transfer_ships_data_when_readers_copy_was_discarded() {
+    let mut net = MiniNet::new(3, AsvmConfig::default());
+    let t0 = net.add_task(0);
+    net.fault(0, t0, 0, Access::Write);
+    net.nodes[0]
+        .1
+        .write_page(Time::from_nanos(1), t0, 0, PageData::Word(42));
+    let t1 = net.add_task(1);
+    net.fault(1, t1, 0, Access::Read);
+
+    // Frame pressure discards node 1's read copy; the owner is not told.
+    let fx = evict_on(&mut net, 1, 0);
+    net.absorb(NodeId(1), fx);
+    net.settle();
+    let pi = net.nodes[0].0.page_info(MOBJ, PageIdx(0)).unwrap();
+    assert!(pi.readers.contains(&NodeId(1)), "reader list is now stale");
+
+    // Node 1 write-faults: its request no longer claims a copy, so the
+    // transfer must carry the page.
+    net.fault(1, t1, 0, Access::Write);
+    assert_eq!(net.owner_of(0), Some(NodeId(1)));
+    let vo = net.vm_obj(1);
+    assert_eq!(
+        net.nodes[1]
+            .1
+            .peek_page(vo, PageIdx(0))
+            .map(|(d, _)| d.clone()),
+        Some(PageData::Word(42)),
+        "contents must survive the transfer"
+    );
+    // The new owner can serve a further transfer (the old panic site).
+    let t2 = net.add_task(2);
+    net.fault(2, t2, 0, Access::Write);
+    assert_eq!(net.owner_of(0), Some(NodeId(2)));
+    net.check_state_tied_to_residency();
+}
+
+/// The narrower in-flight window: the upgrade request already claimed
+/// the read copy when frame pressure discards it. The owner honours the
+/// claim and elides the contents, so the discarder must have kept them
+/// (the stash) and restore them when the elided grant lands.
+#[test]
+fn stashed_copy_survives_eviction_during_pending_upgrade() {
+    let mut net = MiniNet::new(3, AsvmConfig::default());
+    let t0 = net.add_task(0);
+    net.fault(0, t0, 0, Access::Write);
+    net.nodes[0]
+        .1
+        .write_page(Time::from_nanos(1), t0, 0, PageData::Word(7));
+    let t1 = net.add_task(1);
+    net.fault(1, t1, 0, Access::Read);
+
+    // Raise the write upgrade on node 1 but keep its request parked on
+    // the wire (no settle): the claim `has_copy` is now in flight.
+    let now = net.now();
+    let mut vfx = machvm::Effects::new();
+    net.nodes[1].1.fault(now, t1, 0, Access::Write, &mut vfx);
+    net.absorb(
+        NodeId(1),
+        Fx {
+            vm: vfx,
+            ..Fx::new()
+        },
+    );
+    assert!(
+        net.nodes[1].0.object(MOBJ).pending[&PageIdx(0)].has_copy,
+        "the in-flight request claims the read copy"
+    );
+
+    // Frame pressure discards the claimed copy: the contents must be
+    // stashed until the grant arrives.
+    let fx = evict_on(&mut net, 1, 0);
+    assert!(fx.bumps.contains(&"asvm.evict.stash"));
+    assert!(net.nodes[1].0.object(MOBJ).stash.contains_key(&PageIdx(0)));
+    net.absorb(NodeId(1), fx);
+    net.settle();
+
+    // The owner elided the data against the honoured claim; the stash
+    // filled the VM page back in.
+    assert_eq!(net.owner_of(0), Some(NodeId(1)));
+    let vo = net.vm_obj(1);
+    assert_eq!(
+        net.nodes[1]
+            .1
+            .peek_page(vo, PageIdx(0))
+            .map(|(d, _)| d.clone()),
+        Some(PageData::Word(7)),
+        "stashed contents must be restored"
+    );
+    assert!(net.nodes[1].0.object(MOBJ).stash.is_empty());
+    // And the restored owner serves further transfers.
+    let t2 = net.add_task(2);
+    net.fault(2, t2, 0, Access::Write);
+    assert_eq!(net.owner_of(0), Some(NodeId(2)));
+    net.check_state_tied_to_residency();
+}
+
 #[test]
 fn global_walk_finds_owner_without_any_caches() {
     let mut net = MiniNet::new(4, AsvmConfig::global_only());

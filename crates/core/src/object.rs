@@ -60,6 +60,10 @@ pub enum Busy {
     WriteTransfer {
         /// The node receiving write access.
         to: NodeId,
+        /// The requester claimed a read copy when the request left it, so
+        /// the grant may elide the page contents (checked against our
+        /// reader list when the transfer completes).
+        to_has_copy: bool,
         /// Acks still outstanding.
         pending_acks: BTreeSet<NodeId>,
     },
@@ -123,6 +127,22 @@ impl PageInfo {
             queued: VecDeque::new(),
         }
     }
+}
+
+/// A read copy the VM silently discarded (internode pageout step 1)
+/// while our own upgrade request for the page — which claimed the copy —
+/// was still in flight. The owner may honour that claim and elide the
+/// page contents from the ownership grant, so the contents are kept here
+/// until the grant arrives. Sound because an elided grant implies this
+/// node stayed in the owner's reader list the whole time: any
+/// intervening write would have invalidated us out of it, and then the
+/// grant carries data.
+#[derive(Clone, Debug)]
+pub struct StashedCopy {
+    /// The discarded page contents.
+    pub data: PageData,
+    /// The page version the copy had (must match an elided grant's).
+    pub version: u64,
 }
 
 /// Our own outstanding request for a page.
@@ -190,6 +210,10 @@ pub struct AsvmObject {
     pub pages: BTreeMap<PageIdx, PageInfo>,
     /// Our own outstanding requests.
     pub pending: BTreeMap<PageIdx, PendingLocal>,
+    /// Read copies discarded by the VM while an upgrade request claiming
+    /// them was in flight (see [`StashedCopy`]); consumed when the grant
+    /// arrives.
+    pub stash: BTreeMap<PageIdx, StashedCopy>,
     /// Requests from others that will be servable once our own pending
     /// write/fill completes.
     pub fill_waiters: BTreeMap<PageIdx, Vec<QueuedReq>>,
@@ -237,6 +261,11 @@ pub struct AsvmObject {
     pub copy_settles: Vec<(NodeId, BTreeSet<NodeId>)>,
     /// Range-lock manager (home node only; §6 future work).
     pub range_locks: crate::locks::RangeLockMgr,
+    /// Online per-object policy state (inert unless `cfg.policy.enabled`):
+    /// traffic-window accumulators and the hysteresis ledger driving
+    /// runtime switches of this node's forwarding/coalescing choices for
+    /// the object. See [`crate::policy`].
+    pub policy: crate::policy::PolicyState,
     /// Members of this object suspected dead by the failure detector.
     /// Persists across quiescence — suspicion is evidence, not state to
     /// drain.
@@ -261,6 +290,18 @@ impl AsvmObject {
             nodes.push(me);
             nodes.sort();
         }
+        // Under a live policy the configuration must agree with the mode
+        // the policy believes it holds: apply the starting mode up front
+        // (a no-op for a Dynamic start, which keeps its configured
+        // accelerants; a Static/Global start has them stripped until read
+        // evidence upgrades the object). The accelerant base is snapshotted
+        // first so an upgrade knows what to restore.
+        let base = crate::policy::AccelBase::of(&cfg);
+        let mode = crate::policy::PolicyMode::of(&cfg);
+        let mut cfg = cfg;
+        if cfg.policy.enabled {
+            mode.apply(&mut cfg, base);
+        }
         AsvmObject {
             mobj,
             vm_obj,
@@ -272,6 +313,7 @@ impl AsvmObject {
             nodes,
             pages: BTreeMap::new(),
             pending: BTreeMap::new(),
+            stash: BTreeMap::new(),
             fill_waiters: BTreeMap::new(),
             dyn_cache: Lru::new(cfg.dynamic_cache_entries),
             static_cache: Lru::new(cfg.static_cache_entries),
@@ -289,6 +331,7 @@ impl AsvmObject {
             pull_in_flight: BTreeMap::new(),
             copy_settles: Vec::new(),
             range_locks: crate::locks::RangeLockMgr::default(),
+            policy: crate::policy::PolicyState::new(cfg.policy, mode, base),
             suspects: BTreeSet::new(),
             recover: BTreeMap::new(),
         }

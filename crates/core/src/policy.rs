@@ -1,0 +1,480 @@
+//! Online per-object strategy selection.
+//!
+//! The paper's configuration hook — each forwarding strategy *"can be
+//! disabled per memory object"* — is a static knob: whoever maps the
+//! object picks a [`crate::AsvmConfig`] and lives with it. The measured
+//! trade-offs (see `EXPERIMENTS.md`, forwarding ablation) show there is no
+//! single winner: write-heavy migratory sharing is fastest with dynamic
+//! hints *disabled* (every ownership hop invalidates the hint caches the
+//! next request chases), read-fanout sharing is fastest with them enabled,
+//! and message coalescing helps exactly the read-fanout shapes while
+//! slightly hurting migratory ones. A host running thousands of objects
+//! with skewed popularity cannot pick one configuration that suits them
+//! all.
+//!
+//! [`PolicyState`] closes the loop *per object, per node*: it watches the
+//! object's own traffic — local faults and arriving remote requests — in
+//! fixed-size observation windows and, with hysteresis, switches the
+//! object between three modes:
+//!
+//! * [`PolicyMode::Dynamic`] — dynamic + static forwarding (the full ASVM
+//!   default) plus the object's configured *speculation accelerants*:
+//!   readahead and, where the transport supports it, coalescing. Best for
+//!   read-mostly fan-out — sequential readers are exactly what §6's read
+//!   clustering prefetches for, and the prefetch bursts are what
+//!   coalescing packs.
+//! * [`PolicyMode::Static`] — static + global only (Kai Li's fixed
+//!   distributed manager), speculation stripped: best for write-heavy
+//!   migratory sharing, where prefetched neighbours are invalidated
+//!   before they are read and every speculative frame is pure cost.
+//! * [`PolicyMode::Global`] — global only, the zero-hint-state
+//!   configuration, chosen when the object has at most one other member
+//!   and forwarding strategy cannot matter.
+//!
+//! Mode changes are *consultation* choices only — which forwarding layer
+//! to ask first, whether to speculatively request extra pages, whether to
+//! pack frames. The static managers' safety record ([`crate::AsvmNode`]'s
+//! `OwnerHint` maintenance) is unconditional in every configuration,
+//! global forwarding always remains as the final fallback, and each node
+//! adapts its own replica of the object independently — a cluster where
+//! node A routes object X dynamically while node B routes it statically
+//! is exactly as correct as any mixed static configuration (the
+//! `adaptive_policy_preserves_final_state` parity proptest pins this).
+//!
+//! Costs are visible: every closed window bumps `asvm.policy.observe` and
+//! every applied mode change bumps `asvm.policy.switch`. A workload whose
+//! phase flips faster than `window × hysteresis` observations makes the
+//! policy churn — high `asvm.policy.switch` with no speedup — which the
+//! `tenants` bench reports as an honest counter-case.
+//!
+//! # Example
+//!
+//! The state machine itself is pure and host-independent: feed it
+//! observations, apply the verdicts.
+//!
+//! ```
+//! use asvm::policy::{AccelBase, Observation, PolicyCfg, PolicyMode, PolicyState, PolicyVerdict};
+//!
+//! let cfg = PolicyCfg {
+//!     enabled: true,
+//!     window: 4,
+//!     hysteresis: 2,
+//!     ..PolicyCfg::default()
+//! };
+//! // The accelerants Dynamic mode restores — normally captured from the
+//! // object's configuration with `AccelBase::of`.
+//! let base = AccelBase { coalesce: true, readahead: 4 };
+//! let mut p = PolicyState::new(cfg, PolicyMode::Dynamic, base);
+//!
+//! // A write-heavy phase on a widely shared object: each window of 4
+//! // observations recommends Static, but the switch only lands after the
+//! // recommendation repeats for `hysteresis` consecutive windows.
+//! let mut switched_at = None;
+//! for i in 0..8 {
+//!     let verdict = p.record(4, Observation::LocalFault { write: true });
+//!     if let PolicyVerdict::Switch(mode) = verdict {
+//!         assert_eq!(mode, PolicyMode::Static);
+//!         switched_at = Some(i);
+//!     }
+//! }
+//! // Window 1 (obs 0..4) recommends Static, window 2 (obs 4..8) repeats
+//! // it: the switch fires on the 8th observation, not the 4th.
+//! assert_eq!(switched_at, Some(7));
+//! assert_eq!(p.mode(), PolicyMode::Static);
+//!
+//! // Read-mostly traffic now recommends Dynamic, again with hysteresis.
+//! for _ in 0..16 {
+//!     p.record(4, Observation::RemoteReq { write: false });
+//! }
+//! assert_eq!(p.mode(), PolicyMode::Dynamic);
+//! ```
+
+use crate::config::AsvmConfig;
+
+/// Tunables of the online per-object policy (off by default: the policy
+/// layer is opt-in, and a disabled policy records nothing, bumps nothing
+/// and never touches the object's configuration, keeping baseline runs
+/// byte-identical).
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyCfg {
+    /// Master switch.
+    pub enabled: bool,
+    /// Observations (local faults + arriving remote requests) per
+    /// evaluation window. Windows are event-counted, not timed, so the
+    /// policy adds no simulator events and adapts at the speed the object
+    /// is actually used: hot objects converge quickly, cold objects never
+    /// churn.
+    pub window: u32,
+    /// Consecutive windows that must repeat a recommendation before it is
+    /// applied. 1 switches on every disagreeing window; the default of 2
+    /// absorbs a single anomalous window.
+    pub hysteresis: u8,
+    /// Write fraction (percent of observed accesses that want write
+    /// access) at or above which the window recommends
+    /// [`PolicyMode::Static`]. The forwarding ablation's crossover:
+    /// migratory (all-write) sharing ran 2.24 → 2.11 ms/fault when
+    /// dynamic hints were disabled, while read-fanout shapes prefer them.
+    pub write_threshold_pct: u32,
+    /// Let the policy toggle the object's `CoalesceCfg::enabled` along
+    /// with the mode (restored to its configured base in Dynamic, off
+    /// otherwise). Only bites on transports that support coalescing;
+    /// disable to adapt forwarding alone.
+    pub manage_coalesce: bool,
+    /// Let the policy toggle the object's readahead along with the mode
+    /// (restored to its configured base in Dynamic, zero otherwise). The
+    /// tenants sweep's motivating asymmetry: prefetch cuts a sequential
+    /// reader's faults by a third but is pure frame cost on a write-heavy
+    /// object, whose prefetched neighbours are invalidated unread.
+    pub manage_readahead: bool,
+}
+
+impl Default for PolicyCfg {
+    fn default() -> PolicyCfg {
+        PolicyCfg {
+            enabled: false,
+            window: 48,
+            hysteresis: 2,
+            write_threshold_pct: 50,
+            manage_coalesce: true,
+            manage_readahead: true,
+        }
+    }
+}
+
+impl PolicyCfg {
+    /// The policy switched on with the default window and hysteresis.
+    pub fn on() -> PolicyCfg {
+        PolicyCfg {
+            enabled: true,
+            ..PolicyCfg::default()
+        }
+    }
+}
+
+/// The speculation accelerants [`PolicyMode::Dynamic`] restores: a
+/// snapshot of the object's *configured* coalescing and readahead
+/// settings, captured (via [`AccelBase::of`]) before the policy starts
+/// rewriting them. Without the snapshot a Dynamic → Static → Dynamic
+/// round trip would forget what "on" meant for this object.
+#[derive(Clone, Copy, Debug)]
+pub struct AccelBase {
+    /// The configured `CoalesceCfg::enabled`.
+    pub coalesce: bool,
+    /// The configured readahead depth in pages.
+    pub readahead: u32,
+}
+
+impl AccelBase {
+    /// Snapshots `cfg`'s accelerant settings.
+    pub fn of(cfg: &AsvmConfig) -> AccelBase {
+        AccelBase {
+            coalesce: cfg.coalesce.enabled,
+            readahead: cfg.readahead,
+        }
+    }
+}
+
+/// The three per-object configurations the policy switches between.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyMode {
+    /// Dynamic + static forwarding, coalescing on (where managed): the
+    /// full ASVM default, best for read-mostly fan-out.
+    Dynamic,
+    /// Static + global forwarding only (the fixed distributed manager),
+    /// coalescing off: best for write-heavy migratory sharing.
+    Static,
+    /// Global forwarding only, the zero-hint-state configuration for
+    /// objects where forwarding strategy cannot matter (at most one other
+    /// member).
+    Global,
+}
+
+impl PolicyMode {
+    /// The mode a configuration's forwarding switches express.
+    pub fn of(cfg: &AsvmConfig) -> PolicyMode {
+        match (cfg.dynamic_forwarding, cfg.static_forwarding) {
+            (true, _) => PolicyMode::Dynamic,
+            (false, true) => PolicyMode::Static,
+            (false, false) => PolicyMode::Global,
+        }
+    }
+
+    /// Rewrites `cfg`'s forwarding switches to this mode and — gated on
+    /// `cfg.policy`'s `manage_coalesce` / `manage_readahead` flags —
+    /// restores the accelerants in `base` (Dynamic) or strips them
+    /// (Static/Global). Every other knob — cache capacities, watchdog
+    /// parameters — is preserved.
+    pub fn apply(self, cfg: &mut AsvmConfig, base: AccelBase) {
+        let (dynamic, statik) = match self {
+            PolicyMode::Dynamic => (true, true),
+            PolicyMode::Static => (false, true),
+            PolicyMode::Global => (false, false),
+        };
+        cfg.dynamic_forwarding = dynamic;
+        cfg.static_forwarding = statik;
+        let speculate = self == PolicyMode::Dynamic;
+        if cfg.policy.manage_coalesce {
+            cfg.coalesce.enabled = speculate && base.coalesce;
+        }
+        if cfg.policy.manage_readahead {
+            cfg.readahead = if speculate { base.readahead } else { 0 };
+        }
+    }
+}
+
+/// One event the policy learns from.
+#[derive(Clone, Copy, Debug)]
+pub enum Observation {
+    /// A local task faulted on the object.
+    LocalFault {
+        /// The fault wanted write access.
+        write: bool,
+    },
+    /// A peer's page request arrived here (as owner, forwarder or static
+    /// manager).
+    RemoteReq {
+        /// The request wants write access.
+        write: bool,
+    },
+}
+
+impl Observation {
+    fn write(self) -> bool {
+        match self {
+            Observation::LocalFault { write } | Observation::RemoteReq { write } => write,
+        }
+    }
+}
+
+/// What one [`PolicyState::record`] call concluded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyVerdict {
+    /// Mid-window (or the policy is disabled): nothing to do.
+    Idle,
+    /// A window closed and was evaluated; the mode stands. Callers bump
+    /// `asvm.policy.observe`.
+    Observed,
+    /// A window closed and the hysteresis threshold was crossed: the
+    /// caller must apply the new mode to the object's configuration and
+    /// bump `asvm.policy.observe` + `asvm.policy.switch`.
+    Switch(PolicyMode),
+}
+
+/// Per-object, per-node policy state: window accumulators plus the
+/// hysteresis ledger.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyState {
+    cfg: PolicyCfg,
+    /// Accelerant settings [`PolicyMode::Dynamic`] restores, captured
+    /// from the object's configuration before the policy rewrote it.
+    base: AccelBase,
+    /// Observations in the current window.
+    seen: u32,
+    /// Of those, how many wanted write access.
+    writes: u32,
+    /// Mode currently applied to the object.
+    mode: PolicyMode,
+    /// Most recent window recommendation and how many consecutive windows
+    /// produced it.
+    candidate: PolicyMode,
+    streak: u8,
+}
+
+impl PolicyState {
+    /// Fresh state for an object currently configured as `mode`, with
+    /// `base` the accelerant settings Dynamic mode restores (snapshot the
+    /// object's configuration with [`AccelBase::of`] before the policy
+    /// touches it).
+    pub fn new(cfg: PolicyCfg, mode: PolicyMode, base: AccelBase) -> PolicyState {
+        PolicyState {
+            cfg,
+            base,
+            seen: 0,
+            writes: 0,
+            mode,
+            candidate: mode,
+            streak: 0,
+        }
+    }
+
+    /// The mode the policy currently holds the object in.
+    pub fn mode(&self) -> PolicyMode {
+        self.mode
+    }
+
+    /// Whether the policy is live.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The accelerant settings [`PolicyMode::Dynamic`] restores (pass to
+    /// [`PolicyMode::apply`] when acting on a
+    /// [`PolicyVerdict::Switch`]).
+    pub fn base(&self) -> AccelBase {
+        self.base
+    }
+
+    /// Feeds one observation; `members` is the object's current membership
+    /// size. Closes and evaluates the window every `cfg.window`
+    /// observations.
+    pub fn record(&mut self, members: usize, obs: Observation) -> PolicyVerdict {
+        if !self.cfg.enabled {
+            return PolicyVerdict::Idle;
+        }
+        self.seen += 1;
+        if obs.write() {
+            self.writes += 1;
+        }
+        if self.seen < self.cfg.window.max(1) {
+            return PolicyVerdict::Idle;
+        }
+        let rec = self.recommend(members);
+        self.seen = 0;
+        self.writes = 0;
+        if rec == self.candidate {
+            self.streak = self.streak.saturating_add(1);
+        } else {
+            self.candidate = rec;
+            self.streak = 1;
+        }
+        if rec != self.mode && self.streak >= self.cfg.hysteresis.max(1) {
+            self.mode = rec;
+            return PolicyVerdict::Switch(rec);
+        }
+        PolicyVerdict::Observed
+    }
+
+    /// The closed window's recommendation. Pure function of the window
+    /// accumulators and membership:
+    ///
+    /// 1. at most one other member — forwarding cannot matter, drop to
+    ///    the zero-hint-state [`PolicyMode::Global`];
+    /// 2. write fraction at or above the threshold — migratory-like,
+    ///    [`PolicyMode::Static`];
+    /// 3. otherwise read-mostly fan-out, [`PolicyMode::Dynamic`].
+    fn recommend(&self, members: usize) -> PolicyMode {
+        if members <= 2 {
+            return PolicyMode::Global;
+        }
+        let total = self.seen.max(1);
+        if self.writes * 100 >= self.cfg.write_threshold_pct * total {
+            PolicyMode::Static
+        } else {
+            PolicyMode::Dynamic
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on(window: u32, hysteresis: u8) -> PolicyCfg {
+        PolicyCfg {
+            enabled: true,
+            window,
+            hysteresis,
+            ..PolicyCfg::default()
+        }
+    }
+
+    fn base() -> AccelBase {
+        AccelBase {
+            coalesce: false,
+            readahead: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_policy_is_inert() {
+        let mut p = PolicyState::new(PolicyCfg::default(), PolicyMode::Dynamic, base());
+        for _ in 0..1000 {
+            assert_eq!(
+                p.record(8, Observation::LocalFault { write: true }),
+                PolicyVerdict::Idle
+            );
+        }
+        assert_eq!(p.mode(), PolicyMode::Dynamic);
+    }
+
+    #[test]
+    fn write_heavy_windows_switch_to_static_after_hysteresis() {
+        let mut p = PolicyState::new(on(4, 2), PolicyMode::Dynamic, base());
+        let mut verdicts = Vec::new();
+        for _ in 0..8 {
+            verdicts.push(p.record(4, Observation::RemoteReq { write: true }));
+        }
+        // First window: recommendation noted, streak 1 — no switch yet.
+        assert_eq!(verdicts[3], PolicyVerdict::Observed);
+        // Second window repeats it: switch.
+        assert_eq!(verdicts[7], PolicyVerdict::Switch(PolicyMode::Static));
+        assert_eq!(p.mode(), PolicyMode::Static);
+    }
+
+    #[test]
+    fn anomalous_window_does_not_flap() {
+        let mut p = PolicyState::new(on(2, 2), PolicyMode::Static, base());
+        // One read-mostly window (recommends Dynamic), then write-heavy
+        // again: the streak resets and the mode never leaves Static.
+        p.record(4, Observation::LocalFault { write: false });
+        assert_eq!(
+            p.record(4, Observation::LocalFault { write: false }),
+            PolicyVerdict::Observed
+        );
+        for _ in 0..10 {
+            let v = p.record(4, Observation::LocalFault { write: true });
+            assert_ne!(v, PolicyVerdict::Switch(PolicyMode::Dynamic));
+        }
+        assert_eq!(p.mode(), PolicyMode::Static);
+    }
+
+    #[test]
+    fn tiny_membership_prefers_global() {
+        let mut p = PolicyState::new(on(2, 1), PolicyMode::Dynamic, base());
+        p.record(2, Observation::LocalFault { write: false });
+        assert_eq!(
+            p.record(2, Observation::LocalFault { write: false }),
+            PolicyVerdict::Switch(PolicyMode::Global)
+        );
+    }
+
+    #[test]
+    fn apply_strips_and_restores_managed_accelerants() {
+        let mut cfg = AsvmConfig::with_readahead(8).coalesced();
+        cfg.dynamic_cache_entries = 7;
+        let base = AccelBase::of(&cfg);
+        PolicyMode::Static.apply(&mut cfg, base);
+        assert!(!cfg.dynamic_forwarding && cfg.static_forwarding);
+        assert!(!cfg.coalesce.enabled, "Static strips managed coalescing");
+        assert_eq!(cfg.readahead, 0, "Static strips managed readahead");
+        assert_eq!(cfg.dynamic_cache_entries, 7, "unrelated knobs survive");
+        PolicyMode::Dynamic.apply(&mut cfg, base);
+        assert!(cfg.coalesce.enabled, "Dynamic restores the coalescing base");
+        assert_eq!(cfg.readahead, 8, "Dynamic restores the readahead base");
+    }
+
+    #[test]
+    fn apply_leaves_unmanaged_accelerants_alone() {
+        let mut keep = AsvmConfig::with_readahead(3).coalesced();
+        keep.policy.manage_coalesce = false;
+        keep.policy.manage_readahead = false;
+        let base = AccelBase::of(&keep);
+        PolicyMode::Global.apply(&mut keep, base);
+        assert!(!keep.dynamic_forwarding && !keep.static_forwarding);
+        assert!(keep.coalesce.enabled, "unmanaged coalescing is untouched");
+        assert_eq!(keep.readahead, 3, "unmanaged readahead is untouched");
+    }
+
+    #[test]
+    fn mode_of_reads_forwarding_switches() {
+        assert_eq!(PolicyMode::of(&AsvmConfig::default()), PolicyMode::Dynamic);
+        assert_eq!(
+            PolicyMode::of(&AsvmConfig::fixed_distributed()),
+            PolicyMode::Static
+        );
+        assert_eq!(
+            PolicyMode::of(&AsvmConfig::global_only()),
+            PolicyMode::Global
+        );
+    }
+}

@@ -10,7 +10,11 @@
 //!   producer/consumer, hotspot, uniform) for ablations and tests;
 //! * [`megascale`] — per-node protocol-state gauges, event-queue telemetry
 //!   and the compute-only event-loop saturation workload backing the
-//!   128–1024-node `megascale` benchmark.
+//!   128–1024-node `megascale` benchmark;
+//! * [`tenants`] — the multi-tenant consolidation shape: thousands of
+//!   Zipf-popular memory objects with mixed per-object read/write ratios
+//!   and tasks arriving/departing in waves, driving the per-object
+//!   adaptive strategy selection of [`asvm::policy`].
 
 pub mod copychain;
 pub mod em3d;
@@ -18,6 +22,7 @@ pub mod faultprobe;
 pub mod filescan;
 pub mod megascale;
 pub mod patterns;
+pub mod tenants;
 
 pub use copychain::{copy_chain_probe, CopyChainResult, CopyChainSpec};
 pub use em3d::{em3d_run, em3d_run_probed, Em3dOutcome, Em3dSpec};
@@ -28,3 +33,4 @@ pub use patterns::{
     run_pattern, run_pattern_backend, run_pattern_faulted, run_pattern_mega, run_pattern_paced,
     FaultedOutcome, Pattern, PatternOutcome,
 };
+pub use tenants::{run_tenants, TenantsOutcome, TenantsSpec, Zipf};

@@ -1,0 +1,522 @@
+//! Multi-tenant Zipf workload: the millions-of-users shape.
+//!
+//! Every other workload in this crate is one task group on one memory
+//! object. A host in the paper's target deployment looks nothing like
+//! that: *thousands* of memory objects with heavily skewed popularity,
+//! tasks arriving and departing mid-run, and no single access pattern —
+//! some objects are read-mostly fan-out, others write-heavy migratory.
+//! No static forwarding/coalescing configuration wins across that mix,
+//! which is exactly the case for per-object strategy selection
+//! ([`asvm::policy`]).
+//!
+//! The generator is fully seeded and deterministic:
+//!
+//! * **objects** — a pool of [`TenantsSpec::objects`] memory objects,
+//!   homed round-robin across the nodes, each assigned a *class*
+//!   (read-mostly or write-heavy) by the setup RNG;
+//! * **popularity** — each task draws a working set of
+//!   [`TenantsSpec::objs_per_task`] distinct objects from a [`Zipf`]
+//!   distribution over the pool, so popular objects are mapped (and
+//!   contended) on many nodes while tail objects often live on one;
+//! * **arrival/departure** — tasks start in [`TenantsSpec::waves`]
+//!   arrival waves spaced [`TenantsSpec::wave_gap_ms`] apart
+//!   ([`cluster::Ssi::spawn_at`]) and depart when their op budget is
+//!   spent, so membership of the popular objects' sharing sets shifts
+//!   mid-run;
+//! * **accesses** — each op picks a working-set object (Zipf over slots,
+//!   most popular first) and read vs write from the object's class
+//!   ratio. The classes differ in *shape*, not just mix: read-mostly
+//!   objects are scanned sequentially (the analytics/file-scan tenant,
+//!   where readahead turns k faults into k/(1+depth)), while write-heavy
+//!   objects hammer Zipf-hot pages (the OLTP tenant, where prefetched
+//!   neighbours are invalidated before anyone reads them).
+//!
+//! [`TenantsSpec::phase_flip`] is the honest counter-case knob: it
+//! inverts every object's read/write mix each `phase_flip` ops, and a
+//! flip period shorter than the policy's `window × hysteresis` makes an
+//! adaptive run churn (`asvm.policy.switch` climbs, latency does not
+//! improve) — see the `tenants` bench.
+
+use asvm::{AccelBase, AsvmConfig, PolicyMode};
+use cluster::{ManagerKind, Program, Ssi, Step, TaskEnv};
+use machvm::{Access, Inherit};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use svmsim::{Dur, MachineConfig, NodeId, Time};
+use transport::Transport;
+
+/// A seeded Zipf sampler over `0..n` by inverse CDF: rank `i` carries
+/// weight `1 / (i + 1)^skew`. Skew 0 degenerates to uniform; skew around
+/// 1 is the classic web-popularity curve. Sampling is a binary search
+/// over the precomputed cumulative weights — deterministic for a given
+/// `(n, skew, rng)` (see the determinism tests).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler over `0..n` with exponent `skew`.
+    pub fn new(n: usize, skew: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty domain");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(skew);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        Zipf { cum }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        // Uniform in [0, 1): 53 random bits over 2^53 (the vendored rand
+        // has no float sampling).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    }
+}
+
+/// Parameters of the multi-tenant workload.
+#[derive(Clone, Debug)]
+pub struct TenantsSpec {
+    /// Compute nodes.
+    pub nodes: u16,
+    /// Memory objects in the pool (the generator handles thousands; the
+    /// committed bench keeps cells smaller for CI wall-clock).
+    pub objects: u32,
+    /// Pages per object.
+    pub pages_per_object: u32,
+    /// Zipf exponent of object popularity (0 = uniform).
+    pub object_skew: f64,
+    /// Zipf exponent of page popularity within a *write-heavy* object
+    /// (read-mostly objects are scanned sequentially instead).
+    pub page_skew: f64,
+    /// Total tasks over the whole run.
+    pub tasks: u32,
+    /// Arrival waves the tasks are split into.
+    pub waves: u32,
+    /// Gap between arrival waves, in simulated milliseconds.
+    pub wave_gap_ms: f64,
+    /// Distinct objects in each task's working set.
+    pub objs_per_task: u32,
+    /// Accesses each task performs before departing.
+    pub ops_per_task: u32,
+    /// Percent of objects assigned the read-mostly class.
+    pub read_mostly_pct: u32,
+    /// Read percentage of a read-mostly object's accesses.
+    pub read_mostly_read_pct: u32,
+    /// Read percentage of a write-heavy object's accesses.
+    pub write_heavy_read_pct: u32,
+    /// Modeled compute per access, in microseconds.
+    pub think_us: f64,
+    /// Invert every object's read/write mix each `phase_flip` ops per
+    /// task (0 disables): the adaptation-churn counter-case.
+    pub phase_flip: u32,
+    /// Master seed for classes, working sets, and access streams.
+    pub seed: u64,
+}
+
+impl Default for TenantsSpec {
+    fn default() -> TenantsSpec {
+        TenantsSpec {
+            nodes: 8,
+            objects: 96,
+            pages_per_object: 16,
+            object_skew: 0.9,
+            page_skew: 1.1,
+            tasks: 24,
+            waves: 3,
+            wave_gap_ms: 40.0,
+            objs_per_task: 6,
+            ops_per_task: 400,
+            read_mostly_pct: 50,
+            read_mostly_read_pct: 98,
+            write_heavy_read_pct: 30,
+            think_us: 200.0,
+            phase_flip: 0,
+            seed: 1996,
+        }
+    }
+}
+
+/// Outcome of a tenants run.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantsOutcome {
+    /// Page faults completed.
+    pub faults: u64,
+    /// Mean fault latency, milliseconds.
+    pub mean_fault_ms: f64,
+    /// Total fault stall (faults × mean latency), milliseconds — the
+    /// page-wait cost the tenant mix actually pays. Mean latency alone
+    /// misreads readahead: averting a scan's cheap faults *raises* the
+    /// mean of the remaining ones even as total waiting falls.
+    pub stall_ms: f64,
+    /// Simulated wall-clock, seconds.
+    pub elapsed_s: f64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Logical ASVM protocol messages (Σ `asvm.msg.*`).
+    pub asvm_msgs: u64,
+    /// Physical ASVM wire frames (logical minus coalesce-merged).
+    pub asvm_frames: u64,
+    /// Subframes that rode an earlier message's frame.
+    pub coalesce_merged: u64,
+    /// Policy windows evaluated (`asvm.policy.observe`).
+    pub policy_observe: u64,
+    /// Policy mode switches applied (`asvm.policy.switch`).
+    pub policy_switch: u64,
+    /// Object replicas (per node, per object) ending the run in
+    /// Dynamic / Static / Global mode.
+    pub modes: [u64; 3],
+}
+
+impl TenantsOutcome {
+    /// ASVM wire frames per resolved fault.
+    pub fn frames_per_fault(&self) -> f64 {
+        if self.faults == 0 {
+            return 0.0;
+        }
+        self.asvm_frames as f64 / self.faults as f64
+    }
+}
+
+struct TenantProgram {
+    pages: u32,
+    /// Read percentage per working-set slot (popularity order).
+    slot_read_pct: Vec<u32>,
+    /// Per slot: true = read-mostly class, accessed as a sequential scan;
+    /// false = write-heavy class, accessed at Zipf-hot pages.
+    slot_scan: Vec<bool>,
+    /// Per-slot scan cursor (wraps at the object end).
+    cursors: Vec<u32>,
+    ops: u32,
+    done: u32,
+    slot_zipf: Zipf,
+    page_zipf: Zipf,
+    phase_flip: u32,
+    rng: StdRng,
+    think: Dur,
+    think_pending: bool,
+}
+
+impl Program for TenantProgram {
+    fn step(&mut self, _env: &mut TaskEnv) -> Step {
+        if self.think_pending {
+            self.think_pending = false;
+            return Step::Compute(self.think);
+        }
+        if self.done >= self.ops {
+            return Step::Done;
+        }
+        self.done += 1;
+        let slot = self.slot_zipf.sample(&mut self.rng);
+        let page = if self.slot_scan[slot] {
+            let p = self.cursors[slot];
+            self.cursors[slot] = (p + 1) % self.pages;
+            p
+        } else {
+            self.page_zipf.sample(&mut self.rng) as u32
+        };
+        let va = slot as u64 * self.pages as u64 + page as u64;
+        let mut read_pct = self.slot_read_pct[slot];
+        if self.phase_flip > 0 && (self.done / self.phase_flip) % 2 == 1 {
+            read_pct = 100 - read_pct;
+        }
+        if self.think > Dur::ZERO {
+            self.think_pending = true;
+        }
+        if self.rng.gen_range(0..100) < read_pct {
+            Step::Read { va_page: va }
+        } else {
+            Step::Write {
+                va_page: va,
+                value: self.done as u64,
+            }
+        }
+    }
+}
+
+/// Runs the tenants workload under `cfg` on `transport` and reports
+/// protocol statistics. With `oracle` set, every object is registered
+/// with its class-ideal configuration through
+/// [`cluster::Ssi::set_object_config`] — dynamic + coalescing for
+/// read-mostly objects, the fixed distributed manager for write-heavy
+/// ones — the upper bound the online policy tries to reach without being
+/// told the classes.
+pub fn run_tenants(
+    cfg: AsvmConfig,
+    transport: Transport,
+    spec: &TenantsSpec,
+    oracle: bool,
+) -> TenantsOutcome {
+    assert!(spec.objects > 0 && spec.tasks > 0 && spec.objs_per_task > 0);
+    assert!(
+        spec.objs_per_task <= spec.objects,
+        "working set larger than the object pool"
+    );
+    let mut setup = StdRng::seed_from_u64(spec.seed);
+    let mut ssi = Ssi::with_machine(
+        MachineConfig::paragon(spec.nodes),
+        ManagerKind::Asvm(cfg),
+        spec.seed,
+    );
+    ssi.set_asvm_transport(transport);
+
+    // The object pool: homes round-robin, classes drawn by the setup RNG.
+    let mut mobjs = Vec::with_capacity(spec.objects as usize);
+    let mut read_mostly = Vec::with_capacity(spec.objects as usize);
+    for i in 0..spec.objects {
+        let home = NodeId(i as u16 % spec.nodes);
+        let mobj = ssi.create_object(home, spec.pages_per_object, false);
+        let rm = setup.gen_range(0..100) < spec.read_mostly_pct;
+        if oracle {
+            let mut c = cfg;
+            c.policy.enabled = false;
+            let mode = if rm {
+                PolicyMode::Dynamic
+            } else {
+                PolicyMode::Static
+            };
+            // Same rewrite an online switch would perform: Dynamic keeps
+            // the base accelerants, Static strips them.
+            mode.apply(&mut c, AccelBase::of(&cfg));
+            ssi.set_object_config(mobj, c);
+        }
+        mobjs.push((mobj, home));
+        read_mostly.push(rm);
+    }
+
+    // Tasks: working sets drawn Zipf over the pool, mapped at setup time;
+    // arrival staggered by wave, departure after the op budget.
+    let object_zipf = Zipf::new(spec.objects as usize, spec.object_skew);
+    let mut spawns = Vec::with_capacity(spec.tasks as usize);
+    for t in 0..spec.tasks {
+        let node = NodeId(t as u16 % spec.nodes);
+        let task = ssi.alloc_task();
+        let mut set: Vec<usize> = Vec::with_capacity(spec.objs_per_task as usize);
+        while set.len() < spec.objs_per_task as usize {
+            let o = object_zipf.sample(&mut setup);
+            if !set.contains(&o) {
+                set.push(o);
+            }
+        }
+        // Popularity order: lower rank = heavier weight in the slot Zipf.
+        set.sort_unstable();
+        let mut slot_read_pct = Vec::with_capacity(set.len());
+        let mut slot_scan = Vec::with_capacity(set.len());
+        for (slot, &obj) in set.iter().enumerate() {
+            let (mobj, home) = mobjs[obj];
+            ssi.map_shared(
+                task,
+                node,
+                slot as u64 * spec.pages_per_object as u64,
+                mobj,
+                home,
+                spec.pages_per_object,
+                Access::Write,
+                Inherit::Share,
+            );
+            slot_read_pct.push(if read_mostly[obj] {
+                spec.read_mostly_read_pct
+            } else {
+                spec.write_heavy_read_pct
+            });
+            slot_scan.push(read_mostly[obj]);
+        }
+        let wave = t * spec.waves / spec.tasks;
+        let at = Time::ZERO + Dur::from_millis_f64(wave as f64 * spec.wave_gap_ms);
+        spawns.push((at, node, task, slot_read_pct, slot_scan));
+    }
+    ssi.finalize();
+    for (at, node, task, slot_read_pct, slot_scan) in spawns {
+        let cursors = vec![0; slot_scan.len()];
+        let program = TenantProgram {
+            pages: spec.pages_per_object,
+            slot_read_pct,
+            slot_scan,
+            cursors,
+            ops: spec.ops_per_task,
+            done: 0,
+            slot_zipf: Zipf::new(spec.objs_per_task as usize, spec.object_skew),
+            page_zipf: Zipf::new(spec.pages_per_object as usize, spec.page_skew),
+            phase_flip: spec.phase_flip,
+            rng: StdRng::seed_from_u64(spec.seed ^ ((task.0 as u64) << 32)),
+            think: Dur::from_micros_f64(spec.think_us),
+            think_pending: false,
+        };
+        ssi.spawn_at(at, node, task, Box::new(program));
+    }
+    ssi.run(u64::MAX / 2).expect("tenants run quiesces");
+    assert!(ssi.all_done(), "tenants tasks all depart");
+
+    let s = ssi.stats();
+    // Healthy run: the recovery layer must stay dark (same gate the
+    // pattern runners assert). One exception: `asvm.recover.stale_grant`
+    // also absorbs the benign same-node upgrade race — task A's read
+    // request is in flight when task B write-faults the same page, the
+    // write request supersedes the pending read, and the late read grant
+    // is dropped as a duplicate. Single-task-per-node patterns can never
+    // produce it; a multi-task tenants node legitimately can.
+    for (key, v) in s.counters() {
+        if key == "asvm.recover.stale_grant" {
+            continue;
+        }
+        assert!(
+            !(key.starts_with("asvm.recover.") || key.starts_with("cluster.suspect.")),
+            "healthy tenants run bumped recovery counter {key} = {v}"
+        );
+    }
+    let faults = s.tally("fault.ms");
+    let asvm_msgs: u64 = s
+        .counters()
+        .filter(|(k, _)| k.starts_with("asvm.msg."))
+        .map(|(_, v)| v)
+        .sum();
+    let merged = s.counter("asvm.coalesce.merged");
+    let mut modes = [0u64; 3];
+    for n in 0..spec.nodes {
+        if let Some(a) = ssi.node(NodeId(n)).asvm() {
+            for o in a.objects() {
+                let m = match PolicyMode::of(&o.cfg) {
+                    PolicyMode::Dynamic => 0,
+                    PolicyMode::Static => 1,
+                    PolicyMode::Global => 2,
+                };
+                modes[m] += 1;
+            }
+        }
+    }
+    TenantsOutcome {
+        faults: faults.map(|t| t.count).unwrap_or(0),
+        mean_fault_ms: faults.map(|t| t.mean().as_millis_f64()).unwrap_or(0.0),
+        stall_ms: faults
+            .map(|t| t.count as f64 * t.mean().as_millis_f64())
+            .unwrap_or(0.0),
+        elapsed_s: ssi.world.now().as_secs_f64(),
+        events: ssi.world.events_processed(),
+        asvm_msgs,
+        asvm_frames: asvm_msgs - merged,
+        coalesce_merged: merged,
+        policy_observe: s.counter("asvm.policy.observe"),
+        policy_switch: s.counter("asvm.policy.switch"),
+        modes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_under_a_fixed_seed() {
+        let z = Zipf::new(1000, 0.9);
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..256).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7), "same seed, same sequence");
+        assert_ne!(draw(7), draw(8), "different seed, different sequence");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass_on_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let z = Zipf::new(100, 1.1);
+        let head = (0..2000).filter(|_| z.sample(&mut rng) < 10).count() as f64;
+        assert!(
+            head / 2000.0 > 0.5,
+            "top 10% of ranks got {head} of 2000 draws"
+        );
+        // Skew 0 is uniform: the head takes roughly its fair share.
+        let u = Zipf::new(100, 0.0);
+        let head = (0..2000).filter(|_| u.sample(&mut rng) < 10).count() as f64;
+        assert!(head / 2000.0 < 0.2, "uniform head share: {head} of 2000");
+    }
+
+    #[test]
+    fn zipf_covers_the_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(4, 0.8);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all ranks reachable: {seen:?}");
+    }
+
+    fn small_spec() -> TenantsSpec {
+        TenantsSpec {
+            nodes: 4,
+            objects: 12,
+            pages_per_object: 4,
+            tasks: 8,
+            waves: 2,
+            wave_gap_ms: 10.0,
+            objs_per_task: 3,
+            ops_per_task: 60,
+            think_us: 100.0,
+            ..TenantsSpec::default()
+        }
+    }
+
+    #[test]
+    fn tenants_run_is_deterministic() {
+        let spec = small_spec();
+        let a = run_tenants(AsvmConfig::default(), Transport::STS, &spec, false);
+        let b = run_tenants(AsvmConfig::default(), Transport::STS, &spec, false);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.asvm_msgs, b.asvm_msgs);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.elapsed_s, b.elapsed_s);
+        let mut other = spec;
+        other.seed = 7;
+        let c = run_tenants(AsvmConfig::default(), Transport::STS, &other, false);
+        assert_ne!(
+            (a.faults, a.asvm_msgs, a.events),
+            (c.faults, c.asvm_msgs, c.events),
+            "a different seed must reshape the workload"
+        );
+    }
+
+    #[test]
+    fn static_configs_never_touch_the_policy_counters() {
+        let spec = small_spec();
+        let out = run_tenants(AsvmConfig::default(), Transport::STS, &spec, false);
+        assert_eq!(out.policy_observe, 0);
+        assert_eq!(out.policy_switch, 0);
+        assert_eq!(out.modes[1] + out.modes[2], 0, "all replicas stay Dynamic");
+    }
+
+    #[test]
+    fn adaptive_run_observes_and_switches() {
+        let mut spec = small_spec();
+        spec.ops_per_task = 150;
+        spec.read_mostly_pct = 40;
+        let mut cfg = AsvmConfig::default().adaptive();
+        cfg.policy.window = 24;
+        let out = run_tenants(cfg, Transport::STS, &spec, false);
+        assert!(out.policy_observe > 0, "windows must close");
+        assert!(out.policy_switch > 0, "mixed classes must force switches");
+        assert!(
+            out.modes[1] + out.modes[2] > 0,
+            "some replicas leave Dynamic: {:?}",
+            out.modes
+        );
+    }
+
+    #[test]
+    fn oracle_assigns_class_ideal_configs() {
+        let spec = small_spec();
+        let out = run_tenants(AsvmConfig::default(), Transport::STS, &spec, true);
+        assert!(
+            out.modes[0] > 0 && out.modes[1] > 0,
+            "both classes appear: {:?}",
+            out.modes
+        );
+        assert_eq!(out.policy_switch, 0, "the oracle never adapts at runtime");
+    }
+}

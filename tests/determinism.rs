@@ -4,8 +4,8 @@
 
 use cluster::ManagerKind;
 use workloads::{
-    copy_chain_probe, em3d_run, fault_probe, file_scan, CopyChainSpec, Em3dSpec, FaultProbeSpec,
-    FileScanSpec, ProbeAccess, ScanDir,
+    copy_chain_probe, em3d_run, fault_probe, file_scan, run_tenants, CopyChainSpec, Em3dSpec,
+    FaultProbeSpec, FileScanSpec, ProbeAccess, ScanDir, TenantsSpec,
 };
 
 #[test]
@@ -57,6 +57,58 @@ fn em3d_is_deterministic() {
     let b = em3d_run(spec);
     assert_eq!(a.elapsed_secs, b.elapsed_secs);
     assert_eq!(a.faults, b.faults);
+}
+
+#[test]
+fn tenants_is_deterministic() {
+    let spec = TenantsSpec {
+        objects: 24,
+        tasks: 8,
+        ops_per_task: 120,
+        ..TenantsSpec::default()
+    };
+    let cfg = asvm::AsvmConfig::fixed_distributed().coalesced().adaptive();
+    let a = run_tenants(cfg, transport::Transport::STS, &spec, false);
+    let b = run_tenants(cfg, transport::Transport::STS, &spec, false);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.stall_ms, b.stall_ms);
+    assert_eq!(a.asvm_msgs, b.asvm_msgs);
+    assert_eq!(a.policy_switch, b.policy_switch);
+    assert_eq!(a.modes, b.modes);
+}
+
+#[test]
+fn tenants_seed_changes_the_schedule_not_the_regime() {
+    let spec = TenantsSpec {
+        objects: 24,
+        tasks: 8,
+        ops_per_task: 120,
+        ..TenantsSpec::default()
+    };
+    let mut other = spec.clone();
+    other.seed = 4242;
+    let a = run_tenants(
+        asvm::AsvmConfig::default(),
+        transport::Transport::STS,
+        &spec,
+        false,
+    );
+    let b = run_tenants(
+        asvm::AsvmConfig::default(),
+        transport::Transport::STS,
+        &other,
+        false,
+    );
+    assert_ne!(
+        (a.faults, a.asvm_msgs),
+        (b.faults, b.asvm_msgs),
+        "different seeds must draw different Zipf schedules"
+    );
+    let ratio = a.stall_ms / b.stall_ms;
+    assert!(
+        ratio > 0.5 && ratio < 2.0,
+        "seed changed the regime: {ratio}"
+    );
 }
 
 #[test]
