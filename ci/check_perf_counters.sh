@@ -1,67 +1,80 @@
 #!/usr/bin/env bash
 # Guards against silent protocol-chattiness regressions: re-runs the
 # table1 benchmark and compares its per-cell `asvm.msg.*` / `xmm.msg.*`
-# counters against the committed BENCH_table1.json golden. Wall-clock
-# fields are ignored (only counter keys are extracted), so the check is
-# deterministic across hosts; `--serial --stable-json` keeps the fresh
-# run reproducible too.
+# counters against the committed BENCH_table1.json golden, then does the
+# same for the prefetch benchmark's `asvm.prefetch.*` speculation
+# accounting against BENCH_prefetch.json. Wall-clock fields are ignored
+# (only counter keys are extracted), so the check is deterministic
+# across hosts; `--serial --stable-json` keeps the fresh runs
+# reproducible too.
 #
 # Usage: ci/check_perf_counters.sh [path-to-fresh-BENCH_table1.json]
-# With no argument, runs the bench itself (requires a release build).
+# With no argument, runs the benches themselves (requires a release
+# build). With an argument, only the table1 check runs against it.
 set -eu
 
 cd "$(dirname "$0")/.."
 root="$(pwd)"
 
-golden=BENCH_table1.json
-fresh="${1:-}"
-
-if [ ! -f "$golden" ]; then
-    echo "perf-counters: missing committed golden $golden"
-    exit 1
-fi
-
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
-# The sweep writes BENCH_table1.json into the current directory, so the
-# fresh run happens inside the temp dir to leave the golden untouched.
-if [ -z "$fresh" ]; then
-    (cd "$workdir" && cargo run -q -p bench --bin table1 --release \
-        --manifest-path "$root/Cargo.toml" -- --serial --json --stable-json \
-        > /dev/null)
-    fresh="$workdir/BENCH_table1.json"
-fi
-
-if [ ! -f "$fresh" ]; then
-    echo "perf-counters: fresh run produced no $fresh"
-    exit 1
-fi
-
-# One line per (cell label, counter) pair, in file order. Cell labels are
-# unique in table1, so this keys every counter to its scenario.
+# One line per (cell label, counter) pair, in file order. Cell labels
+# are unique per bench, so this keys every counter to its scenario.
+# $2 is the counter-key grep alternation.
 extract_counters() {
-    grep -o '"label": "[^"]*"\|"\(asvm\|xmm\)\.msg\.[^"]*": [0-9]*' "$1" \
+    grep -o '"label": "[^"]*"\|"\('"$2"'\)\.[^"]*": [0-9]*' "$1" \
         | awk '
             /^"label": /   { label = $0; next }
             { print label " :: " $0 }
         '
 }
 
-extract_counters "$golden" > "$workdir/golden.txt"
-extract_counters "$fresh" > "$workdir/fresh.txt"
+# check_counters <golden> <bin> <counter-alternation> [fresh]
+check_counters() {
+    golden="$1"; bin="$2"; keys="$3"; fresh="${4:-}"
 
-if [ ! -s "$workdir/golden.txt" ]; then
-    echo "perf-counters: no asvm.msg.*/xmm.msg.* counters found in $golden"
-    exit 1
+    if [ ! -f "$golden" ]; then
+        echo "perf-counters: missing committed golden $golden"
+        exit 1
+    fi
+
+    # The sweep writes its JSON into the current directory, so the fresh
+    # run happens inside the temp dir to leave the golden untouched.
+    if [ -z "$fresh" ]; then
+        (cd "$workdir" && cargo run -q -p bench --bin "$bin" --release \
+            --manifest-path "$root/Cargo.toml" -- --serial --json --stable-json \
+            > /dev/null)
+        fresh="$workdir/$golden"
+    fi
+
+    if [ ! -f "$fresh" ]; then
+        echo "perf-counters: fresh run produced no $fresh"
+        exit 1
+    fi
+
+    extract_counters "$golden" "$keys" > "$workdir/golden.txt"
+    extract_counters "$fresh" "$keys" > "$workdir/fresh.txt"
+
+    if [ ! -s "$workdir/golden.txt" ]; then
+        echo "perf-counters: no counters matching ($keys) found in $golden"
+        exit 1
+    fi
+
+    if ! diff -u "$workdir/golden.txt" "$workdir/fresh.txt"; then
+        echo
+        echo "perf-counters: counters diverged from $golden."
+        echo "If the change is intentional, regenerate the golden with:"
+        echo "  cargo run -p bench --bin $bin --release -- --serial --json --stable-json"
+        exit 1
+    fi
+
+    echo "perf-counters OK ($(wc -l < "$workdir/golden.txt") counters match $golden)."
+}
+
+check_counters BENCH_table1.json table1 'asvm\.msg\|xmm\.msg' "${1:-}"
+# The prefetch golden pins the speculation accounting itself — issued /
+# hit / late / wasted / cancelled / hint per cell.
+if [ -z "${1:-}" ]; then
+    check_counters BENCH_prefetch.json prefetch 'asvm\.prefetch'
 fi
-
-if ! diff -u "$workdir/golden.txt" "$workdir/fresh.txt"; then
-    echo
-    echo "perf-counters: protocol message counters diverged from $golden."
-    echo "If the change is intentional, regenerate the golden with:"
-    echo "  cargo run -p bench --bin table1 --release -- --serial --json --stable-json"
-    exit 1
-fi
-
-echo "perf-counters OK ($(wc -l < "$workdir/golden.txt") counters match $golden)."

@@ -1,0 +1,238 @@
+//! Prefetch ablation: access-pattern-driven owner-hint prefetch and
+//! cross-node page readahead (§6 future work, "read clustering"), off vs
+//! hint-only vs hint+data.
+//!
+//! Each node runs a per-object stream detector over its local demand
+//! faults; once a stride survives `min_run` faults the engine (a) lets
+//! peers piggyback **owner hints** for the predicted window on frames
+//! already flowing back (zero extra frames, a few hint bytes), and (b)
+//! pulls **speculative read copies** of the window through the normal
+//! protocol, bounded by an in-flight budget and cancelled on a stride
+//! break. This harness sweeps the streaming patterns where that should
+//! hide demand faults — `filescan` (pure stride-1 read scan), `chain`
+//! (writer hands a region to the next reader), `prodcons` (one writer
+//! fanning out to readers) — plus `migratory` as the honest counter-case
+//! (write-token hops; speculative read copies are invalidated unread and
+//! show up under `asvm.prefetch.wasted`).
+//!
+//! Headline metrics: **faults per kilo-access** (demand faults /
+//! analytic access count × 1000) and **demand-fault latency**. Honest
+//! accounting rides along: `asvm.prefetch.{issued,hit,late,wasted}` and
+//! wasted transfer kilobytes.
+//!
+//! All arms run coalescing (the hint tier's carrier) and identical
+//! per-touch think time, so the only difference between arms is the
+//! prefetch engine. Backend rows: the scan on RDMA (speculative reads go
+//! one-sided, `transport.rdma.prefetch_read`) and prodcons on NORMA-IPC.
+//!
+//! Environment knobs (CI smoke): `ASVM_PREFETCH_SEED`.
+//!
+//! Determinism: fully seeded; `--json --stable-json` regenerates
+//! `BENCH_prefetch.json` byte-identically.
+
+use asvm::{AsvmConfig, PrefetchCfg};
+use bench::sweep::Sweep;
+use cluster::ManagerKind;
+use svmsim::{Dur, FaultPlan};
+use transport::Transport;
+use workloads::{run_pattern_backend_seeded, Pattern, PatternOutcome};
+
+const NODES: u16 = 4;
+const PAGES: u32 = 64;
+const DEPTH: u32 = 8;
+const THINK_US: f64 = 800.0;
+/// Page size of `MachineConfig::paragon` — the wasted-kilobytes factor.
+const PAGE_KB: u64 = 8;
+
+const PATTERNS: [(&str, Pattern); 4] = [
+    ("filescan", Pattern::Scan { rounds: 2 }),
+    (
+        "chain",
+        Pattern::Chain {
+            rounds: 8,
+            read_pages: PAGES,
+        },
+    ),
+    ("prodcons", Pattern::ProducerConsumer { rounds: 4 }),
+    ("migratory", Pattern::Migratory { rounds: 4 }),
+];
+
+/// The waste counter-case: the reader consumes only the first few pages
+/// of each hand-off, so the speculative window overshoots its interest
+/// and the next round's writer invalidates the overshoot unread.
+const HANDOFF: Pattern = Pattern::Chain {
+    rounds: 8,
+    read_pages: 6,
+};
+
+const ARMS: [(&str, u8); 3] = [("off", 0), ("hint", 1), ("hint+data", 2)];
+
+fn seed() -> u64 {
+    match std::env::var("ASVM_PREFETCH_SEED") {
+        Ok(v) => v.parse().expect("ASVM_PREFETCH_SEED: u64"),
+        Err(_) => 1996,
+    }
+}
+
+fn arm_cfg(arm: u8) -> AsvmConfig {
+    let mut cfg = AsvmConfig::default().coalesced();
+    cfg.prefetch = match arm {
+        0 => PrefetchCfg::off(),
+        1 => PrefetchCfg::hints_only(DEPTH),
+        _ => PrefetchCfg::streaming(DEPTH),
+    };
+    if arm == 3 {
+        // The latch demo: the online policy watches the speculation
+        // record and switches the data tier off once the wasted share
+        // crosses `prefetch_wasted_pct` (short window so the latch can
+        // engage within the bench's few rounds). Mode management is off
+        // so the write-heavy mix cannot strip prefetch outright via the
+        // Static mode — only the wasted-ratio latch acts, which is the
+        // mechanism this arm demonstrates.
+        cfg.policy.enabled = true;
+        cfg.policy.manage_prefetch = false;
+        cfg.policy.manage_coalesce = false;
+        // Short window, no hysteresis: each node is the stream's reader
+        // for only two of the eight rounds, so the latch must land on
+        // the first bad window to cap the second reader round.
+        cfg.policy.window = 8;
+        cfg.policy.hysteresis = 1;
+    }
+    cfg
+}
+
+fn run_cell(
+    pattern: Pattern,
+    arm: u8,
+    transport: Transport,
+) -> (PatternOutcome, u64, Vec<(String, u64)>) {
+    let out = run_pattern_backend_seeded(
+        ManagerKind::Asvm(arm_cfg(arm)),
+        transport,
+        NODES,
+        PAGES,
+        pattern,
+        FaultPlan::none(),
+        Dur::from_micros_f64(THINK_US),
+        seed(),
+    );
+    assert!(out.completed, "prefetch cell tasks finish");
+    let o = out.outcome;
+    let accesses = pattern.accesses(NODES, PAGES);
+    let counters = vec![
+        ("page.faults".to_string(), o.faults),
+        (
+            "fpka_x10".to_string(),
+            (o.faults_per_kilo_access(accesses) * 10.0).round() as u64,
+        ),
+        (
+            "fault_us_mean".to_string(),
+            (o.mean_fault_ms * 1000.0).round() as u64,
+        ),
+        ("asvm.prefetch.issued".to_string(), o.prefetch_issued),
+        ("asvm.prefetch.hit".to_string(), o.prefetch_hit),
+        ("asvm.prefetch.late".to_string(), o.prefetch_late),
+        ("asvm.prefetch.wasted".to_string(), o.prefetch_wasted),
+        ("asvm.prefetch.cancelled".to_string(), o.prefetch_cancelled),
+        ("asvm.prefetch.hint".to_string(), o.prefetch_hints),
+        ("wasted_kb".to_string(), o.prefetch_wasted * PAGE_KB),
+        (
+            "transport.rdma.prefetch_read".to_string(),
+            o.rdma_prefetch_reads,
+        ),
+        (
+            "asvm.policy.prefetch_off".to_string(),
+            o.policy_prefetch_off,
+        ),
+    ];
+    let events = o.events;
+    (o, events, counters)
+}
+
+fn main() {
+    let mut sweep = Sweep::from_env("prefetch");
+    // STS: every pattern × every arm.
+    for (label, pattern) in PATTERNS {
+        for (arm_label, arm) in ARMS {
+            sweep.cell_with_counters(format!("sts / {label} / {arm_label}"), move || {
+                run_cell(pattern, arm, Transport::STS)
+            });
+        }
+    }
+    // The waste counter-case, plus the policy latch that caps it.
+    for (arm_label, arm) in [("off", 0u8), ("hint+data", 2), ("latch", 3)] {
+        sweep.cell_with_counters(format!("sts / handoff / {arm_label}"), move || {
+            run_cell(HANDOFF, arm, Transport::STS)
+        });
+    }
+    // Backend rows: the streaming scan on RDMA (speculative reads go
+    // one-sided), prodcons on NORMA-IPC.
+    for (arm_label, arm) in [("off", 0u8), ("hint+data", 2)] {
+        let (label, pattern) = PATTERNS[0];
+        sweep.cell_with_counters(format!("rdma / {label} / {arm_label}"), move || {
+            run_cell(pattern, arm, Transport::RDMA)
+        });
+    }
+    for (arm_label, arm) in [("off", 0u8), ("hint+data", 2)] {
+        let (label, pattern) = PATTERNS[2];
+        sweep.cell_with_counters(format!("norma / {label} / {arm_label}"), move || {
+            run_cell(pattern, arm, Transport::NORMA)
+        });
+    }
+    let report = sweep.run();
+
+    println!(
+        "Prefetch ablation ({NODES} nodes, {PAGES} pages, depth {DEPTH}, \
+         {THINK_US:.0}us think/touch, seed {})",
+        seed()
+    );
+    println!("fpka = demand faults per 1000 accesses (analytic access count per pattern)");
+    println!(
+        "{:<22}{:>8}{:>8}{:>8}{:>9}{:>9}{:>8}{:>8}{:>8}{:>8}",
+        "pattern", "arm", "faults", "fpka", "flt us", "issued", "hit", "late", "wasted", "hints"
+    );
+    println!("{}", "-".repeat(96));
+    let mut cells = report.values();
+    let print_row = |label: &str, arm: &str, pattern: Pattern, o: &PatternOutcome| {
+        let accesses = pattern.accesses(NODES, PAGES);
+        println!(
+            "{:<22}{:>8}{:>8}{:>8.1}{:>9.0}{:>9}{:>8}{:>8}{:>8}{:>8}",
+            label,
+            arm,
+            o.faults,
+            o.faults_per_kilo_access(accesses),
+            o.mean_fault_ms * 1000.0,
+            o.prefetch_issued,
+            o.prefetch_hit,
+            o.prefetch_late,
+            o.prefetch_wasted,
+            o.prefetch_hints,
+        );
+    };
+    for (label, pattern) in PATTERNS {
+        for (arm_label, _) in ARMS {
+            let o = cells.next().expect("sts cell");
+            print_row(&format!("sts / {label}"), arm_label, pattern, o);
+        }
+    }
+    for arm_label in ["off", "hint+data", "latch"] {
+        let o = cells.next().expect("handoff cell");
+        print_row("sts / handoff", arm_label, HANDOFF, o);
+    }
+    for (arm_label, _) in [("off", ()), ("hint+data", ())] {
+        let o = cells.next().expect("rdma cell");
+        print_row("rdma / filescan", arm_label, PATTERNS[0].1, o);
+    }
+    for (arm_label, _) in [("off", ()), ("hint+data", ())] {
+        let o = cells.next().expect("norma cell");
+        print_row("norma / prodcons", arm_label, PATTERNS[2].1, o);
+    }
+    println!();
+    println!("migratory (pure write-token hops) earns zero speculation: only read");
+    println!("activity drives speculative pulls. handoff is the waste counter-case:");
+    println!("the reader consumes 6 of 64 handed-off pages, so the speculative window");
+    println!("overshoots its interest and the overshoot copies are invalidated or");
+    println!("overwritten unread (wasted column); the latch arm shows asvm::policy");
+    println!("capping that via asvm.policy.prefetch_off.");
+    report.finish();
+}

@@ -88,7 +88,7 @@ fn accel() -> AsvmConfig {
 /// on read evidence.
 fn configs() -> [(&'static str, AsvmConfig); 5] {
     let mut adaptive = AsvmConfig::fixed_distributed().coalesced().adaptive();
-    adaptive.readahead = RA;
+    adaptive.prefetch = asvm::PrefetchCfg::readahead(RA);
     adaptive.policy.window = WINDOW;
     [
         ("plain", AsvmConfig::default()),

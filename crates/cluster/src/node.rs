@@ -365,6 +365,12 @@ impl ClusterNode {
                     // watchdog re-issues it (marked `recovering`, which
                     // forces the two-sided path on the retry).
                     self.charge_link_setup(ctx, dst);
+                    if msg.is_speculative_req() {
+                        // Speculative reads ride the same one-sided path;
+                        // the counter keeps the prefetcher's share of NIC
+                        // traffic visible.
+                        ctx.stats().bump("transport.rdma.prefetch_read");
+                    }
                     self.asvm_transport
                         .send_one_sided(ctx, dst, kind, || Msg::RdmaRead {
                             from,
@@ -587,6 +593,28 @@ impl ClusterNode {
                 }
                 for h in hints {
                     body.push_hint(h);
+                }
+                // Prefetch hint tier: beyond the pages this frame already
+                // addresses, attach the sender's owner view for the pages
+                // it predicts `dst` will fault on *next* (per-peer demand
+                // stream detector), so the peer's dynamic hint cache is
+                // warm before the fault even happens. Zero extra frames —
+                // only hint bytes on a frame already flowing.
+                let mut window = Vec::new();
+                let mut seen: Vec<MemObjId> = Vec::new();
+                for m in &body.msgs {
+                    let mobj = m.mobj();
+                    if seen.contains(&mobj) {
+                        continue;
+                    }
+                    seen.push(mobj);
+                    eng.prefetch_hint_window(mobj, dst, &mut window);
+                }
+                if !window.is_empty() {
+                    ctx.stats().add("asvm.prefetch.hint", window.len() as u64);
+                    for h in window {
+                        body.push_hint(h);
+                    }
                 }
             }
         }
@@ -1043,6 +1071,7 @@ impl ClusterNode {
                     // (overwhelmingly common) hit path instead of two.
                     if let Some(data) = self.vm.try_read_page(ctx.now(), task, va_page) {
                         self.tasks.get_mut(&task).unwrap().last_read = Some(data.word());
+                        self.note_hit_access(ctx, task, va_page, false);
                     } else if self.fault_for(
                         ctx,
                         task,
@@ -1058,10 +1087,12 @@ impl ClusterNode {
                     }
                 }
                 Step::Write { va_page, value } => {
-                    if !self
+                    if self
                         .vm
                         .try_write_page(ctx.now(), task, va_page, PageData::Word(value))
                     {
+                        self.note_hit_access(ctx, task, va_page, true);
+                    } else {
                         if !self.fault_for(
                             ctx,
                             task,
@@ -1156,6 +1187,38 @@ impl ClusterNode {
         }
     }
 
+    /// Tells the ASVM prefetcher about a demand access that hit in local
+    /// memory (no fault): a speculative fill covering the page settles —
+    /// as a prefetch hit when read, as wasted when a write clobbered it
+    /// unread — and detector-gated streams top their window back up on
+    /// read hits. Gated on `wants_access_notes` so runs without any
+    /// prefetch-configured object pay exactly one boolean test per hit.
+    fn note_hit_access(&mut self, ctx: &mut Ctx<'_, Msg>, task: TaskId, va_page: u64, write: bool) {
+        if !self
+            .engine
+            .as_asvm()
+            .is_some_and(|a| a.wants_access_notes())
+        {
+            return;
+        }
+        let Some(entry) = self.vm.address_map(task).lookup(va_page) else {
+            return;
+        };
+        let (obj, page) = (entry.object, entry.object_page(va_page));
+        let me = self.id;
+        let mut afx = asvm::Fx::new();
+        self.engine.as_asvm_mut().unwrap().prefetch_note_access(
+            ctx.now(),
+            &mut self.vm,
+            obj,
+            page,
+            write,
+            &mut afx,
+        );
+        let mut fx = EngineFx::from_asvm(me, afx);
+        self.run_fx(ctx, &mut fx);
+    }
+
     /// Translates a task-relative page range to `(object, object range)`.
     fn resolve_range(&self, task: TaskId, va_page: u64, pages: u32) -> (MemObjId, asvm::PageRange) {
         let entry = self
@@ -1188,6 +1251,7 @@ impl ClusterNode {
         retry: Step,
     ) -> bool {
         if self.vm.can_access(task, va_page, access) {
+            self.note_hit_access(ctx, task, va_page, access == Access::Write);
             return true;
         }
         self.fault_for(ctx, task, va_page, access, retry)

@@ -110,10 +110,10 @@ pub struct AsvmConfig {
     /// (effectively multiplied by the node count, since the static cache is
     /// distributed across all static managers).
     pub static_cache_entries: usize,
-    /// Read clustering (§6 future work): on a read fault, also request this
-    /// many following pages so sequential scans stream instead of paying a
-    /// round trip per page. Zero disables it (the paper's measured system).
-    pub readahead: u32,
+    /// Access-pattern-driven prefetch (§6 future work, "read
+    /// clustering"): stream detection plus hint/data prefetch tiers. Off
+    /// by default (the paper's measured system); see [`crate::prefetch`].
+    pub prefetch: crate::prefetch::PrefetchCfg,
     /// Forwarding hop bound and request-watchdog parameters.
     pub forward: ForwardCfg,
     /// Protocol message coalescing over STS (default off).
@@ -130,7 +130,7 @@ impl Default for AsvmConfig {
             static_forwarding: true,
             dynamic_cache_entries: 4096,
             static_cache_entries: 4096,
-            readahead: 0,
+            prefetch: crate::prefetch::PrefetchCfg::default(),
             forward: ForwardCfg::default(),
             coalesce: CoalesceCfg::default(),
             policy: crate::policy::PolicyCfg::default(),
@@ -164,10 +164,22 @@ impl AsvmConfig {
         }
     }
 
-    /// With read clustering enabled (§6 future work).
+    /// With the legacy §6 read-clustering preset: every read fault
+    /// unconditionally requests the next `pages` pages
+    /// ([`crate::prefetch::PrefetchCfg::readahead`]).
     pub fn with_readahead(pages: u32) -> AsvmConfig {
         AsvmConfig {
-            readahead: pages,
+            prefetch: crate::prefetch::PrefetchCfg::readahead(pages),
+            ..AsvmConfig::default()
+        }
+    }
+
+    /// With the detector-gated streaming prefetch preset: hint and data
+    /// tiers on once a stride is confirmed
+    /// ([`crate::prefetch::PrefetchCfg::streaming`]).
+    pub fn with_prefetch(depth: u32) -> AsvmConfig {
+        AsvmConfig {
+            prefetch: crate::prefetch::PrefetchCfg::streaming(depth),
             ..AsvmConfig::default()
         }
     }
@@ -221,9 +233,21 @@ mod tests {
         assert_eq!(a.policy.window, 48);
         assert_eq!(a.policy.hysteresis, 2);
         assert!(a.policy.manage_coalesce);
-        assert!(a.policy.manage_readahead);
+        assert!(a.policy.manage_prefetch);
         // Forwarding switches are untouched until the policy acts.
         assert!(a.dynamic_forwarding && a.static_forwarding);
+    }
+
+    #[test]
+    fn prefetch_presets_map_to_cfgs() {
+        let d = AsvmConfig::default().prefetch;
+        assert!(!d.enabled, "prefetch must be opt-in");
+        let ra = AsvmConfig::with_readahead(8).prefetch;
+        assert!(ra.enabled && ra.data && !ra.hints);
+        assert_eq!((ra.min_run, ra.depth, ra.max_inflight), (0, 8, 0));
+        let st = AsvmConfig::with_prefetch(4).prefetch;
+        assert!(st.enabled && st.data && st.hints);
+        assert_eq!((st.min_run, st.depth, st.max_inflight), (2, 4, 4));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod lru;
 pub mod node;
 pub mod object;
 pub mod policy;
+pub mod prefetch;
 pub mod protocol;
 pub mod retry;
 
@@ -54,7 +55,10 @@ pub use node::{AsvmNode, Fx};
 pub use object::{
     AsvmObject, Busy, EvictStage, PageInfo, PendingLocal, QueuedReq, RecoverState, StaticHint,
 };
-pub use policy::{AccelBase, Observation, PolicyCfg, PolicyMode, PolicyState, PolicyVerdict};
+pub use policy::{
+    AccelBase, Observation, PolicyCfg, PolicyMode, PolicyState, PolicyVerdict, PrefetchVerdict,
+};
+pub use prefetch::{PrefetchCfg, StreamDetector};
 pub use protocol::{AsvmMsg, NetSend, PagerSend, ReqKind, ReqPath};
 pub use retry::{Accepted, LinkReceiver, LinkSender, RetryConfig, TimeoutVerdict};
 

@@ -76,6 +76,10 @@ pub struct AsvmNode {
     cost: CostModel,
     objects: BTreeMap<MemObjId, AsvmObject>,
     by_vmobj: BTreeMap<VmObjId, MemObjId>,
+    /// Any registered object ever enabled prefetch: gates the per-access
+    /// bookkeeping hook ([`AsvmNode::prefetch_note_access`]) so
+    /// prefetch-off runs pay exactly one boolean test per access.
+    prefetch_live: bool,
 }
 
 impl AsvmNode {
@@ -86,6 +90,7 @@ impl AsvmNode {
             cost,
             objects: BTreeMap::new(),
             by_vmobj: BTreeMap::new(),
+            prefetch_live: false,
         }
     }
 
@@ -142,6 +147,10 @@ impl AsvmNode {
                 total += node_ids(r.expect.len() + r.holders.len());
                 total += (r.waiting.len() * size_of::<QueuedReq>()) as u64;
             }
+            total += (o.peer_streams.len()
+                * (size_of::<NodeId>() + size_of::<crate::prefetch::StreamDetector>()))
+                as u64;
+            total += pages(o.prefetched.len());
         }
         total
     }
@@ -160,6 +169,9 @@ impl AsvmNode {
         cfg: AsvmConfig,
         fx: &mut Fx,
     ) {
+        // The *configured* setting, before any policy-start strip: a
+        // Static-start object can still have its prefetch restored later.
+        self.prefetch_live |= cfg.prefetch.enabled;
         let o = AsvmObject::new(mobj, vm_obj, size_pages, home, pager_node, self.me, cfg);
         let prev = self.objects.insert(mobj, o);
         assert!(prev.is_none(), "object {mobj:?} registered twice");
@@ -265,6 +277,109 @@ impl AsvmNode {
         true
     }
 
+    // --- Prefetch (access-pattern-driven, §6 "read clustering") ------------
+
+    /// Whether any object on this node was *configured* with prefetch
+    /// enabled. The cluster layer tests this one boolean on the hot
+    /// no-fault access path, so prefetch-off runs pay nothing for the
+    /// bookkeeping hook. Sticky across policy strips: a Dynamic-mode
+    /// object whose prefetch is currently latched off still needs its
+    /// hits noted.
+    pub fn wants_access_notes(&self) -> bool {
+        self.prefetch_live
+    }
+
+    /// Notes a demand access that was satisfied from local memory (no
+    /// fault). Settles a speculative fill covering `page` — as a prefetch
+    /// hit when the access *read* the prefetched data, as wasted when a
+    /// write clobbered it unread (the speculative transfer bought
+    /// nothing) — advances the stream detector (hits are part of the
+    /// stream), and — for detector-gated presets — tops the predicted
+    /// window back up on read hits so a steady stream keeps riding ahead
+    /// of its faults. Writes never top up: speculative pulls fetch *read*
+    /// copies, so only read activity is evidence they help. Returns
+    /// whether a speculative fill was settled.
+    pub fn prefetch_note_access(
+        &mut self,
+        now: Time,
+        vm: &mut VmSystem,
+        vm_obj: VmObjId,
+        page: PageIdx,
+        write: bool,
+        fx: &mut Fx,
+    ) -> bool {
+        let Some(mobj) = self.by_vmobj.get(&vm_obj).copied() else {
+            return false;
+        };
+        let Some(o) = self.objects.get_mut(&mobj) else {
+            return false;
+        };
+        if o.cfg.prefetch.enabled {
+            o.local_stream.observe(page);
+        }
+        let settled = if o.prefetched.is_empty() {
+            false
+        } else {
+            Self::spec_settle(o, page, write, fx)
+        };
+        // Top-up is detector-gated only: the legacy readahead preset
+        // (`min_run == 0`) issues exclusively from fault time, exactly
+        // like the original loop, so its traffic stays byte-identical.
+        if settled && !write && o.cfg.prefetch.min_run > 0 {
+            Self::issue_prefetch(o, self.me, &self.cost, now, vm, page, fx);
+        }
+        self.drain_escalations(now, vm, fx);
+        settled
+    }
+
+    /// Fills `out` with owner hints for the pages the serving side
+    /// predicts `dst` will fault on next, based on the per-peer demand
+    /// stream detector. The cluster layer piggybacks these on frames
+    /// already flowing to `dst` (zero extra frames, a few extra subframe
+    /// bytes), warming the peer's dynamic hint cache *before* the fault.
+    pub fn prefetch_hint_window(
+        &self,
+        mobj: MemObjId,
+        dst: NodeId,
+        out: &mut Vec<crate::coalesce::OwnerHintEntry>,
+    ) {
+        let Some(o) = self.objects.get(&mobj) else {
+            return;
+        };
+        if !(o.cfg.prefetch.enabled && o.cfg.prefetch.hints) {
+            return;
+        }
+        let Some(det) = o.peer_streams.get(&dst) else {
+            return;
+        };
+        let (Some(anchor), Some((stride, depth))) = (det.anchor(), det.prediction(&o.cfg.prefetch))
+        else {
+            return;
+        };
+        for k in 1..=depth {
+            let idx = anchor.0 as i64 + stride * k as i64;
+            if idx < 0 || idx >= o.size_pages as i64 {
+                continue;
+            }
+            let p = PageIdx(idx as u32);
+            // Same view `owner_view` serves the per-subframe piggyback:
+            // local ownership is ground truth, the dynamic cache is the
+            // best available guess, no hint otherwise.
+            let owner = if o.pages.get(&p).is_some_and(|pi| pi.owner) {
+                self.me
+            } else {
+                match o.dyn_cache.peek(&p) {
+                    Some(n) => *n,
+                    None => continue,
+                }
+            };
+            if owner == dst {
+                continue;
+            }
+            out.push((mobj, p, owner));
+        }
+    }
+
     // --- Local VM ingress --------------------------------------------------
 
     /// Continues pull lookups that must proceed in another distributed
@@ -314,20 +429,32 @@ impl AsvmNode {
                     },
                     fx,
                 );
-                Self::local_request(o, self.me, &self.cost, now, vm, page, access, fx);
-                // Read clustering (§6 future work): pull the following
-                // pages in the same breath so sequential scans stream.
-                if access == Access::Read && o.cfg.readahead > 0 {
-                    for ahead in 1..=o.cfg.readahead {
-                        let p = PageIdx(page.0 + ahead);
-                        if p.0 >= o.size_pages
-                            || o.pages.contains_key(&p)
-                            || o.pending.contains_key(&p)
-                        {
-                            continue;
-                        }
-                        Self::local_request(o, self.me, &self.cost, now, vm, p, Access::Read, fx);
+                // The stream detector watches every local demand fault;
+                // a stride change cancels outstanding speculation (no
+                // further issues on the stale prediction — in-flight
+                // requests complete through the normal protocol and are
+                // charged as wasted if nothing ever reads them).
+                if o.cfg.prefetch.enabled && o.local_stream.observe(page) {
+                    let inflight = o.pending.values().filter(|p| p.speculative).count();
+                    for _ in 0..inflight {
+                        fx.bump("asvm.prefetch.cancelled");
                     }
+                }
+                // A demand fault on a prefetched page still consumes the
+                // speculative fill — even if the policy has since
+                // stripped the object's prefetch, leftovers settle
+                // honestly. A read fault scores a hit; a write fault
+                // clobbers the read copy unread, so the speculative
+                // transfer was wasted.
+                if !o.prefetched.is_empty() {
+                    Self::spec_settle(o, page, access == Access::Write, fx);
+                }
+                Self::local_request(o, self.me, &self.cost, now, vm, page, access, fx);
+                // Read clustering (§6 future work), generalized: pull the
+                // detector's predicted window in the same breath so
+                // sequential and strided scans stream.
+                if access == Access::Read {
+                    Self::issue_prefetch(o, self.me, &self.cost, now, vm, page, fx);
                 }
             }
             EmmiToPager::DataUnlock { page, .. } => {
@@ -336,6 +463,14 @@ impl AsvmNode {
                     crate::policy::Observation::LocalFault { write: true },
                     fx,
                 );
+                // A write upgrade whose *first* touch of a prefetched
+                // read copy is this unlock wastes the speculative
+                // transfer: the data was never read, only overwritten.
+                // (A page read before being written settled as a hit
+                // already and is no longer in the prefetched set.)
+                if !o.prefetched.is_empty() {
+                    Self::spec_settle(o, page, true, fx);
+                }
                 Self::local_request(o, self.me, &self.cost, now, vm, page, Access::Write, fx);
             }
             EmmiToPager::DataReturn { page, data, dirty } => {
@@ -376,7 +511,30 @@ impl AsvmNode {
         access: Access,
         fx: &mut Fx,
     ) {
-        if let Some(p) = o.pending.get(&page) {
+        Self::request(o, me, cost, now, vm, page, access, false, fx);
+    }
+
+    /// [`AsvmNode::local_request`] with the speculative marker: a
+    /// prefetch-issued request travels, routes and is served exactly like
+    /// a demand request — the flag only drives accounting.
+    fn request(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        access: Access,
+        speculative: bool,
+        fx: &mut Fx,
+    ) {
+        if let Some(p) = o.pending.get_mut(&page) {
+            // A demand fault catching an in-flight speculative request:
+            // the prefetch was issued but did not land in time.
+            if !speculative && p.speculative {
+                p.speculative = false;
+                fx.bump("asvm.prefetch.late");
+            }
             if p.access.allows(access) {
                 return; // Already in flight.
             }
@@ -389,6 +547,7 @@ impl AsvmNode {
                 has_copy,
                 issued: now,
                 retries: 0,
+                speculative,
             },
         );
         let req = QueuedReq {
@@ -412,7 +571,90 @@ impl AsvmNode {
                 return;
             }
         }
-        Self::route(o, me, cost, now, vm, page, req, ReqPath::default(), fx);
+        let path = ReqPath {
+            speculative,
+            ..ReqPath::default()
+        };
+        Self::route(o, me, cost, now, vm, page, req, path, fx);
+    }
+
+    /// Issues the data-prefetch window predicted by the local stream
+    /// detector after a read fault on `page`: for each predicted page not
+    /// already resident or requested, a speculative read request enters
+    /// the normal protocol, bounded by the in-flight budget. With the
+    /// legacy preset (`min_run == 0`) this is exactly the original
+    /// readahead loop: unconditional `+1` window, no budget.
+    fn issue_prefetch(
+        o: &mut AsvmObject,
+        me: NodeId,
+        cost: &CostModel,
+        now: Time,
+        vm: &mut VmSystem,
+        page: PageIdx,
+        fx: &mut Fx,
+    ) {
+        if !o.cfg.prefetch.data {
+            return;
+        }
+        let Some((stride, depth)) = o.local_stream.prediction(&o.cfg.prefetch) else {
+            return;
+        };
+        let budget = o.cfg.prefetch.max_inflight;
+        let mut inflight = if budget > 0 {
+            o.pending.values().filter(|p| p.speculative).count() as u32
+        } else {
+            0
+        };
+        for k in 1..=depth {
+            if budget > 0 && inflight >= budget {
+                break;
+            }
+            let idx = page.0 as i64 + stride * k as i64;
+            if idx < 0 || idx >= o.size_pages as i64 {
+                continue;
+            }
+            let p = PageIdx(idx as u32);
+            if o.pages.contains_key(&p) || o.pending.contains_key(&p) {
+                continue;
+            }
+            fx.bump("asvm.prefetch.issued");
+            inflight += 1;
+            Self::request(o, me, cost, now, vm, p, Access::Read, true, fx);
+        }
+    }
+
+    /// Settles the speculative fill for `page`, if one is still waiting
+    /// for a demand access: removes it from the prefetched set, bumps
+    /// `asvm.prefetch.hit`/`wasted`, and feeds the outcome to the online
+    /// policy, which may latch the object's data tier off. Returns
+    /// whether a fill was settled.
+    fn spec_settle(o: &mut AsvmObject, page: PageIdx, wasted: bool, fx: &mut Fx) -> bool {
+        if !o.prefetched.remove(&page) {
+            return false;
+        }
+        fx.bump(if wasted {
+            "asvm.prefetch.wasted"
+        } else {
+            "asvm.prefetch.hit"
+        });
+        if o.cfg.prefetch.min_run == 0 {
+            // The legacy readahead preset predates the policy's wasted
+            // latch; keeping it out preserves the original preset's
+            // traffic bit-for-bit (the latch guards detector-driven
+            // speculation only).
+            return true;
+        }
+        use crate::policy::PrefetchVerdict;
+        match o.policy.record_prefetch(wasted) {
+            PrefetchVerdict::Idle => {}
+            PrefetchVerdict::Observed => fx.bump("asvm.policy.observe"),
+            PrefetchVerdict::Disable => {
+                fx.bump("asvm.policy.observe");
+                fx.bump("asvm.policy.prefetch_off");
+                o.cfg.prefetch.data = false;
+            }
+        }
+        true
     }
 
     // --- Peer message ingress ------------------------------------------------
@@ -449,6 +691,9 @@ impl AsvmNode {
         // object's read/write mix.
         if let AsvmMsg::PageReq {
             access,
+            page,
+            origin,
+            path,
             kind: ReqKind::Access,
             deliver: None,
             ..
@@ -461,6 +706,13 @@ impl AsvmNode {
                 },
                 fx,
             );
+            // Hint prefetch learns the *demand* stream of the faulting
+            // node: frames flowing back to it will carry owner hints for
+            // its predicted next pages. Speculative requests are its
+            // prefetcher echoing the same stride — not new evidence.
+            if o.cfg.prefetch.enabled && o.cfg.prefetch.hints && !path.speculative {
+                o.peer_streams.entry(*origin).or_default().observe(*page);
+            }
         }
         let cost = &self.cost;
         match msg {
@@ -587,6 +839,9 @@ impl AsvmNode {
                             &mut fx.vm,
                         );
                         o.pages.remove(&page);
+                        // A speculative fill invalidated before any demand
+                        // access consumed it: the transfer was wasted.
+                        Self::spec_settle(o, page, true, fx);
                     }
                 }
                 o.dyn_cache.insert(page, owner);
@@ -960,6 +1215,9 @@ impl AsvmNode {
                 pi.dirty = false;
                 let prev = o.pages.insert(page, pi);
                 assert!(prev.is_none(), "pager supply onto existing page state");
+                if pend.speculative {
+                    o.prefetched.insert(page);
+                }
                 vm.kernel_call(
                     now,
                     vm_obj,
@@ -1037,6 +1295,8 @@ impl AsvmNode {
                 );
             }
             o.pages.remove(&page);
+            // A speculative fill evicted before any demand access: wasted.
+            Self::spec_settle(o, page, true, fx);
             return;
         }
         pi.dirty |= dirty;
@@ -1626,6 +1886,7 @@ impl AsvmNode {
         );
         let queued: Vec<QueuedReq> = o.pages.get_mut(&page).unwrap().queued.drain(..).collect();
         o.pages.remove(&page);
+        Self::spec_settle(o, page, true, fx);
         o.dyn_cache.insert(page, to);
         // Tell the static manager about the transfer NOW (the new owner
         // repeats this on receipt): a concurrent global walk that finds no
@@ -1750,6 +2011,12 @@ impl AsvmNode {
             if let Some(p) = pend {
                 if access.allows(p.access) {
                     o.pending.remove(&page);
+                    if p.speculative {
+                        // The fill landed before any demand access touched
+                        // it: remember it so the eventual demand hit (or
+                        // eviction) settles the speculation honestly.
+                        o.prefetched.insert(page);
+                    }
                 }
             }
         }
@@ -1874,6 +2141,7 @@ impl AsvmNode {
             );
             let queued: Vec<QueuedReq> = pi.queued.drain(..).collect();
             o.pages.remove(&page);
+            Self::spec_settle(o, page, true, fx);
             o.dyn_cache.insert(page, reader);
             for q in queued {
                 Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
@@ -1983,6 +2251,7 @@ impl AsvmNode {
             o.last_accept = Some(candidate);
             let queued: Vec<QueuedReq> = pi.queued.drain(..).collect();
             o.pages.remove(&page);
+            Self::spec_settle(o, page, true, fx);
             o.dyn_cache.insert(page, candidate);
             for q in queued {
                 Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
@@ -2056,6 +2325,7 @@ impl AsvmNode {
             .map(|pi| pi.queued.drain(..).collect())
             .unwrap_or_default();
         o.pages.remove(&page);
+        Self::spec_settle(o, page, true, fx);
         for q in queued {
             Self::route(o, me, cost, now, vm, page, q, ReqPath::default(), fx);
         }
@@ -2460,6 +2730,7 @@ impl AsvmNode {
                             &mut fx.vm,
                         );
                         o.pages.remove(&page);
+                        Self::spec_settle(o, page, true, fx);
                         queued
                     } else {
                         Vec::new()
@@ -2471,6 +2742,7 @@ impl AsvmNode {
                             has_copy: false,
                             issued: now,
                             retries: pl.retries.saturating_add(1),
+                            speculative: pl.speculative,
                         },
                     );
                     // Straight to the pager — deliberately NOT through
@@ -2499,6 +2771,7 @@ impl AsvmNode {
                             has_copy,
                             issued: now,
                             retries: pl.retries + 1,
+                            speculative: pl.speculative,
                         },
                     );
                     let req = QueuedReq {

@@ -156,6 +156,10 @@ pub struct PendingLocal {
     pub issued: Time,
     /// Watchdog re-issues so far (bounded by `ForwardCfg::retry_budget`).
     pub retries: u8,
+    /// Issued by the prefetch engine ahead of any demand fault; cleared
+    /// (and counted `asvm.prefetch.late`) when a demand fault catches up
+    /// with the request in flight. See [`crate::prefetch`].
+    pub speculative: bool,
 }
 
 /// Ownership reconstruction in progress at a static manager (or the node
@@ -266,6 +270,19 @@ pub struct AsvmObject {
     /// runtime switches of this node's forwarding/coalescing choices for
     /// the object. See [`crate::policy`].
     pub policy: crate::policy::PolicyState,
+    /// Local fault-stream detector driving data prefetch (inert unless
+    /// `cfg.prefetch.enabled`). See [`crate::prefetch`].
+    pub local_stream: crate::prefetch::StreamDetector,
+    /// Per-peer request-stream detectors driving hint prefetch: arriving
+    /// demand requests advance the origin node's detector, and frames
+    /// flowing back to it carry owner hints for its predicted window.
+    /// Populated only when `cfg.prefetch.hints` is on.
+    pub peer_streams: BTreeMap<NodeId, crate::prefetch::StreamDetector>,
+    /// Speculatively filled pages no demand access has consumed yet:
+    /// removed with `asvm.prefetch.hit` on first demand use, or with
+    /// `asvm.prefetch.wasted` when invalidation/eviction takes the page
+    /// first.
+    pub prefetched: BTreeSet<PageIdx>,
     /// Members of this object suspected dead by the failure detector.
     /// Persists across quiescence — suspicion is evidence, not state to
     /// drain.
@@ -332,6 +349,9 @@ impl AsvmObject {
             copy_settles: Vec::new(),
             range_locks: crate::locks::RangeLockMgr::default(),
             policy: crate::policy::PolicyState::new(cfg.policy, mode, base),
+            local_stream: crate::prefetch::StreamDetector::default(),
+            peer_streams: BTreeMap::new(),
+            prefetched: BTreeSet::new(),
             suspects: BTreeSet::new(),
             recover: BTreeMap::new(),
         }
@@ -396,6 +416,9 @@ impl AsvmObject {
             + self.static_cache.len() * (size_of::<PageIdx>() + size_of::<StaticHint>() + 8)
             + self.static_seen.len() * size_of::<PageIdx>()
             + self.nodes.len() * size_of::<NodeId>()
+            + self.peer_streams.len()
+                * (size_of::<NodeId>() + size_of::<crate::prefetch::StreamDetector>())
+            + self.prefetched.len() * size_of::<PageIdx>()
     }
 }
 

@@ -19,7 +19,7 @@
 //!
 //! * [`PolicyMode::Dynamic`] — dynamic + static forwarding (the full ASVM
 //!   default) plus the object's configured *speculation accelerants*:
-//!   readahead and, where the transport supports it, coalescing. Best for
+//!   prefetch and, where the transport supports it, coalescing. Best for
 //!   read-mostly fan-out — sequential readers are exactly what §6's read
 //!   clustering prefetches for, and the prefetch bursts are what
 //!   coalescing packs.
@@ -63,7 +63,10 @@
 //! };
 //! // The accelerants Dynamic mode restores — normally captured from the
 //! // object's configuration with `AccelBase::of`.
-//! let base = AccelBase { coalesce: true, readahead: 4 };
+//! let base = AccelBase {
+//!     coalesce: true,
+//!     prefetch: asvm::prefetch::PrefetchCfg::readahead(4),
+//! };
 //! let mut p = PolicyState::new(cfg, PolicyMode::Dynamic, base);
 //!
 //! // A write-heavy phase on a widely shared object: each window of 4
@@ -120,12 +123,20 @@ pub struct PolicyCfg {
     /// otherwise). Only bites on transports that support coalescing;
     /// disable to adapt forwarding alone.
     pub manage_coalesce: bool,
-    /// Let the policy toggle the object's readahead along with the mode
-    /// (restored to its configured base in Dynamic, zero otherwise). The
+    /// Let the policy toggle the object's prefetch along with the mode
+    /// (restored to its configured base in Dynamic, off otherwise). The
     /// tenants sweep's motivating asymmetry: prefetch cuts a sequential
     /// reader's faults by a third but is pure frame cost on a write-heavy
     /// object, whose prefetched neighbours are invalidated unread.
-    pub manage_readahead: bool,
+    pub manage_prefetch: bool,
+    /// Wasted fraction (percent of settled speculative fills that were
+    /// invalidated, evicted, or overwritten before a demand *read*
+    /// consumed them) at or
+    /// above which a prefetch window counts against the data tier; after
+    /// `hysteresis` consecutive bad windows [`PolicyState::record_prefetch`]
+    /// returns [`PrefetchVerdict::Disable`] and the caller latches
+    /// `PrefetchCfg::data` off for the object.
+    pub prefetch_wasted_pct: u32,
 }
 
 impl Default for PolicyCfg {
@@ -136,7 +147,8 @@ impl Default for PolicyCfg {
             hysteresis: 2,
             write_threshold_pct: 50,
             manage_coalesce: true,
-            manage_readahead: true,
+            manage_prefetch: true,
+            prefetch_wasted_pct: 50,
         }
     }
 }
@@ -152,7 +164,7 @@ impl PolicyCfg {
 }
 
 /// The speculation accelerants [`PolicyMode::Dynamic`] restores: a
-/// snapshot of the object's *configured* coalescing and readahead
+/// snapshot of the object's *configured* coalescing and prefetch
 /// settings, captured (via [`AccelBase::of`]) before the policy starts
 /// rewriting them. Without the snapshot a Dynamic → Static → Dynamic
 /// round trip would forget what "on" meant for this object.
@@ -160,8 +172,8 @@ impl PolicyCfg {
 pub struct AccelBase {
     /// The configured `CoalesceCfg::enabled`.
     pub coalesce: bool,
-    /// The configured readahead depth in pages.
-    pub readahead: u32,
+    /// The configured prefetch tiers and depths.
+    pub prefetch: crate::prefetch::PrefetchCfg,
 }
 
 impl AccelBase {
@@ -169,7 +181,7 @@ impl AccelBase {
     pub fn of(cfg: &AsvmConfig) -> AccelBase {
         AccelBase {
             coalesce: cfg.coalesce.enabled,
-            readahead: cfg.readahead,
+            prefetch: cfg.prefetch,
         }
     }
 }
@@ -200,10 +212,13 @@ impl PolicyMode {
     }
 
     /// Rewrites `cfg`'s forwarding switches to this mode and — gated on
-    /// `cfg.policy`'s `manage_coalesce` / `manage_readahead` flags —
+    /// `cfg.policy`'s `manage_coalesce` / `manage_prefetch` flags —
     /// restores the accelerants in `base` (Dynamic) or strips them
     /// (Static/Global). Every other knob — cache capacities, watchdog
-    /// parameters — is preserved.
+    /// parameters — is preserved. A Dynamic restore re-arms prefetch even
+    /// if [`PolicyState::record_prefetch`] previously latched the data
+    /// tier off: a mode change is fresh evidence the traffic shape moved,
+    /// so the accelerant gets a fresh trial.
     pub fn apply(self, cfg: &mut AsvmConfig, base: AccelBase) {
         let (dynamic, statik) = match self {
             PolicyMode::Dynamic => (true, true),
@@ -216,8 +231,12 @@ impl PolicyMode {
         if cfg.policy.manage_coalesce {
             cfg.coalesce.enabled = speculate && base.coalesce;
         }
-        if cfg.policy.manage_readahead {
-            cfg.readahead = if speculate { base.readahead } else { 0 };
+        if cfg.policy.manage_prefetch {
+            cfg.prefetch = if speculate {
+                base.prefetch
+            } else {
+                crate::prefetch::PrefetchCfg::off()
+            };
         }
     }
 }
@@ -260,6 +279,22 @@ pub enum PolicyVerdict {
     Switch(PolicyMode),
 }
 
+/// What one [`PolicyState::record_prefetch`] call concluded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrefetchVerdict {
+    /// Mid-window (or the policy is disabled): nothing to do.
+    Idle,
+    /// A prefetch window closed and was evaluated; the data tier stands.
+    /// Callers bump `asvm.policy.observe`.
+    Observed,
+    /// Consecutive windows wasted too much: the caller must latch
+    /// `PrefetchCfg::data` off for the object and bump
+    /// `asvm.policy.observe` + `asvm.policy.prefetch_off`. Returned at
+    /// most once per [`PolicyMode`] tenure — the latch only re-arms when
+    /// a mode switch restores the accelerant base.
+    Disable,
+}
+
 /// Per-object, per-node policy state: window accumulators plus the
 /// hysteresis ledger.
 #[derive(Clone, Copy, Debug)]
@@ -278,6 +313,14 @@ pub struct PolicyState {
     /// produced it.
     candidate: PolicyMode,
     streak: u8,
+    /// Settled speculative fills in the current prefetch window.
+    pf_seen: u32,
+    /// Of those, how many were wasted (invalidated/evicted unread).
+    pf_wasted: u32,
+    /// Consecutive prefetch windows at or above the wasted threshold.
+    pf_streak: u8,
+    /// The data tier was already latched off this mode tenure.
+    pf_disabled: bool,
 }
 
 impl PolicyState {
@@ -294,6 +337,10 @@ impl PolicyState {
             mode,
             candidate: mode,
             streak: 0,
+            pf_seen: 0,
+            pf_wasted: 0,
+            pf_streak: 0,
+            pf_disabled: false,
         }
     }
 
@@ -339,9 +386,74 @@ impl PolicyState {
         }
         if rec != self.mode && self.streak >= self.cfg.hysteresis.max(1) {
             self.mode = rec;
+            // A mode change re-applies the accelerant base (see
+            // `PolicyMode::apply`), so the prefetch latch re-arms with it.
+            self.pf_seen = 0;
+            self.pf_wasted = 0;
+            self.pf_streak = 0;
+            self.pf_disabled = false;
             return PolicyVerdict::Switch(rec);
         }
         PolicyVerdict::Observed
+    }
+
+    /// Feeds the outcome of one *settled* speculative fill: `wasted` is
+    /// true when the prefetched copy was invalidated, evicted, or
+    /// overwritten before any demand read consumed it, false when it
+    /// scored a hit. Windows
+    /// of `cfg.window` outcomes are evaluated against
+    /// `cfg.prefetch_wasted_pct` with the shared hysteresis: once
+    /// `cfg.hysteresis` consecutive windows waste too much, the verdict
+    /// asks the caller to latch the object's data tier off.
+    ///
+    /// ```
+    /// use asvm::policy::{AccelBase, PolicyCfg, PolicyMode, PolicyState, PrefetchVerdict};
+    /// use asvm::prefetch::PrefetchCfg;
+    ///
+    /// let cfg = PolicyCfg { enabled: true, window: 4, hysteresis: 2, ..PolicyCfg::default() };
+    /// let base = AccelBase { coalesce: false, prefetch: PrefetchCfg::streaming(4) };
+    /// let mut p = PolicyState::new(cfg, PolicyMode::Dynamic, base);
+    ///
+    /// // Migratory sharing: every speculative copy is invalidated before
+    /// // it is read. The first bad window only observes; the second
+    /// // crosses the hysteresis and disables the data tier.
+    /// let mut disabled_at = None;
+    /// for i in 0..8 {
+    ///     if p.record_prefetch(true) == PrefetchVerdict::Disable {
+    ///         disabled_at = Some(i);
+    ///     }
+    /// }
+    /// assert_eq!(disabled_at, Some(7));
+    ///
+    /// // Further outcomes no longer re-fire the latch.
+    /// for _ in 0..8 {
+    ///     assert_ne!(p.record_prefetch(true), PrefetchVerdict::Disable);
+    /// }
+    /// ```
+    pub fn record_prefetch(&mut self, wasted: bool) -> PrefetchVerdict {
+        if !self.cfg.enabled {
+            return PrefetchVerdict::Idle;
+        }
+        self.pf_seen += 1;
+        if wasted {
+            self.pf_wasted += 1;
+        }
+        if self.pf_seen < self.cfg.window.max(1) {
+            return PrefetchVerdict::Idle;
+        }
+        let bad = self.pf_wasted * 100 >= self.cfg.prefetch_wasted_pct * self.pf_seen;
+        self.pf_seen = 0;
+        self.pf_wasted = 0;
+        if bad {
+            self.pf_streak = self.pf_streak.saturating_add(1);
+        } else {
+            self.pf_streak = 0;
+        }
+        if bad && !self.pf_disabled && self.pf_streak >= self.cfg.hysteresis.max(1) {
+            self.pf_disabled = true;
+            return PrefetchVerdict::Disable;
+        }
+        PrefetchVerdict::Observed
     }
 
     /// The closed window's recommendation. Pure function of the window
@@ -381,7 +493,7 @@ mod tests {
     fn base() -> AccelBase {
         AccelBase {
             coalesce: false,
-            readahead: 0,
+            prefetch: crate::prefetch::PrefetchCfg::off(),
         }
     }
 
@@ -446,23 +558,70 @@ mod tests {
         PolicyMode::Static.apply(&mut cfg, base);
         assert!(!cfg.dynamic_forwarding && cfg.static_forwarding);
         assert!(!cfg.coalesce.enabled, "Static strips managed coalescing");
-        assert_eq!(cfg.readahead, 0, "Static strips managed readahead");
+        assert!(!cfg.prefetch.enabled, "Static strips managed prefetch");
         assert_eq!(cfg.dynamic_cache_entries, 7, "unrelated knobs survive");
         PolicyMode::Dynamic.apply(&mut cfg, base);
         assert!(cfg.coalesce.enabled, "Dynamic restores the coalescing base");
-        assert_eq!(cfg.readahead, 8, "Dynamic restores the readahead base");
+        assert!(cfg.prefetch.enabled, "Dynamic restores the prefetch base");
+        assert_eq!(cfg.prefetch.depth, 8, "restored at the configured depth");
     }
 
     #[test]
     fn apply_leaves_unmanaged_accelerants_alone() {
         let mut keep = AsvmConfig::with_readahead(3).coalesced();
         keep.policy.manage_coalesce = false;
-        keep.policy.manage_readahead = false;
+        keep.policy.manage_prefetch = false;
         let base = AccelBase::of(&keep);
         PolicyMode::Global.apply(&mut keep, base);
         assert!(!keep.dynamic_forwarding && !keep.static_forwarding);
         assert!(keep.coalesce.enabled, "unmanaged coalescing is untouched");
-        assert_eq!(keep.readahead, 3, "unmanaged readahead is untouched");
+        assert_eq!(keep.prefetch.depth, 3, "unmanaged prefetch is untouched");
+        assert!(keep.prefetch.enabled);
+    }
+
+    #[test]
+    fn hit_heavy_prefetch_windows_never_disable() {
+        let mut p = PolicyState::new(on(4, 2), PolicyMode::Dynamic, base());
+        for _ in 0..64 {
+            assert_ne!(p.record_prefetch(false), PrefetchVerdict::Disable);
+        }
+        // An isolated bad window resets nothing permanent: the streak
+        // needs `hysteresis` consecutive bad windows.
+        for _ in 0..4 {
+            p.record_prefetch(true);
+        }
+        for _ in 0..4 {
+            assert_ne!(p.record_prefetch(false), PrefetchVerdict::Disable);
+        }
+        for _ in 0..64 {
+            assert_ne!(p.record_prefetch(false), PrefetchVerdict::Disable);
+        }
+    }
+
+    #[test]
+    fn disabled_policy_prefetch_dimension_is_inert() {
+        let mut p = PolicyState::new(PolicyCfg::default(), PolicyMode::Dynamic, base());
+        for _ in 0..1000 {
+            assert_eq!(p.record_prefetch(true), PrefetchVerdict::Idle);
+        }
+    }
+
+    #[test]
+    fn mode_switch_rearms_the_prefetch_latch() {
+        let mut p = PolicyState::new(on(2, 1), PolicyMode::Dynamic, base());
+        // Latch the data tier off.
+        p.record_prefetch(true);
+        assert_eq!(p.record_prefetch(true), PrefetchVerdict::Disable);
+        assert_ne!(p.record_prefetch(true), PrefetchVerdict::Disable);
+        // A mode switch (write-heavy evidence) re-arms the latch: the
+        // accelerant base is re-applied, so the tier is on trial again.
+        p.record(4, Observation::LocalFault { write: true });
+        assert_eq!(
+            p.record(4, Observation::LocalFault { write: true }),
+            PolicyVerdict::Switch(PolicyMode::Static)
+        );
+        p.record_prefetch(true);
+        assert_eq!(p.record_prefetch(true), PrefetchVerdict::Disable);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Access-pattern-driven prefetch (§6 future work, "read clustering").
+//!
+//! The paper's demand path pays the full request/forward/grant round trip
+//! on every first touch. This module hides that latency for predictable
+//! access streams: a per-object, per-node [`StreamDetector`] watches the
+//! local fault stream, and once a sequential or strided run is confirmed
+//! the node speculatively requests the pages the stream is about to need
+//! through the *normal* protocol — speculative requests are ordinary
+//! `PageReq`s (and therefore ride the RDMA one-sided read path where the
+//! backend supports it), so every safety property of the demand path
+//! carries over unchanged.
+//!
+//! Two tiers, independently switchable per object:
+//!
+//! * **hint prefetch** ([`PrefetchCfg::hints`]) — nodes *serving* a
+//!   detected stream piggyback owner hints for the predicted next pages on
+//!   data/ack frames already flowing back to the requester (the PR-5
+//!   `OwnerHintEntry` carrier), so the requester's dynamic hint cache is
+//!   warm before it faults: zero extra frames, only extra subframe bytes;
+//! * **data prefetch** ([`PrefetchCfg::data`]) — the faulting node itself
+//!   pulls read copies ahead of the stream, bounded by
+//!   [`PrefetchCfg::max_inflight`], cancelled (no further issues) the
+//!   moment the stride breaks.
+//!
+//! Accounting is honest: `asvm.prefetch.issued` / `hit` / `late` /
+//! `wasted` / `cancelled` counters, and the online policy
+//! ([`crate::policy`]) can latch data prefetch off per object when the
+//! wasted ratio climbs (migratory sharing is the counter-case: prefetched
+//! neighbours are invalidated before they are read).
+//!
+//! The detector is sans-IO and fully deterministic: state advances only on
+//! observed page numbers, never on time or randomness.
+
+use machvm::PageIdx;
+
+/// Per-object prefetch configuration (default: everything off, which is
+/// byte-identical to builds without the prefetch layer).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrefetchCfg {
+    /// Master switch for the detector and both tiers.
+    pub enabled: bool,
+    /// Hint tier: piggyback predicted-page owner hints on frames already
+    /// flowing to the node driving a detected stream. Needs a coalescing
+    /// transport (the hint carrier); inert elsewhere.
+    pub hints: bool,
+    /// Data tier: speculatively pull read copies of predicted pages.
+    pub data: bool,
+    /// Consecutive same-stride fault intervals required before the
+    /// detector trusts the stream. `0` is the legacy "read clustering"
+    /// mode: every read fault unconditionally prefetches the next
+    /// [`PrefetchCfg::depth`] pages at stride +1, with no confidence
+    /// gate and no budget — exactly the original `readahead` knob.
+    pub min_run: u32,
+    /// Pages predicted (and, with [`PrefetchCfg::data`], requested) ahead
+    /// of the newest fault. `0` disables prediction.
+    pub depth: u32,
+    /// Budget of in-flight speculative pulls per object (`0` = unbounded,
+    /// the legacy mode's behaviour).
+    pub max_inflight: u32,
+}
+
+impl PrefetchCfg {
+    /// Everything off (the paper's measured system).
+    pub fn off() -> PrefetchCfg {
+        PrefetchCfg::default()
+    }
+
+    /// The legacy §6 "read clustering" preset: on every read fault,
+    /// unconditionally request the next `pages` pages. No detector gate,
+    /// no hint tier, no in-flight budget — behaviourally identical to the
+    /// old `AsvmConfig::readahead` knob.
+    pub fn readahead(pages: u32) -> PrefetchCfg {
+        PrefetchCfg {
+            enabled: pages > 0,
+            hints: false,
+            data: pages > 0,
+            min_run: 0,
+            depth: pages,
+            max_inflight: 0,
+        }
+    }
+
+    /// Detector-gated streaming preset: both tiers on, stride trusted
+    /// after two confirming intervals, in-flight budget equal to the
+    /// window depth.
+    pub fn streaming(depth: u32) -> PrefetchCfg {
+        PrefetchCfg {
+            enabled: depth > 0,
+            hints: true,
+            data: depth > 0,
+            min_run: 2,
+            depth,
+            max_inflight: depth,
+        }
+    }
+
+    /// [`PrefetchCfg::streaming`] with the data tier off: owner hints for
+    /// predicted pages are piggybacked, but no speculative transfers are
+    /// issued.
+    pub fn hints_only(depth: u32) -> PrefetchCfg {
+        PrefetchCfg {
+            data: false,
+            max_inflight: 0,
+            ..PrefetchCfg::streaming(depth)
+        }
+    }
+}
+
+/// Sequential/strided stream detector over one node's fault stream for
+/// one object (also instantiated per *peer* on serving nodes, to predict
+/// the requester's stream for the hint tier).
+///
+/// State machine: the detector keeps the last observed page, the interval
+/// (`stride`) between the last two observations, and how many consecutive
+/// observations confirmed that interval (`run`). A differing interval
+/// resets the run — that reset is the *pattern break* the caller uses to
+/// cancel outstanding speculation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamDetector {
+    /// Most recently observed page.
+    last: Option<PageIdx>,
+    /// Interval between the two most recent *distinct* observations
+    /// (pages; may be negative for a descending scan; 0 only before the
+    /// first interval).
+    stride: i64,
+    /// Consecutive observations that confirmed `stride`.
+    run: u32,
+}
+
+impl StreamDetector {
+    /// Feeds one observed page. Returns `true` when a *locked* run (two
+    /// or more confirming intervals — the least confidence any
+    /// detector-gated preset speculates on) was broken by this
+    /// observation — the caller's cue to cancel speculation on the old
+    /// stride. A candidate run of one interval breaks silently: nothing
+    /// was speculated on it, and re-reporting while the detector
+    /// scrambles for a new stride would double-count the same in-flight
+    /// window.
+    ///
+    /// A repeated page is transparent (no state change, no break): the
+    /// same access is legitimately seen twice — once as the demand fault
+    /// and once as the retried access hitting the fill — and a re-read
+    /// of the current position neither confirms nor disconfirms the
+    /// stride.
+    pub fn observe(&mut self, page: PageIdx) -> bool {
+        let mut broke = false;
+        if let Some(last) = self.last {
+            let s = page.0 as i64 - last.0 as i64;
+            if s == 0 {
+                return false;
+            }
+            if s == self.stride {
+                self.run = self.run.saturating_add(1);
+            } else {
+                broke = self.run >= 2;
+                self.stride = s;
+                self.run = 1;
+            }
+        }
+        self.last = Some(page);
+        broke
+    }
+
+    /// The detector's current `(stride, depth)` prediction window under
+    /// `cfg`, anchored at the most recent observation: pages
+    /// `last + stride * k` for `k` in `1..=depth` are expected next.
+    /// `None` when prefetch is off or confidence is insufficient. With
+    /// `min_run == 0` (the legacy preset) the window is unconditionally
+    /// `(+1, depth)`, matching the original readahead loop.
+    pub fn prediction(&self, cfg: &PrefetchCfg) -> Option<(i64, u32)> {
+        if !cfg.enabled || cfg.depth == 0 {
+            return None;
+        }
+        if cfg.min_run == 0 {
+            return Some((1, cfg.depth));
+        }
+        if self.run >= cfg.min_run && self.stride != 0 {
+            Some((self.stride, cfg.depth))
+        } else {
+            None
+        }
+    }
+
+    /// The most recently observed page, if any (the prediction anchor).
+    pub fn anchor(&self) -> Option<PageIdx> {
+        self.last
+    }
+
+    /// Confirmed run length at the current stride.
+    pub fn run(&self) -> u32 {
+        self.run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_fully_off() {
+        let c = PrefetchCfg::default();
+        assert!(!c.enabled && !c.hints && !c.data);
+        assert_eq!(c.depth, 0);
+        let d = StreamDetector::default();
+        assert_eq!(d.prediction(&PrefetchCfg::streaming(8)), None);
+    }
+
+    #[test]
+    fn sequential_run_earns_a_prediction() {
+        let cfg = PrefetchCfg::streaming(4);
+        let mut d = StreamDetector::default();
+        assert!(!d.observe(PageIdx(10)));
+        assert!(!d.observe(PageIdx(11))); // run 1: not yet trusted
+        assert_eq!(d.prediction(&cfg), None);
+        assert!(!d.observe(PageIdx(12))); // run 2: trusted
+        assert_eq!(d.prediction(&cfg), Some((1, 4)));
+        assert_eq!(d.anchor(), Some(PageIdx(12)));
+    }
+
+    #[test]
+    fn strided_and_descending_runs_are_detected() {
+        let cfg = PrefetchCfg::streaming(2);
+        let mut d = StreamDetector::default();
+        for p in [0u32, 3, 6, 9] {
+            d.observe(PageIdx(p));
+        }
+        assert_eq!(d.prediction(&cfg), Some((3, 2)));
+        let mut down = StreamDetector::default();
+        for p in [20u32, 18, 16] {
+            down.observe(PageIdx(p));
+        }
+        assert_eq!(down.prediction(&cfg), Some((-2, 2)));
+    }
+
+    #[test]
+    fn stride_change_breaks_the_run() {
+        let cfg = PrefetchCfg::streaming(4);
+        let mut d = StreamDetector::default();
+        for p in [0u32, 1, 2, 3] {
+            d.observe(PageIdx(p));
+        }
+        assert_eq!(d.prediction(&cfg), Some((1, 4)));
+        // The stream jumps: the established run reports a break and the
+        // prediction is withdrawn until a new run is confirmed.
+        assert!(d.observe(PageIdx(40)));
+        assert_eq!(d.prediction(&cfg), None);
+        assert!(!d.observe(PageIdx(43)), "first interval of a new run");
+        assert!(!d.observe(PageIdx(46)));
+        assert_eq!(d.prediction(&cfg), Some((3, 4)));
+    }
+
+    #[test]
+    fn repeated_page_is_not_a_run() {
+        let cfg = PrefetchCfg::streaming(2);
+        let mut d = StreamDetector::default();
+        for _ in 0..5 {
+            d.observe(PageIdx(7));
+        }
+        assert_eq!(d.prediction(&cfg), None, "stride 0 must never predict");
+    }
+
+    #[test]
+    fn legacy_preset_predicts_unconditionally() {
+        let cfg = PrefetchCfg::readahead(8);
+        let d = StreamDetector::default();
+        // No history at all: the legacy preset still emits the fixed
+        // +1 window, exactly like the original readahead loop.
+        assert_eq!(d.prediction(&cfg), Some((1, 8)));
+        assert!(!PrefetchCfg::readahead(0).enabled);
+    }
+}

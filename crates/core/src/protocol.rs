@@ -27,6 +27,11 @@ pub struct ReqPath {
     /// are untrustworthy, so the static manager resolves this request
     /// through ownership reconstruction instead of cached state.
     pub recovering: bool,
+    /// Issued by the prefetch engine ahead of any demand fault (see
+    /// [`crate::prefetch`]). Routing and serving are identical to a
+    /// demand request; the flag only feeds transport-level accounting
+    /// (`transport.rdma.prefetch_read`).
+    pub speculative: bool,
 }
 
 /// What a [`AsvmMsg::PageReq`] is asking for.
@@ -453,6 +458,20 @@ impl AsvmMsg {
                 deliver: None,
                 ..
             } if *origin == me
+        )
+    }
+
+    /// Whether this is a speculative (prefetch-issued) page request.
+    pub fn is_speculative_req(&self) -> bool {
+        matches!(
+            self,
+            AsvmMsg::PageReq {
+                path: ReqPath {
+                    speculative: true,
+                    ..
+                },
+                ..
+            }
         )
     }
 

@@ -30,7 +30,7 @@ pub use faultprobe::{fault_probe, FaultProbeResult, FaultProbeSpec, ProbeAccess}
 pub use filescan::{file_scan, FileScanResult, FileScanSpec, ScanDir};
 pub use megascale::{probe_state, run_eventloop, EventLoopOutcome, StateProbe};
 pub use patterns::{
-    run_pattern, run_pattern_backend, run_pattern_faulted, run_pattern_mega, run_pattern_paced,
-    FaultedOutcome, Pattern, PatternOutcome,
+    run_pattern, run_pattern_backend, run_pattern_backend_seeded, run_pattern_faulted,
+    run_pattern_mega, run_pattern_paced, FaultedOutcome, Pattern, PatternOutcome,
 };
 pub use tenants::{run_tenants, TenantsOutcome, TenantsSpec, Zipf};

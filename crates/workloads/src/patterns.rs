@@ -46,6 +46,48 @@ pub enum Pattern {
         /// Seed.
         seed: u64,
     },
+    /// Every node sequentially reads every page each round (barriered
+    /// rounds): the file-scan shape — a pure stride-1 read stream, the
+    /// prefetch engine's best case.
+    Scan {
+        /// Scan passes over the object.
+        rounds: u32,
+    },
+    /// Round `r`: node `r % nodes` writes the whole region, then node
+    /// `(r+1) % nodes` streams the first `read_pages` of it back in
+    /// (barriered phases) — a copy chain whose reads always target
+    /// remotely-owned dirty pages. With `read_pages` well short of the
+    /// region, the reader's speculative window overshoots its interest
+    /// and the next round's writer invalidates the overshoot unread —
+    /// the prefetch-waste counter-case.
+    Chain {
+        /// Hand-off rounds.
+        rounds: u32,
+        /// Pages the reader consumes per round (clamped to the region).
+        read_pages: u32,
+    },
+}
+
+impl Pattern {
+    /// Total memory accesses the pattern performs across all nodes — the
+    /// analytic denominator of faults-per-kilo-access (counting accesses
+    /// in the simulator would itself perturb nothing, but the closed form
+    /// documents the shape).
+    pub fn accesses(&self, nodes: u16, pages: u32) -> u64 {
+        let (n, p) = (nodes as u64, pages as u64);
+        match *self {
+            // Each turn one node writes every page; nodes*rounds turns.
+            Pattern::Migratory { rounds } => rounds as u64 * n * p,
+            // Per round: one producer writes, nodes-1 consumers read.
+            Pattern::ProducerConsumer { rounds } => rounds as u64 * p * n,
+            Pattern::Hotspot { rounds, .. } => rounds as u64 * n * p,
+            Pattern::Uniform { ops, .. } => ops as u64 * n,
+            Pattern::Scan { rounds } => rounds as u64 * n * p,
+            Pattern::Chain { rounds, read_pages } => {
+                rounds as u64 * (p + u64::from(read_pages.min(pages)))
+            }
+        }
+    }
 }
 
 /// Outcome of a pattern run.
@@ -89,6 +131,30 @@ pub struct PatternOutcome {
     /// One-sided reads the NIC had to raise to the target host
     /// (`transport.rdma.read_fallback`).
     pub rdma_read_fallback: u64,
+    /// Speculative page requests issued by the prefetch engine
+    /// (`asvm.prefetch.issued`).
+    pub prefetch_issued: u64,
+    /// Prefetched fills consumed by a later demand access
+    /// (`asvm.prefetch.hit`).
+    pub prefetch_hit: u64,
+    /// Demand faults that caught their prefetch still in flight
+    /// (`asvm.prefetch.late`).
+    pub prefetch_late: u64,
+    /// Prefetched fills evicted, invalidated, or transferred away before
+    /// any demand access used them (`asvm.prefetch.wasted`).
+    pub prefetch_wasted: u64,
+    /// In-flight speculations cancelled by a stride break
+    /// (`asvm.prefetch.cancelled`).
+    pub prefetch_cancelled: u64,
+    /// Predicted-window owner hints piggybacked for peers
+    /// (`asvm.prefetch.hint`).
+    pub prefetch_hints: u64,
+    /// Speculative reads that went one-sided on the RDMA backend
+    /// (`transport.rdma.prefetch_read`).
+    pub rdma_prefetch_reads: u64,
+    /// Objects whose data tier the online policy latched off for a
+    /// mostly-wasted speculation record (`asvm.policy.prefetch_off`).
+    pub policy_prefetch_off: u64,
 }
 
 impl PatternOutcome {
@@ -99,6 +165,16 @@ impl PatternOutcome {
             return 0.0;
         }
         self.asvm_frames as f64 / self.faults as f64
+    }
+
+    /// Demand faults per thousand memory accesses — the prefetch
+    /// ablation's headline rate (`BENCH_prefetch.json`); pass the
+    /// pattern's analytic [`Pattern::accesses`] count.
+    pub fn faults_per_kilo_access(&self, accesses: u64) -> f64 {
+        if accesses == 0 {
+            return 0.0;
+        }
+        self.faults as f64 * 1000.0 / accesses as f64
     }
 }
 
@@ -237,6 +313,59 @@ impl Program for PatternProgram {
                 };
                 self.touch(s)
             }
+            Pattern::Scan { rounds } => {
+                if self.round >= rounds {
+                    return Step::Done;
+                }
+                if self.idx < self.pages {
+                    let p = self.idx;
+                    self.idx += 1;
+                    return self.touch(Step::Read { va_page: p as u64 });
+                }
+                self.idx = 0;
+                self.round += 1;
+                let b = self.barrier;
+                self.barrier += 1;
+                Step::Barrier(b)
+            }
+            Pattern::Chain { rounds, read_pages } => {
+                if self.round >= rounds {
+                    return Step::Done;
+                }
+                let writer = (self.round % self.nodes as u32) as u16;
+                let reader = ((self.round + 1) % self.nodes as u32) as u16;
+                match self.phase {
+                    0 => {
+                        if self.me == writer && self.idx < self.pages {
+                            let p = self.idx;
+                            self.idx += 1;
+                            return self.touch(Step::Write {
+                                va_page: p as u64,
+                                value: (self.round as u64) << 8 | p as u64,
+                            });
+                        }
+                        self.phase = 1;
+                        self.idx = 0;
+                        let b = self.barrier;
+                        self.barrier += 1;
+                        Step::Barrier(b)
+                    }
+                    1 => {
+                        if self.me == reader && self.idx < read_pages.min(self.pages) {
+                            let p = self.idx;
+                            self.idx += 1;
+                            return self.touch(Step::Read { va_page: p as u64 });
+                        }
+                        self.phase = 0;
+                        self.idx = 0;
+                        self.round += 1;
+                        let b = self.barrier;
+                        self.barrier += 1;
+                        Step::Barrier(b)
+                    }
+                    _ => unreachable!(),
+                }
+            }
         }
     }
 }
@@ -315,6 +444,33 @@ pub fn run_pattern_backend(
     run_pattern_full(kind, nodes, pages, pattern, faults, think, Some(transport)).0
 }
 
+/// [`run_pattern_backend`] with an explicit world seed (the prefetch
+/// ablation's `ASVM_PREFETCH_SEED` knob). The default runners keep their
+/// fixed seed so existing goldens are untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pattern_backend_seeded(
+    kind: ManagerKind,
+    transport: Transport,
+    nodes: u16,
+    pages: u32,
+    pattern: Pattern,
+    faults: FaultPlan,
+    think: Dur,
+    seed: u64,
+) -> FaultedOutcome {
+    run_pattern_seeded(
+        kind,
+        nodes,
+        pages,
+        pattern,
+        faults,
+        think,
+        Some(transport),
+        Some(seed),
+    )
+    .0
+}
+
 /// [`run_pattern`] with `think` of modeled compute after every memory
 /// touch. Back-to-back streams (the `Dur::ZERO` default) race ahead of
 /// in-flight readahead fills and book extra near-zero-latency faults, so
@@ -356,10 +512,24 @@ fn run_pattern_full(
     think: Dur,
     transport: Option<Transport>,
 ) -> (FaultedOutcome, crate::megascale::StateProbe) {
-    let seed = match pattern {
+    run_pattern_seeded(kind, nodes, pages, pattern, faults, think, transport, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pattern_seeded(
+    kind: ManagerKind,
+    nodes: u16,
+    pages: u32,
+    pattern: Pattern,
+    faults: FaultPlan,
+    think: Dur,
+    transport: Option<Transport>,
+    seed: Option<u64>,
+) -> (FaultedOutcome, crate::megascale::StateProbe) {
+    let seed = seed.unwrap_or(match pattern {
         Pattern::Uniform { seed, .. } => seed,
         _ => 17,
-    };
+    });
     let faults_active = faults.is_active();
     let mut cfg = MachineConfig::paragon(nodes);
     cfg.faults = faults;
@@ -449,6 +619,14 @@ fn run_pattern_full(
             rdma_msgs: s.counter("rdma.messages"),
             rdma_read_served: s.counter("transport.rdma.read_served"),
             rdma_read_fallback: s.counter("transport.rdma.read_fallback"),
+            prefetch_issued: s.counter("asvm.prefetch.issued"),
+            prefetch_hit: s.counter("asvm.prefetch.hit"),
+            prefetch_late: s.counter("asvm.prefetch.late"),
+            prefetch_wasted: s.counter("asvm.prefetch.wasted"),
+            prefetch_cancelled: s.counter("asvm.prefetch.cancelled"),
+            prefetch_hints: s.counter("asvm.prefetch.hint"),
+            rdma_prefetch_reads: s.counter("transport.rdma.prefetch_read"),
+            policy_prefetch_off: s.counter("asvm.policy.prefetch_off"),
         },
         dropped: s.counter("transport.fault.dropped") + s.counter("transport.fault.blackout"),
         duplicated: s.counter("transport.fault.duplicated"),

@@ -297,6 +297,52 @@ proptest! {
         }
     }
 
+    /// Prefetch is a latency optimisation, not a semantics change: the
+    /// same randomized workload with speculation off, hint-only, and
+    /// hint+data must reach identical final memory contents and page
+    /// ownership — healthy and under an active fault plan. A
+    /// deterministic write prefix mints every page's first owner before
+    /// any speculation can reach the static manager; without it, a
+    /// speculative read racing the baseline's demand read would mint a
+    /// different first owner for a never-written page — a harness
+    /// artifact, not a coherence violation. Copysets are *not* compared:
+    /// speculative read copies legitimately widen them.
+    #[test]
+    fn prefetch_preserves_final_state(ops in trace_strategy(3, 6, 12)) {
+        let mut full: Vec<TraceOp> = (0..6)
+            .map(|p| TraceOp { node: (p % 3) as u16, page: p, write: true })
+            .collect();
+        full.extend(ops.iter().copied());
+        let base = asvm::AsvmConfig::default().coalesced();
+        let mut hints = base;
+        hints.prefetch = asvm::PrefetchCfg::hints_only(4);
+        let mut streaming = base;
+        streaming.prefetch = asvm::PrefetchCfg::streaming(4);
+        let owners = |own: &OwnershipMap| -> Vec<(u32, u16)> {
+            own.iter().map(|(p, o, _)| (*p, *o)).collect()
+        };
+        for faulted in [false, true] {
+            let plan = || if faulted {
+                FaultPlan::seeded(7).with_drop_ppm(10_000).with_dup_ppm(2_000)
+            } else {
+                FaultPlan::none()
+            };
+            let (mem_off, own_off) = asvm_final_state(base, plan(), 3, 6, &full);
+            let (mem_h, own_h) = asvm_final_state(hints, plan(), 3, 6, &full);
+            let (mem_s, own_s) = asvm_final_state(streaming, plan(), 3, 6, &full);
+            prop_assert_eq!(&mem_off, &mem_h, "hint-only memory diverged (faulted={})", faulted);
+            prop_assert_eq!(&mem_off, &mem_s, "hint+data memory diverged (faulted={})", faulted);
+            prop_assert_eq!(
+                owners(&own_off), owners(&own_h),
+                "hint-only ownership diverged (faulted={})", faulted
+            );
+            prop_assert_eq!(
+                owners(&own_off), owners(&own_s),
+                "hint+data ownership diverged (faulted={})", faulted
+            );
+        }
+    }
+
     /// The online per-object policy (`asvm::policy`) makes *consultation*
     /// choices only — which forwarding layer to ask first, whether to
     /// speculate — so an adaptive run must converge to the same final
@@ -311,7 +357,7 @@ proptest! {
         let mut adaptive = asvm::AsvmConfig::default().adaptive();
         adaptive.policy.window = 4;
         let mut adaptive_accel = asvm::AsvmConfig::fixed_distributed().coalesced().adaptive();
-        adaptive_accel.readahead = 4;
+        adaptive_accel.prefetch = asvm::PrefetchCfg::readahead(4);
         adaptive_accel.policy.window = 4;
         for faulted in [false, true] {
             let plan = || if faulted {

@@ -1,0 +1,136 @@
+//! Integration tests for the access-pattern-driven prefetch engine:
+//! stream detection, speculative data pulls, cancellation on a pattern
+//! break, and the piggybacked owner-hint tier.
+
+use cluster::{ManagerKind, ScriptProgram, Ssi, Step};
+use machvm::{Access, Inherit, PageIdx};
+use svmsim::NodeId;
+
+/// No recovery machinery may fire in a healthy (fault-free) run: a
+/// speculative fill arriving after a cancellation must be absorbed, not
+/// "recovered" from.
+fn assert_healthy(ssi: &Ssi) {
+    for (key, v) in ssi.stats().counters() {
+        assert!(
+            !key.starts_with("asvm.recover.") && !key.starts_with("cluster.suspect."),
+            "healthy prefetch run tripped recovery: {key} = {v}"
+        );
+    }
+}
+
+/// A mid-stream stride change must cancel the speculative window: the
+/// detector resets (no further issues against the dead stride), every
+/// in-flight fill is counted under `asvm.prefetch.cancelled`, and the
+/// late-arriving fills are absorbed without staleness — the reads after
+/// the break still observe the file's bytes.
+#[test]
+fn pattern_break_cancels_inflight_prefetches() {
+    let kind = ManagerKind::Asvm(asvm::AsvmConfig::with_prefetch(8).coalesced());
+    let mut ssi = Ssi::new(2, kind, 5);
+    let pages = 64u32;
+    let mobj = ssi.create_object(NodeId(0), pages, true);
+    let t = ssi.alloc_task();
+    ssi.map_shared(
+        t,
+        NodeId(1),
+        0,
+        mobj,
+        NodeId(0),
+        pages,
+        Access::Write,
+        Inherit::Share,
+    );
+    ssi.finalize();
+    // Stride-1 stream long enough to lock the detector and fill the
+    // speculative window, then a hard jump to a stride-4 region.
+    let steps: Vec<Step> = (0..12u64)
+        .map(|p| Step::Read { va_page: p })
+        .chain([40u64, 44, 48].map(|p| Step::Read { va_page: p }))
+        .chain([Step::Done])
+        .collect();
+    ssi.spawn(NodeId(1), t, Box::new(ScriptProgram::new(steps)));
+    ssi.run(u64::MAX / 2).expect("quiesces");
+    assert!(ssi.all_done());
+    assert!(
+        ssi.stats().counter("asvm.prefetch.issued") > 0,
+        "the stride-1 run must trigger speculative pulls"
+    );
+    assert!(
+        ssi.stats().counter("asvm.prefetch.cancelled") >= 1,
+        "the jump to page 40 must cancel the in-flight window"
+    );
+    // No stale fills: the post-break reads see the file's bytes.
+    for p in [5u64, 40, 44, 48] {
+        assert_eq!(
+            ssi.node(NodeId(1)).vm.peek_task_page(t, p),
+            Some(pager::file_stamp(mobj, PageIdx(p as u32))),
+            "page {p} content after the pattern break"
+        );
+    }
+    assert_healthy(&ssi);
+    cluster::check_asvm_invariants(&ssi);
+}
+
+/// The hint tier rides on frames already flowing: a serving node that
+/// recognises a requester's stream attaches predicted-window owner hints
+/// to its coalesced replies, and the requester applies them to its
+/// dynamic owner-hint cache before faulting on those pages.
+#[test]
+fn serving_node_piggybacks_predicted_owner_hints() {
+    let mut cfg = asvm::AsvmConfig::default().coalesced();
+    cfg.prefetch = asvm::PrefetchCfg::hints_only(8);
+    let mut ssi = Ssi::new(2, ManagerKind::Asvm(cfg), 5);
+    let pages = 32u32;
+    let mobj = ssi.create_object(NodeId(0), pages, false);
+    let tasks: Vec<_> = (0..2u16)
+        .map(|n| {
+            let t = ssi.alloc_task();
+            ssi.map_shared(
+                t,
+                NodeId(n),
+                0,
+                mobj,
+                NodeId(0),
+                pages,
+                Access::Write,
+                Inherit::Share,
+            );
+            t
+        })
+        .collect();
+    ssi.finalize();
+    ssi.set_barrier_parties(2);
+    // Node 0 writes (and thus owns) the whole region, then node 1
+    // streams it back: node 0's per-peer detector locks onto the stride
+    // and piggybacks owner hints for the window ahead of node 1's reads.
+    let writer: Vec<Step> = (0..pages as u64)
+        .map(|p| Step::Write {
+            va_page: p,
+            value: 7_000 + p,
+        })
+        .chain([Step::Barrier(0), Step::Done])
+        .collect();
+    let reader: Vec<Step> = std::iter::once(Step::Barrier(0))
+        .chain((0..pages as u64).map(|p| Step::Read { va_page: p }))
+        .chain([Step::Done])
+        .collect();
+    ssi.spawn(NodeId(0), tasks[0], Box::new(ScriptProgram::new(writer)));
+    ssi.spawn(NodeId(1), tasks[1], Box::new(ScriptProgram::new(reader)));
+    ssi.run(u64::MAX / 2).expect("quiesces");
+    assert!(ssi.all_done());
+    assert!(
+        ssi.stats().counter("asvm.prefetch.hint") > 0,
+        "the serving node must attach predicted-window hints"
+    );
+    assert!(
+        ssi.stats().counter("asvm.prefetch.issued") == 0,
+        "hints_only must not pull data speculatively"
+    );
+    assert_eq!(
+        ssi.node(NodeId(1)).vm.peek_task_page(tasks[1], 20),
+        Some(7_020),
+        "streamed contents survive the hint tier"
+    );
+    assert_healthy(&ssi);
+    cluster::check_asvm_invariants(&ssi);
+}
